@@ -1,0 +1,26 @@
+//! One criterion benchmark per paper figure: each regenerates the figure at
+//! reduced fidelity, exercising every experiment end to end.
+
+use comb_bench::bench_fidelity;
+use comb_report::{generate, Campaigns, FigureId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for id in FigureId::ALL {
+        group.bench_function(id.id(), |b| {
+            b.iter(|| {
+                // Fresh campaign cache per iteration so the figure's sweeps
+                // actually run.
+                let mut campaigns = Campaigns::new(bench_fidelity());
+                black_box(generate(id, &mut campaigns).expect("figure generation"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

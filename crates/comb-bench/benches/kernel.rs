@@ -1,0 +1,109 @@
+//! Micro-benchmarks of the discrete-event simulation kernel: event
+//! throughput, process context hand-off, signal wake-ups, and CPU
+//! interrupt-stealing — the costs that bound how fast COMB sweeps run.
+
+use comb_hw::{Cpu, CpuConfig};
+use comb_sim::{SimDuration, Signal, Simulation};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_event_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    const EVENTS: u64 = 10_000;
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("event_chain_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            fn chain(h: comb_sim::SimHandle, left: u64) {
+                if left == 0 {
+                    return;
+                }
+                let h2 = h.clone();
+                h.schedule_in(SimDuration::from_nanos(1), move || chain(h2, left - 1));
+            }
+            chain(h, EVENTS);
+            black_box(sim.run().unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_process_handoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    const HOLDS: u64 = 2_000;
+    group.throughput(Throughput::Elements(HOLDS));
+    group.bench_function("process_holds_2k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.spawn("p", |ctx| {
+                for _ in 0..HOLDS {
+                    ctx.hold(SimDuration::from_nanos(10));
+                }
+            });
+            black_box(sim.run().unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_signal_pingpong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    const ROUNDS: usize = 500;
+    group.throughput(Throughput::Elements(ROUNDS as u64));
+    group.bench_function("signal_pingpong_500", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            let sigs: Vec<Signal> = (0..ROUNDS).map(|_| Signal::new(&h)).collect();
+            let (sa, sb) = (sigs.clone(), sigs);
+            sim.spawn("firer", move |ctx| {
+                for s in &sa {
+                    ctx.hold(SimDuration::from_nanos(5));
+                    s.fire();
+                }
+            });
+            sim.spawn("waiter", move |ctx| {
+                for s in &sb {
+                    s.wait(ctx);
+                }
+            });
+            black_box(sim.run().unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_interrupt_stealing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    const ISRS: u64 = 1_000;
+    group.throughput(Throughput::Elements(ISRS));
+    group.bench_function("cpu_steal_1k_during_compute", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            let cpu = Cpu::new(&h, CpuConfig::default());
+            let c2 = cpu.clone();
+            sim.spawn("w", move |ctx| {
+                c2.compute(ctx, SimDuration::from_millis(10));
+            });
+            for i in 0..ISRS {
+                let c3 = cpu.clone();
+                h.schedule_in(SimDuration::from_micros(i + 1), move || {
+                    c3.steal(SimDuration::from_nanos(500));
+                });
+            }
+            black_box(sim.run().unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_chain,
+    bench_process_handoff,
+    bench_signal_pingpong,
+    bench_interrupt_stealing
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks of single method points across transports and message sizes:
+//! the workload generators behind every figure.
+
+use comb_bench::bench_config;
+use comb_core::{run_polling_point, run_pww_point, Transport};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_polling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polling_point");
+    group.sample_size(10);
+    for (name, t) in [("gm", Transport::Gm), ("portals", Transport::Portals)] {
+        for size_kb in [10u64, 100] {
+            let cfg = bench_config(t.clone(), size_kb * 1024);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{size_kb}KB")),
+                &cfg,
+                |b, cfg| b.iter(|| black_box(run_polling_point(cfg, 10_000).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pww(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pww_point");
+    group.sample_size(10);
+    for (name, t) in [("gm", Transport::Gm), ("portals", Transport::Portals)] {
+        let cfg = bench_config(t.clone(), 100 * 1024);
+        group.bench_with_input(BenchmarkId::new(name, "plain"), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_pww_point(cfg, 500_000, false).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new(name, "test_in_work"), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_pww_point(cfg, 500_000, true).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_polling, bench_pww);
+criterion_main!(benches);

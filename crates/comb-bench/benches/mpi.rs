@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the MPI layer: round-trip exchanges across the
+//! protocol paths (eager, rendezvous, offload) and posting throughput.
+
+use comb_hw::{Cluster, HwConfig};
+use comb_mpi::{MpiWorld, Payload, Rank, Tag};
+use comb_sim::Simulation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn roundtrips(cfg: &HwConfig, size: u64, count: u32) -> u64 {
+    let mut sim = Simulation::new();
+    let cluster = Cluster::build(&sim.handle(), cfg, 2);
+    let world = MpiWorld::attach(&sim.handle(), &cluster);
+    let (m0, m1) = (world.proc(Rank(0)), world.proc(Rank(1)));
+    sim.spawn("a", move |ctx| {
+        for _ in 0..count {
+            m0.send(ctx, Rank(1), Tag(1), Payload::synthetic(size));
+            let _ = m0.recv(ctx, Rank(1), Tag(2));
+        }
+    });
+    sim.spawn("b", move |ctx| {
+        for _ in 0..count {
+            let _ = m1.recv(ctx, Rank(0), Tag(1));
+            m1.send(ctx, Rank(0), Tag(2), Payload::synthetic(size));
+        }
+    });
+    sim.run().unwrap().as_nanos()
+}
+
+fn bench_roundtrips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpi_roundtrip");
+    group.sample_size(20);
+    for (name, cfg) in [
+        ("gm_eager_1k", (HwConfig::gm_myrinet(), 1024u64)),
+        ("gm_rndv_100k", (HwConfig::gm_myrinet(), 100 * 1024)),
+        ("portals_1k", (HwConfig::portals_myrinet(), 1024)),
+        ("portals_100k", (HwConfig::portals_myrinet(), 100 * 1024)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, (hw, size)| {
+            b.iter(|| black_box(roundtrips(hw, *size, 20)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_posting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpi_posting");
+    group.sample_size(20);
+    group.bench_function("post_and_waitall_64_requests", |b| {
+        b.iter(|| {
+            let cfg = HwConfig::portals_myrinet();
+            let mut sim = Simulation::new();
+            let cluster = Cluster::build(&sim.handle(), &cfg, 2);
+            let world = MpiWorld::attach(&sim.handle(), &cluster);
+            let (m0, m1) = (world.proc(Rank(0)), world.proc(Rank(1)));
+            sim.spawn("a", move |ctx| {
+                let mut reqs = Vec::new();
+                for _ in 0..32 {
+                    reqs.push(m0.irecv(ctx, Rank(1), Tag(1)));
+                    reqs.push(m0.isend(ctx, Rank(1), Tag(1), Payload::synthetic(4096)));
+                }
+                m0.waitall(ctx, &reqs);
+            });
+            sim.spawn("b", move |ctx| {
+                let mut reqs = Vec::new();
+                for _ in 0..32 {
+                    reqs.push(m1.irecv(ctx, Rank(0), Tag(1)));
+                    reqs.push(m1.isend(ctx, Rank(0), Tag(1), Payload::synthetic(4096)));
+                }
+                m1.waitall(ctx, &reqs);
+            });
+            black_box(sim.run().unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_roundtrips, bench_posting);
+criterion_main!(benches);

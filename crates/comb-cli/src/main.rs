@@ -1,0 +1,451 @@
+//! `comb` — command-line front end for the COMB reproduction.
+//!
+//! Regenerates any (or every) data figure of the paper on the simulated
+//! GM and Portals platforms, prints ASCII plots, writes CSVs, runs the
+//! qualitative shape checks, and exposes raw sweeps for ad-hoc experiments.
+
+use comb_core::{
+    log_spaced, polling_sweep, pww_sweep, MethodConfig, Transport,
+};
+use comb_report::{run_figures, Fidelity, FigureId};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+COMB: a portable benchmark suite for assessing MPI overlap (CLUSTER 2002)
+Rust reproduction on a deterministic simulated cluster.
+
+USAGE:
+    comb list                              list the paper's data figures
+    comb info                              show the simulated platform presets
+    comb figure <id>... [options]          regenerate figures (e.g. fig08, 11)
+    comb all [options]                     regenerate all 14 data figures
+    comb report [--paper] [--out <file>]   full run + markdown evaluation record
+    comb sweep <polling|pww> [options]     run a raw sweep and print a table
+    comb netperf [--transport T] [--size N] compare COMB vs netperf methodology
+    comb latency [--transport T]           classic ping-pong latency table
+
+OPTIONS (figure/all):
+    --paper            paper-density sweeps (default: quick)
+    --out <dir>        write CSVs into <dir> (default: results/)
+    --no-csv           do not write CSVs
+    --plot <WxH>       ASCII plot size (default 72x20; 0x0 disables plots)
+    --checks           print every shape check (default: failures only)
+
+OPTIONS (sweep):
+    --transport <gm|portals|emp>   platform (default gm)
+    --size <bytes>                 message size (default 102400)
+    --queue <n>                    polling queue depth (default 4)
+    --batch <n>                    PWW batch size (default 1)
+    --cycles <n>                   PWW cycles per point (default 12)
+    --test-in-work                 PWW: insert one MPI_Test in the work phase
+    --range <lo:hi[:per_decade]>   x range in loop iterations
+";
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut it = args.into_iter();
+    match it.next().as_deref() {
+        Some("list") => cmd_list(),
+        Some("info") => cmd_info(),
+        Some("figure") => cmd_figures(it.collect(), false),
+        Some("all") => cmd_figures(it.collect(), true),
+        Some("report") => cmd_report(it.collect()),
+        Some("netperf") => cmd_netperf(it.collect()),
+        Some("latency") => cmd_latency(it.collect()),
+        Some("sweep") => cmd_sweep(it.collect()),
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".into()),
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("The paper's data figures (Figures 1-3 are method diagrams):\n");
+    for id in FigureId::ALL {
+        println!("  {id}  {}", id.title());
+        println!("         {}", id.description());
+    }
+    Ok(())
+}
+
+fn cmd_info() -> Result<(), String> {
+    for t in [Transport::Gm, Transport::Portals, Transport::Emp] {
+        let cfg = t.config();
+        println!("platform {} :", cfg.name);
+        println!(
+            "  cpu: {} MHz, {} cycles per benchmark loop iteration",
+            cfg.cpu.freq_hz / 1_000_000,
+            cfg.cpu.cycles_per_iter
+        );
+        println!(
+            "  link: mtu {} B, one-way latency {}",
+            cfg.link.mtu, cfg.link.latency
+        );
+        println!(
+            "  nic: {} | tx {}/pkt @ {} MB/s | rx {}/pkt @ {} MB/s",
+            cfg.nic.kind,
+            cfg.nic.tx_per_packet,
+            cfg.nic.tx_bandwidth / 1_000_000,
+            cfg.nic.rx_per_packet,
+            cfg.nic.rx_bandwidth / 1_000_000
+        );
+        println!(
+            "  mpi: progress={:?} eager<{} B | isend {} (eager) / {} (rndv) | irecv {}",
+            cfg.mpi.progress,
+            cfg.mpi.eager_threshold,
+            cfg.mpi.isend_eager,
+            cfg.mpi.isend_rndv,
+            cfg.mpi.irecv
+        );
+        println!();
+    }
+    Ok(())
+}
+
+struct FigureOpts {
+    ids: Vec<FigureId>,
+    fidelity: Fidelity,
+    out: Option<PathBuf>,
+    plot: (usize, usize),
+    show_checks: bool,
+}
+
+fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String> {
+    let mut opts = FigureOpts {
+        ids: if all { FigureId::ALL.to_vec() } else { vec![] },
+        fidelity: Fidelity::quick(),
+        out: Some(PathBuf::from("results")),
+        plot: (72, 20),
+        show_checks: false,
+    };
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" => opts.fidelity = Fidelity::paper(),
+            "--quick" => opts.fidelity = Fidelity::quick(),
+            "--out" => {
+                opts.out = Some(PathBuf::from(
+                    it.next().ok_or("--out needs a directory")?,
+                ))
+            }
+            "--no-csv" => opts.out = None,
+            "--checks" => opts.show_checks = true,
+            "--plot" => {
+                let spec = it.next().ok_or("--plot needs WxH")?;
+                let (w, h) = spec
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad --plot '{spec}', expected WxH"))?;
+                opts.plot = (
+                    w.parse().map_err(|_| "bad plot width")?,
+                    h.parse().map_err(|_| "bad plot height")?,
+                );
+            }
+            other if !all => {
+                opts.ids.push(other.parse::<FigureId>()?);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if opts.ids.is_empty() {
+        return Err("no figure ids given (try `comb list`)".into());
+    }
+    Ok(opts)
+}
+
+fn cmd_figures(args: Vec<String>, all: bool) -> Result<(), String> {
+    let opts = parse_figure_opts(args, all)?;
+    let started = std::time::Instant::now();
+    let reports = run_figures(&opts.ids, opts.fidelity, opts.out.as_deref())
+        .map_err(|e| format!("benchmark failed: {e}"))?;
+    let mut failed = 0usize;
+    for r in &reports {
+        println!("================================================================");
+        println!("{}", r.summary());
+        println!("  {}", r.id.description());
+        if opts.plot.0 > 0 && opts.plot.1 > 0 {
+            println!();
+            println!("{}", r.plot(opts.plot.0, opts.plot.1));
+        }
+        for c in &r.checks {
+            if !c.pass {
+                failed += 1;
+            }
+            if opts.show_checks || !c.pass {
+                println!(
+                    "  [{}] {} — {}",
+                    if c.pass { "PASS" } else { "FAIL" },
+                    c.name,
+                    c.detail
+                );
+            }
+        }
+        if let Some(p) = &r.csv_path {
+            println!("  csv: {}", p.display());
+        }
+    }
+    println!("================================================================");
+    let total: usize = reports.iter().map(|r| r.checks.len()).sum();
+    println!(
+        "{} figures, {}/{} shape checks passed, {:.1}s",
+        reports.len(),
+        total - failed,
+        total,
+        started.elapsed().as_secs_f64()
+    );
+    if failed > 0 {
+        Err(format!("{failed} shape checks failed"))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_report(args: Vec<String>) -> Result<(), String> {
+    let mut fidelity = Fidelity::quick();
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" => fidelity = Fidelity::paper(),
+            "--quick" => fidelity = Fidelity::quick(),
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a file")?)),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let reports = comb_report::run_all(fidelity, Some(std::path::Path::new("results")))
+        .map_err(|e| format!("benchmark failed: {e}"))?;
+    let md = comb_report::markdown_report(&reports);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &md).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("wrote {}", path.display());
+        }
+        None => print!("{md}"),
+    }
+    let failed: usize = reports
+        .iter()
+        .map(|r| r.checks.iter().filter(|c| !c.pass).count())
+        .sum();
+    if failed > 0 {
+        Err(format!("{failed} shape checks failed"))
+    } else {
+        Ok(())
+    }
+}
+
+fn parse_transport(s: &str) -> Result<Transport, String> {
+    match s.to_lowercase().as_str() {
+        "gm" => Ok(Transport::Gm),
+        "portals" => Ok(Transport::Portals),
+        "emp" => Ok(Transport::Emp),
+        other => Err(format!("unknown transport '{other}'")),
+    }
+}
+
+fn cmd_netperf(args: Vec<String>) -> Result<(), String> {
+    let mut transport = Transport::Gm;
+    let mut size: u64 = 100 * 1024;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--transport" => {
+                transport = parse_transport(&it.next().ok_or("--transport needs a value")?)?
+            }
+            "--size" => {
+                size = it
+                    .next()
+                    .ok_or("--size needs bytes")?
+                    .parse()
+                    .map_err(|_| "bad size")?
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let cfg = comb_core::MethodConfig::new(transport, size);
+    let busy = comb_core::run_netperf_point(&cfg, 4_000_000, true).map_err(|e| e.to_string())?;
+    let sleepy = comb_core::run_netperf_point(&cfg, 4_000_000, false).map_err(|e| e.to_string())?;
+    let comb = polling_sweep(&cfg, &[10_000]).map_err(|e| e.to_string())?;
+    println!("methodology comparison on {} ({} B messages):", cfg.transport.name(), size);
+    println!(
+        "  netperf, busy-wait driver : availability {:.3} at {:>6.1} MB/s",
+        busy.availability, busy.bandwidth_mbs
+    );
+    println!(
+        "  netperf, select driver    : availability {:.3} at {:>6.1} MB/s",
+        sleepy.availability, sleepy.bandwidth_mbs
+    );
+    println!(
+        "  COMB polling method       : availability {:.3} at {:>6.1} MB/s",
+        comb[0].availability, comb[0].bandwidth_mbs
+    );
+    Ok(())
+}
+
+fn cmd_latency(args: Vec<String>) -> Result<(), String> {
+    let mut transport = Transport::Gm;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--transport" => {
+                transport = parse_transport(&it.next().ok_or("--transport needs a value")?)?
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let cfg = comb_core::MethodConfig::new(transport, 0);
+    let sizes = [0u64, 1024, 4096, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024];
+    let rows = comb_core::run_pingpong(&cfg, &sizes, 50).map_err(|e| e.to_string())?;
+    println!("ping-pong on {} (50 round trips per size):", cfg.transport.name());
+    println!("{:>10} {:>14} {:>12}", "bytes", "half-RTT", "bandwidth");
+    for r in rows {
+        println!(
+            "{:>10} {:>14} {:>9.1} MB/s",
+            r.msg_bytes,
+            r.half_rtt.to_string(),
+            r.bandwidth_mbs
+        );
+    }
+    println!();
+    println!("(COMB exists because this table alone cannot tell you whether the");
+    println!(" platform overlaps communication with computation — run `comb all`.)");
+    Ok(())
+}
+
+fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
+    let mut it = args.into_iter();
+    let method = it.next().ok_or("sweep needs a method: polling|pww")?;
+    let mut transport = Transport::Gm;
+    let mut size: u64 = 100 * 1024;
+    let mut queue: usize = 4;
+    let mut batch: usize = 1;
+    let mut cycles: u64 = 12;
+    let mut test_in_work = false;
+    let mut range = (1_000u64, 100_000_000u64, 2u32);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--transport" => transport = parse_transport(&it.next().ok_or("--transport needs a value")?)?,
+            "--size" => size = it.next().ok_or("--size needs bytes")?.parse().map_err(|_| "bad size")?,
+            "--queue" => queue = it.next().ok_or("--queue needs n")?.parse().map_err(|_| "bad queue")?,
+            "--batch" => batch = it.next().ok_or("--batch needs n")?.parse().map_err(|_| "bad batch")?,
+            "--cycles" => cycles = it.next().ok_or("--cycles needs n")?.parse().map_err(|_| "bad cycles")?,
+            "--test-in-work" => test_in_work = true,
+            "--range" => {
+                let spec = it.next().ok_or("--range needs lo:hi[:per_decade]")?;
+                let parts: Vec<&str> = spec.split(':').collect();
+                if parts.len() < 2 || parts.len() > 3 {
+                    return Err(format!("bad --range '{spec}'"));
+                }
+                range.0 = parts[0].parse().map_err(|_| "bad range lo")?;
+                range.1 = parts[1].parse().map_err(|_| "bad range hi")?;
+                if let Some(pd) = parts.get(2) {
+                    range.2 = pd.parse().map_err(|_| "bad range per_decade")?;
+                }
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let mut cfg = MethodConfig::new(transport, size);
+    cfg.queue_depth = queue;
+    cfg.batch = batch;
+    cfg.cycles = cycles;
+    let xs = log_spaced(range.0, range.1, range.2);
+    match method.as_str() {
+        "polling" => {
+            println!(
+                "{:>12} {:>12} {:>10} {:>8} {:>12} {:>12}",
+                "poll_iters", "bw_MB/s", "avail", "msgs", "elapsed", "stolen"
+            );
+            let samples = polling_sweep(&cfg, &xs).map_err(|e| e.to_string())?;
+            for s in samples {
+                println!(
+                    "{:>12} {:>12.2} {:>10.4} {:>8} {:>12} {:>12}",
+                    s.poll_interval,
+                    s.bandwidth_mbs,
+                    s.availability,
+                    s.messages_received,
+                    s.elapsed.to_string(),
+                    s.stolen.to_string()
+                );
+            }
+        }
+        "pww" => {
+            println!(
+                "{:>12} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                "work_iters", "bw_MB/s", "avail", "post/msg", "wait/msg", "work+MH", "work_only"
+            );
+            let samples = pww_sweep(&cfg, &xs, test_in_work).map_err(|e| e.to_string())?;
+            for s in samples {
+                println!(
+                    "{:>12} {:>10.2} {:>8.4} {:>12} {:>12} {:>12} {:>12}",
+                    s.work_interval,
+                    s.bandwidth_mbs,
+                    s.availability,
+                    s.post_per_msg.to_string(),
+                    s.wait_per_msg.to_string(),
+                    s.work_with_mh.to_string(),
+                    s.work_only.to_string()
+                );
+            }
+        }
+        other => return Err(format!("unknown sweep method '{other}'")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_opts_defaults_and_flags() {
+        let opts = parse_figure_opts(
+            vec!["fig08".into(), "--paper".into(), "--no-csv".into()],
+            false,
+        )
+        .unwrap();
+        assert_eq!(opts.ids, vec![FigureId::Fig08]);
+        assert_eq!(opts.fidelity, Fidelity::paper());
+        assert!(opts.out.is_none());
+        assert!(!opts.show_checks);
+    }
+
+    #[test]
+    fn all_mode_rejects_positional_ids_but_takes_flags() {
+        assert!(parse_figure_opts(vec!["fig08".into()], true).is_err());
+        let opts = parse_figure_opts(vec!["--plot".into(), "100x30".into()], true).unwrap();
+        assert_eq!(opts.ids.len(), 14);
+        assert_eq!(opts.plot, (100, 30));
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(parse_figure_opts(vec!["fig03".into()], false).is_err());
+        assert!(parse_figure_opts(vec![], false).is_err());
+        assert!(parse_figure_opts(vec!["--plot".into(), "banana".into()], true).is_err());
+        assert!(parse_transport("quadrics").is_err());
+        assert!(parse_transport("GM").is_ok());
+    }
+
+    #[test]
+    fn unknown_commands_error() {
+        assert!(run(vec!["frobnicate".into()]).is_err());
+        assert!(run(vec![]).is_err());
+        assert!(run(vec!["list".into()]).is_ok());
+        assert!(run(vec!["info".into()]).is_ok());
+    }
+}

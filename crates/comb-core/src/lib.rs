@@ -1,0 +1,44 @@
+//! # comb-core — the COMB benchmark suite
+//!
+//! The paper's primary contribution: two methods that characterize a
+//! platform's ability to overlap MPI communication with computation.
+//!
+//! * [`run_polling_point`] — the **Polling method** (Section 2.1): the
+//!   worker interleaves calibrated work with non-blocking completion tests
+//!   on a queue of in-flight messages; reports bandwidth and CPU
+//!   availability as functions of the poll interval.
+//! * [`run_pww_point`] — the **Post-Work-Wait method** (Section 2.2): post a
+//!   batch, compute with no MPI calls, wait; the per-phase durations detect
+//!   *application offload* and locate communication bottlenecks. The
+//!   `test_in_work` flag gives the Section 4.3 modified variant.
+//!
+//! ```
+//! use comb_core::{MethodConfig, Transport, run_polling_point, run_pww_point};
+//!
+//! let mut cfg = MethodConfig::new(Transport::Portals, 100 * 1024);
+//! cfg.target_iters = 2_000_000; // keep the doctest quick
+//! let poll = run_polling_point(&cfg, 10_000).unwrap();
+//! assert!(poll.bandwidth_mbs > 0.0);
+//!
+//! cfg.cycles = 4;
+//! let pww = run_pww_point(&cfg, 1_000_000, false).unwrap();
+//! assert!(pww.wait_per_msg < pww.work_with_mh); // offload: work absorbs messaging
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod metrics;
+pub mod netperf;
+pub mod polling;
+pub mod pww;
+pub mod runner;
+pub mod sweep;
+
+pub use latency::{run_pingpong, LatencySample};
+pub use metrics::{availability, bandwidth_mbs, PollingSample, PwwSample};
+pub use netperf::{run_netperf_point, NetperfSample};
+pub use polling::{PollingParams, DATA_TAG, STOP_TAG};
+pub use pww::{InterleavedParams, PwwParams};
+pub use runner::{polling_sweep, pww_sweep, run_polling_point, run_pww_interleaved, run_pww_point, RunError};
+pub use sweep::{lin_spaced, log_spaced, ConfigSummary, MethodConfig, Transport, PAPER_SIZES};

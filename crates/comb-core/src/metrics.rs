@@ -1,0 +1,113 @@
+//! Result records produced by the two COMB methods.
+
+use comb_sim::stats::DurationHistogram;
+use comb_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Compute CPU availability exactly as the paper defines it:
+/// `time(work without messaging) / time(work plus MPI calls while messaging)`.
+pub fn availability(work_only: SimDuration, with_messaging: SimDuration) -> f64 {
+    if with_messaging.is_zero() {
+        return 1.0;
+    }
+    (work_only.as_nanos() as f64 / with_messaging.as_nanos() as f64).clamp(0.0, 1.0)
+}
+
+/// Bandwidth in MB/s (10^6 bytes per second, as the paper plots).
+pub fn bandwidth_mbs(bytes: u64, elapsed: SimDuration) -> f64 {
+    if elapsed.is_zero() {
+        return 0.0;
+    }
+    bytes as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+/// One point of the Polling method (paper Figures 4, 5, 8, 14, 15).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PollingSample {
+    /// Poll interval in loop iterations (the x-axis).
+    pub poll_interval: u64,
+    /// Message payload size in bytes.
+    pub msg_bytes: u64,
+    /// Total loop iterations executed in the measured phase.
+    pub total_iters: u64,
+    /// Poll intervals spent priming the pipeline before measurement.
+    pub warmup_polls: u64,
+    /// Time the same work takes with no messaging (dry-run phase).
+    pub work_only: SimDuration,
+    /// Wall time of the measured phase (work + MPI calls + stolen cycles).
+    pub elapsed: SimDuration,
+    /// CPU availability (paper definition).
+    pub availability: f64,
+    /// Worker-side receive bandwidth in MB/s.
+    pub bandwidth_mbs: f64,
+    /// Messages received by the worker during the measured phase.
+    pub messages_received: u64,
+    /// Host time stolen from the worker by interrupts.
+    pub stolen: SimDuration,
+}
+
+/// One point of the Post-Work-Wait method (paper Figures 6, 7, 9–13, 16,
+/// 17). All per-phase durations are means over the cycles of the point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PwwSample {
+    /// Work interval in loop iterations (the x-axis).
+    pub work_interval: u64,
+    /// Message payload size in bytes.
+    pub msg_bytes: u64,
+    /// Post-work-wait cycles averaged.
+    pub cycles: u64,
+    /// Messages per direction per cycle.
+    pub batch: u64,
+    /// Whether one `MPI_Test` was inserted early in the work phase
+    /// (the paper's Section 4.3 modification).
+    pub test_in_work: bool,
+    /// Mean duration of the non-blocking post phase, per cycle.
+    pub post_phase: SimDuration,
+    /// Mean post time per message (Fig 10's y-axis).
+    pub post_per_msg: SimDuration,
+    /// Mean duration of the work phase while messaging (Fig 12/13's
+    /// "Work with MH").
+    pub work_with_mh: SimDuration,
+    /// Duration of the same work with no messaging (Fig 12/13's
+    /// "Work Only").
+    pub work_only: SimDuration,
+    /// Mean duration of the wait phase, per cycle.
+    pub wait_phase: SimDuration,
+    /// Mean wait time per message (Fig 11's y-axis).
+    pub wait_per_msg: SimDuration,
+    /// CPU availability (paper definition: work-only over the full
+    /// post+work+wait time).
+    pub availability: f64,
+    /// Worker-side receive bandwidth in MB/s.
+    pub bandwidth_mbs: f64,
+    /// Host time stolen from the worker by interrupts during the measured
+    /// phase.
+    pub stolen: SimDuration,
+    /// Distribution of per-cycle wait-phase durations (log buckets) — the
+    /// diagnostic the paper derives from per-phase timings.
+    pub wait_histogram: DurationHistogram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_matches_definition() {
+        let w = SimDuration::from_millis(10);
+        let e = SimDuration::from_millis(40);
+        assert_eq!(availability(w, e), 0.25);
+        assert_eq!(availability(w, w), 1.0);
+        assert_eq!(availability(SimDuration::ZERO, e), 0.0);
+        // Clamped: measured can never exceed 1 even with rounding artifacts.
+        assert_eq!(availability(e, w), 1.0);
+        assert_eq!(availability(w, SimDuration::ZERO), 1.0);
+    }
+
+    #[test]
+    fn bandwidth_units_are_mb_per_s() {
+        assert_eq!(bandwidth_mbs(90_000_000, SimDuration::from_secs(1)), 90.0);
+        assert_eq!(bandwidth_mbs(45_000, SimDuration::from_millis(1)), 45.0);
+        assert_eq!(bandwidth_mbs(1, SimDuration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Orchestration: build a two-node cluster, run one benchmark point on it,
+//! collect the sample.
+//!
+//! Every point runs in a fresh simulation (fresh cluster, fresh MPI world),
+//! exactly as the paper restarts the benchmark per configuration; points are
+//! therefore independent and individually deterministic.
+
+use crate::metrics::{PollingSample, PwwSample};
+use crate::polling::{self, PollingParams};
+use crate::pww::{self, InterleavedParams, PwwParams};
+use crate::sweep::MethodConfig;
+use comb_hw::{Cluster, NodeId};
+use comb_mpi::{MpiWorld, Rank};
+use comb_sim::{SimError, Simulation};
+use std::fmt;
+
+/// Errors from running a benchmark point.
+#[derive(Debug)]
+pub enum RunError {
+    /// The underlying simulation failed (deadlock, panic, event limit).
+    Sim(SimError),
+    /// The worker finished without producing a sample (a harness bug).
+    NoResult,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulation error: {e}"),
+            RunError::NoResult => write!(f, "worker produced no sample"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// Run one polling-method point at the given poll interval (in loop
+/// iterations).
+pub fn run_polling_point(cfg: &MethodConfig, poll_interval: u64) -> Result<PollingSample, RunError> {
+    let params = PollingParams {
+        msg_bytes: cfg.msg_bytes,
+        queue_depth: cfg.queue_depth,
+        poll_interval: poll_interval.max(1),
+        intervals: cfg.intervals_for(poll_interval),
+    };
+    let hw = cfg.transport.config();
+    let mut sim = Simulation::new();
+    let cluster = Cluster::build(&sim.handle(), &hw, 2);
+    let world = MpiWorld::attach(&sim.handle(), &cluster);
+    let probe = sim.probe::<PollingSample>();
+
+    let (m0, cpu0, p0, pr) = (
+        world.proc(Rank(0)),
+        cluster.node(NodeId(0)).cpu.clone(),
+        params,
+        probe.clone(),
+    );
+    sim.spawn("worker", move |ctx| {
+        pr.set(polling::worker(ctx, &m0, &cpu0, &p0));
+    });
+    let (m1, p1) = (world.proc(Rank(1)), params);
+    sim.spawn("support", move |ctx| {
+        polling::support(ctx, &m1, &p1);
+    });
+
+    sim.run()?;
+    probe.take().ok_or(RunError::NoResult)
+}
+
+/// Run one PWW-method point at the given work interval (in loop
+/// iterations). `test_in_work` selects the paper's Section 4.3 modified
+/// variant with one `MPI_Test` inside the work phase.
+pub fn run_pww_point(
+    cfg: &MethodConfig,
+    work_interval: u64,
+    test_in_work: bool,
+) -> Result<PwwSample, RunError> {
+    let params = PwwParams {
+        msg_bytes: cfg.msg_bytes,
+        batch: cfg.batch,
+        cycles: cfg.cycles,
+        work_interval: work_interval.max(1),
+        test_in_work,
+    };
+    let hw = cfg.transport.config();
+    let mut sim = Simulation::new();
+    let cluster = Cluster::build(&sim.handle(), &hw, 2);
+    let world = MpiWorld::attach(&sim.handle(), &cluster);
+    let probe = sim.probe::<PwwSample>();
+
+    let (m0, cpu0, p0, pr) = (
+        world.proc(Rank(0)),
+        cluster.node(NodeId(0)).cpu.clone(),
+        params,
+        probe.clone(),
+    );
+    sim.spawn("worker", move |ctx| {
+        pr.set(pww::worker(ctx, &m0, &cpu0, &p0));
+    });
+    let (m1, p1) = (world.proc(Rank(1)), params);
+    sim.spawn("support", move |ctx| {
+        pww::support(ctx, &m1, &p1);
+    });
+
+    sim.run()?;
+    probe.take().ok_or(RunError::NoResult)
+}
+
+/// Run one *interleaved* PWW point (paper Section 4.3's historical
+/// variant) with `interleave` batches kept in flight.
+pub fn run_pww_interleaved(
+    cfg: &MethodConfig,
+    work_interval: u64,
+    interleave: usize,
+) -> Result<PwwSample, RunError> {
+    let params = InterleavedParams {
+        base: PwwParams {
+            msg_bytes: cfg.msg_bytes,
+            batch: cfg.batch,
+            cycles: cfg.cycles,
+            work_interval: work_interval.max(1),
+            test_in_work: false,
+        },
+        interleave,
+    };
+    let hw = cfg.transport.config();
+    let mut sim = Simulation::new();
+    let cluster = Cluster::build(&sim.handle(), &hw, 2);
+    let world = MpiWorld::attach(&sim.handle(), &cluster);
+    let probe = sim.probe::<PwwSample>();
+
+    let (m0, cpu0, p0, pr) = (
+        world.proc(Rank(0)),
+        cluster.node(NodeId(0)).cpu.clone(),
+        params,
+        probe.clone(),
+    );
+    sim.spawn("worker", move |ctx| {
+        pr.set(pww::worker_interleaved(ctx, &m0, &cpu0, &p0));
+    });
+    let (m1, p1) = (world.proc(Rank(1)), params);
+    sim.spawn("support", move |ctx| {
+        pww::support_interleaved(ctx, &m1, &p1);
+    });
+
+    sim.run()?;
+    probe.take().ok_or(RunError::NoResult)
+}
+
+/// Run a polling sweep over the given poll intervals.
+pub fn polling_sweep(cfg: &MethodConfig, intervals: &[u64]) -> Result<Vec<PollingSample>, RunError> {
+    intervals
+        .iter()
+        .map(|&p| run_polling_point(cfg, p))
+        .collect()
+}
+
+/// Run a PWW sweep over the given work intervals.
+pub fn pww_sweep(
+    cfg: &MethodConfig,
+    intervals: &[u64],
+    test_in_work: bool,
+) -> Result<Vec<PwwSample>, RunError> {
+    intervals
+        .iter()
+        .map(|&w| run_pww_point(cfg, w, test_in_work))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::Transport;
+
+    #[test]
+    fn points_are_deterministic_across_runs() {
+        let mut cfg = MethodConfig::new(Transport::Portals, 50 * 1024);
+        cfg.target_iters = 500_000;
+        cfg.max_intervals = 500;
+        let a = run_polling_point(&cfg, 20_000).unwrap();
+        let b = run_polling_point(&cfg, 20_000).unwrap();
+        assert_eq!(a, b);
+        let c = run_pww_point(&cfg, 200_000, false).unwrap();
+        let d = run_pww_point(&cfg, 200_000, false).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn sweep_preserves_point_order_and_length() {
+        let mut cfg = MethodConfig::new(Transport::Gm, 10 * 1024);
+        cfg.target_iters = 200_000;
+        cfg.max_intervals = 300;
+        cfg.cycles = 3;
+        let intervals = [1_000u64, 10_000, 100_000];
+        let ps = polling_sweep(&cfg, &intervals).unwrap();
+        assert_eq!(ps.len(), 3);
+        for (s, &i) in ps.iter().zip(&intervals) {
+            assert_eq!(s.poll_interval, i);
+        }
+        let ws = pww_sweep(&cfg, &intervals, false).unwrap();
+        assert_eq!(ws.len(), 3);
+    }
+}

@@ -1,0 +1,419 @@
+//! Host CPU model.
+//!
+//! The CPU executes application work (the benchmark's calibrated loop) and
+//! MPI library overheads in virtual time. Interrupt service routines raised
+//! by the kernel NIC *steal* cycles: any computation in progress is extended
+//! by the ISR cost, exactly the effect the paper measures in Figure 12
+//! ("work with message handling" vs "work only").
+//!
+//! Implementation: a computation installs a cancelable completion event at
+//! `now + duration`. Each steal cancels the event, pushes the deadline back
+//! by the stolen time and re-arms it — O(1) per interrupt.
+
+use crate::config::CpuConfig;
+use comb_sim::{EventId, ProcCtx, SimDuration, SimHandle, SimTime, Signal};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Result of one [`Cpu::compute`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeSample {
+    /// Wall (virtual) time the computation took, including stolen time.
+    pub wall: SimDuration,
+    /// Time stolen by interrupts during this computation.
+    pub stolen: SimDuration,
+}
+
+/// Cumulative CPU counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Total time stolen by interrupts since construction.
+    pub stolen_total: SimDuration,
+    /// Number of steal events serviced.
+    pub steal_events: u64,
+    /// Total time spent in `compute` (wall, including stolen).
+    pub compute_wall: SimDuration,
+}
+
+struct Computing {
+    completion: EventId,
+    deadline: SimTime,
+    signal: Signal,
+    stolen: SimDuration,
+}
+
+struct CpuInner {
+    computing: Option<Computing>,
+    stats: CpuStats,
+}
+
+/// A simulated host CPU. Cloneable handle; all clones share state.
+///
+/// A handle is either *foreground* (the default: runs the measured
+/// application computation; at most one such computation at a time) or
+/// *background* (see [`Cpu::background`]): background work models a second
+/// process time-shared onto the same CPU — its compute time passes in
+/// parallel on the virtual timeline **and** is stolen from any foreground
+/// computation, exactly like an equal-priority preemption.
+#[derive(Clone)]
+pub struct Cpu {
+    cfg: CpuConfig,
+    handle: SimHandle,
+    background: bool,
+    inner: Arc<Mutex<CpuInner>>,
+}
+
+impl Cpu {
+    /// Create a CPU bound to a simulation.
+    pub fn new(handle: &SimHandle, cfg: CpuConfig) -> Cpu {
+        Cpu {
+            cfg,
+            handle: handle.clone(),
+            background: false,
+            inner: Arc::new(Mutex::new(CpuInner {
+                computing: None,
+                stats: CpuStats::default(),
+            })),
+        }
+    }
+
+    /// A background handle onto the same CPU: its `compute` calls steal
+    /// from the foreground computation instead of asserting exclusivity.
+    /// Used to model a second process (e.g. netperf's communication
+    /// driver) time-shared onto the node.
+    pub fn background(&self) -> Cpu {
+        Cpu {
+            background: true,
+            ..self.clone()
+        }
+    }
+
+    /// True if this handle charges work as background preemption.
+    pub fn is_background(&self) -> bool {
+        self.background
+    }
+
+    /// The CPU's configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Virtual time for `iters` calibrated loop iterations, with no
+    /// interference.
+    pub fn iters_to_duration(&self, iters: u64) -> SimDuration {
+        self.cfg.iters_to_duration(iters)
+    }
+
+    /// Execute `iters` loop iterations on behalf of the calling process.
+    /// Blocks (in virtual time) for the base duration plus any time stolen
+    /// by interrupts that fire meanwhile.
+    pub fn compute_iters(&self, ctx: &ProcCtx, iters: u64) -> ComputeSample {
+        self.compute(ctx, self.iters_to_duration(iters))
+    }
+
+    /// Execute a fixed duration of host work (used for MPI call overheads),
+    /// extendable by interrupts like any other computation.
+    pub fn compute(&self, ctx: &ProcCtx, d: SimDuration) -> ComputeSample {
+        let start = self.handle.now();
+        if d.is_zero() {
+            return ComputeSample {
+                wall: SimDuration::ZERO,
+                stolen: SimDuration::ZERO,
+            };
+        }
+        if self.background {
+            // Fair time-sharing: while a foreground computation is active,
+            // the two processes round-robin — `d` of background work takes
+            // 2d of wall time and costs the foreground d (the other half).
+            // On an otherwise idle CPU the background just runs.
+            let contended = self.inner.lock().computing.is_some();
+            if contended {
+                self.steal(d);
+                ctx.hold(d * 2);
+                return ComputeSample {
+                    wall: d * 2,
+                    stolen: d,
+                };
+            }
+            ctx.hold(d);
+            return ComputeSample {
+                wall: d,
+                stolen: SimDuration::ZERO,
+            };
+        }
+        let signal = Signal::new(&self.handle);
+        {
+            let mut inner = self.inner.lock();
+            assert!(
+                inner.computing.is_none(),
+                "Cpu::compute is not reentrant: one computation per CPU at a time"
+            );
+            let deadline = start + d;
+            let completion = arm_completion(&self.handle, &self.inner, deadline, &signal);
+            inner.computing = Some(Computing {
+                completion,
+                deadline,
+                signal: signal.clone(),
+                stolen: SimDuration::ZERO,
+            });
+        }
+        signal.wait(ctx);
+        let wall = self.handle.now().since(start);
+        let stolen = wall.saturating_sub(d);
+        self.inner.lock().stats.compute_wall += wall;
+        ComputeSample { wall, stolen }
+    }
+
+    /// Steal `d` of CPU time for an interrupt service routine: extends any
+    /// computation in progress and accumulates the steal counters.
+    pub fn steal(&self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.stats.stolen_total += d;
+        inner.stats.steal_events += 1;
+        if let Some(c) = inner.computing.as_mut() {
+            self.handle.cancel(c.completion);
+            c.deadline += d;
+            c.stolen += d;
+            let deadline = c.deadline;
+            let signal = c.signal.clone();
+            c.completion = arm_completion(&self.handle, &self.inner, deadline, &signal);
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CpuStats {
+        self.inner.lock().stats
+    }
+
+    /// True if a computation is currently in progress.
+    pub fn is_computing(&self) -> bool {
+        self.inner.lock().computing.is_some()
+    }
+}
+
+/// Schedule the completion event for the computation at `deadline`.
+///
+/// The closure re-checks that it is still the current completion (a steal
+/// may race it in the same lock epoch) by comparing deadlines; since steals
+/// cancel the event first, firing means we are current.
+fn arm_completion(
+    handle: &SimHandle,
+    inner: &Arc<Mutex<CpuInner>>,
+    deadline: SimTime,
+    signal: &Signal,
+) -> EventId {
+    let inner = Arc::clone(inner);
+    let signal = signal.clone();
+    handle.schedule_at(deadline, move || {
+        let mut guard = inner.lock();
+        debug_assert!(
+            guard.computing.is_some(),
+            "completion fired with no computation in progress"
+        );
+        guard.computing = None;
+        drop(guard);
+        signal.fire();
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comb_sim::Simulation;
+
+    fn cpu_cfg() -> CpuConfig {
+        CpuConfig::default() // 4 ns per iteration
+    }
+
+    #[test]
+    fn compute_without_interrupts_takes_base_time() {
+        let mut sim = Simulation::new();
+        let cpu = Cpu::new(&sim.handle(), cpu_cfg());
+        let probe = sim.probe::<ComputeSample>();
+        let (c, p) = (cpu.clone(), probe.clone());
+        sim.spawn("w", move |ctx| {
+            p.set(c.compute_iters(ctx, 1_000));
+        });
+        sim.run().unwrap();
+        let s = probe.get().unwrap();
+        assert_eq!(s.wall, SimDuration::from_micros(4));
+        assert_eq!(s.stolen, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn interrupts_extend_computation_and_are_accounted() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let cpu = Cpu::new(&h, cpu_cfg());
+        let probe = sim.probe::<ComputeSample>();
+        let (c, p) = (cpu.clone(), probe.clone());
+        sim.spawn("w", move |ctx| {
+            p.set(c.compute(ctx, SimDuration::from_micros(100)));
+        });
+        // Two ISRs of 10 us while the compute runs.
+        for at_us in [20, 50] {
+            let c = cpu.clone();
+            h.schedule_in(SimDuration::from_micros(at_us), move || {
+                c.steal(SimDuration::from_micros(10));
+            });
+        }
+        sim.run().unwrap();
+        let s = probe.get().unwrap();
+        assert_eq!(s.wall, SimDuration::from_micros(120));
+        assert_eq!(s.stolen, SimDuration::from_micros(20));
+        let stats = cpu.stats();
+        assert_eq!(stats.steal_events, 2);
+        assert_eq!(stats.stolen_total, SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn steal_outside_compute_only_counts_stats() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let cpu = Cpu::new(&h, cpu_cfg());
+        let c = cpu.clone();
+        h.schedule_in(SimDuration::from_micros(1), move || {
+            c.steal(SimDuration::from_micros(7));
+        });
+        sim.run().unwrap();
+        assert_eq!(cpu.stats().stolen_total, SimDuration::from_micros(7));
+        assert!(!cpu.is_computing());
+    }
+
+    #[test]
+    fn interrupt_exactly_at_deadline_does_not_extend() {
+        // The completion event is scheduled before the steal event at the
+        // same instant, so the computation ends first.
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let cpu = Cpu::new(&h, cpu_cfg());
+        let probe = sim.probe::<ComputeSample>();
+        let (c, p) = (cpu.clone(), probe.clone());
+        sim.spawn("w", move |ctx| {
+            ctx.hold(SimDuration::from_nanos(1)); // let the steal be scheduled later
+            p.set(c.compute(ctx, SimDuration::from_micros(10)));
+        });
+        sim.run().unwrap();
+        assert_eq!(probe.get().unwrap().wall, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn back_to_back_computes_accumulate_wall_time() {
+        let mut sim = Simulation::new();
+        let cpu = Cpu::new(&sim.handle(), cpu_cfg());
+        let (c, probe) = (cpu.clone(), sim.probe::<u64>());
+        let p = probe.clone();
+        sim.spawn("w", move |ctx| {
+            for _ in 0..5 {
+                c.compute_iters(ctx, 250); // 1 us each
+            }
+            p.set(ctx.now().as_nanos());
+        });
+        sim.run().unwrap();
+        assert_eq!(probe.get(), Some(5_000));
+        assert_eq!(cpu.stats().compute_wall, SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn zero_duration_compute_is_free() {
+        let mut sim = Simulation::new();
+        let cpu = Cpu::new(&sim.handle(), cpu_cfg());
+        let c = cpu.clone();
+        sim.spawn("w", move |ctx| {
+            let s = c.compute(ctx, SimDuration::ZERO);
+            assert_eq!(s.wall, SimDuration::ZERO);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn many_interrupts_extend_by_their_sum() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let cpu = Cpu::new(&h, cpu_cfg());
+        let probe = sim.probe::<ComputeSample>();
+        let (c, p) = (cpu.clone(), probe.clone());
+        sim.spawn("w", move |ctx| {
+            p.set(c.compute(ctx, SimDuration::from_millis(1)));
+        });
+        // 20 ISRs of 3 us, every 40 us: all land within the (extended)
+        // computation window.
+        for i in 0..20u64 {
+            let c = cpu.clone();
+            h.schedule_in(SimDuration::from_micros(40 * (i + 1)), move || {
+                c.steal(SimDuration::from_micros(3));
+            });
+        }
+        sim.run().unwrap();
+        let s = probe.get().unwrap();
+        assert_eq!(s.stolen, SimDuration::from_micros(60));
+        assert_eq!(s.wall, SimDuration::from_micros(1060));
+    }
+}
+
+#[cfg(test)]
+mod background_tests {
+    use super::*;
+    use comb_sim::Simulation;
+
+    #[test]
+    fn background_compute_preempts_foreground() {
+        let mut sim = Simulation::new();
+        let cpu = Cpu::new(&sim.handle(), CpuConfig::default());
+        let bg = cpu.background();
+        assert!(bg.is_background());
+        assert!(!cpu.is_background());
+        let fg_probe = sim.probe::<ComputeSample>();
+        let p = fg_probe.clone();
+        let c = cpu.clone();
+        sim.spawn("fg", move |ctx| {
+            p.set(c.compute(ctx, SimDuration::from_millis(10)));
+        });
+        sim.spawn("bg", move |ctx| {
+            ctx.hold(SimDuration::from_millis(1));
+            // 3 ms of background work inside the foreground's window:
+            // under fair sharing it takes 6 ms of wall time and costs the
+            // foreground 3 ms.
+            let s = bg.compute(ctx, SimDuration::from_millis(3));
+            assert_eq!(s.wall, SimDuration::from_millis(6));
+            assert_eq!(s.stolen, SimDuration::from_millis(3));
+        });
+        sim.run().unwrap();
+        let fg = fg_probe.get().unwrap();
+        assert_eq!(fg.stolen, SimDuration::from_millis(3));
+        assert_eq!(fg.wall, SimDuration::from_millis(13));
+    }
+
+    #[test]
+    fn background_without_foreground_just_passes_time() {
+        let mut sim = Simulation::new();
+        let cpu = Cpu::new(&sim.handle(), CpuConfig::default());
+        let bg = cpu.background();
+        sim.spawn("bg", move |ctx| {
+            bg.compute(ctx, SimDuration::from_millis(2));
+            assert_eq!(ctx.now().as_nanos(), 2_000_000);
+        });
+        sim.run().unwrap();
+        // An uncontended background run steals nothing.
+        assert_eq!(cpu.stats().stolen_total, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn two_background_handles_can_overlap() {
+        // Background handles don't assert exclusivity (the model is
+        // fair-share preemption of the foreground, not a full scheduler).
+        let mut sim = Simulation::new();
+        let cpu = Cpu::new(&sim.handle(), CpuConfig::default());
+        let (b1, b2) = (cpu.background(), cpu.background());
+        sim.spawn("b1", move |ctx| {
+            b1.compute(ctx, SimDuration::from_millis(1));
+        });
+        sim.spawn("b2", move |ctx| {
+            b2.compute(ctx, SimDuration::from_millis(1));
+        });
+        sim.run().unwrap();
+    }
+}

@@ -1,0 +1,156 @@
+//! FIFO service stations.
+//!
+//! Every rate-limited resource along a packet's path — the send DMA engine,
+//! the receive DMA engine, the kernel's interrupt service chain — is modelled
+//! as a FIFO *station*: packets are served one at a time, each occupying the
+//! station for `per_packet + bytes / bandwidth`. A station is O(1) per
+//! packet: it only tracks the time until which it is busy.
+
+use comb_sim::{SimDuration, SimTime};
+
+/// Cumulative station counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StationStats {
+    /// Packets served.
+    pub packets: u64,
+    /// Payload bytes served.
+    pub bytes: u64,
+    /// Total service time accumulated.
+    pub busy: SimDuration,
+}
+
+/// A FIFO rate-limited server.
+#[derive(Debug, Clone)]
+pub struct Station {
+    per_packet: SimDuration,
+    bytes_per_sec: u64,
+    busy_until: SimTime,
+    stats: StationStats,
+}
+
+impl Station {
+    /// A station with the given fixed per-packet cost and byte rate.
+    pub fn new(per_packet: SimDuration, bytes_per_sec: u64) -> Station {
+        assert!(bytes_per_sec > 0, "station bandwidth must be positive");
+        Station {
+            per_packet,
+            bytes_per_sec,
+            busy_until: SimTime::ZERO,
+            stats: StationStats::default(),
+        }
+    }
+
+    /// Service time for a packet of `bytes`, ignoring queueing.
+    pub fn service_time(&self, bytes: u64) -> SimDuration {
+        self.per_packet + SimDuration::for_bytes(bytes, self.bytes_per_sec)
+    }
+
+    /// Enqueue a packet arriving at `now`; returns `(start, end)` of its
+    /// service interval. FIFO: service begins when the previous packet
+    /// finishes.
+    pub fn enqueue(&mut self, now: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        let start = self.busy_until.max(now);
+        let svc = self.service_time(bytes);
+        let end = start + svc;
+        self.busy_until = end;
+        self.stats.packets += 1;
+        self.stats.bytes += bytes;
+        self.stats.busy += svc;
+        (start, end)
+    }
+
+    /// Enqueue with an extra one-off cost added to this packet's service
+    /// time (e.g. per-message matching added to a first packet's ISR).
+    pub fn enqueue_with_extra(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        extra: SimDuration,
+    ) -> (SimTime, SimTime) {
+        let start = self.busy_until.max(now);
+        let svc = self.service_time(bytes) + extra;
+        let end = start + svc;
+        self.busy_until = end;
+        self.stats.packets += 1;
+        self.stats.bytes += bytes;
+        self.stats.busy += svc;
+        (start, end)
+    }
+
+    /// Time until which the station is busy.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> StationStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn idle_station_serves_immediately() {
+        let mut s = Station::new(SimDuration::from_nanos(100), 1_000_000_000);
+        let (start, end) = s.enqueue(t(50), 1000); // 1000B @ 1GB/s = 1000ns
+        assert_eq!(start, t(50));
+        assert_eq!(end, t(50 + 100 + 1000));
+    }
+
+    #[test]
+    fn busy_station_queues_fifo() {
+        let mut s = Station::new(SimDuration::from_nanos(100), 1_000_000_000);
+        let (_, e1) = s.enqueue(t(0), 1000);
+        let (s2, e2) = s.enqueue(t(0), 1000);
+        assert_eq!(s2, e1, "second packet starts when the first ends");
+        assert_eq!(e2, t(2200));
+        // An arrival after the queue drains starts immediately.
+        let (s3, _) = s.enqueue(t(10_000), 0);
+        assert_eq!(s3, t(10_000));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Station::new(SimDuration::from_nanos(10), 1_000_000_000);
+        s.enqueue(t(0), 500);
+        s.enqueue(t(0), 300);
+        let st = s.stats();
+        assert_eq!(st.packets, 2);
+        assert_eq!(st.bytes, 800);
+        assert_eq!(st.busy, SimDuration::from_nanos(820));
+    }
+
+    #[test]
+    fn extra_cost_applies_once() {
+        let mut s = Station::new(SimDuration::from_nanos(10), 1_000_000_000);
+        let (_, end) = s.enqueue_with_extra(t(0), 100, SimDuration::from_nanos(40));
+        assert_eq!(end, t(150));
+    }
+
+    proptest! {
+        #[test]
+        fn service_intervals_never_overlap(
+            arrivals in proptest::collection::vec((0u64..1_000_000, 0u64..100_000), 1..50)
+        ) {
+            let mut s = Station::new(SimDuration::from_nanos(50), 100_000_000);
+            let mut sorted = arrivals.clone();
+            sorted.sort();
+            let mut prev_end = SimTime::ZERO;
+            for (at, bytes) in sorted {
+                let (start, end) = s.enqueue(t(at), bytes);
+                prop_assert!(start >= prev_end, "FIFO service intervals must not overlap");
+                prop_assert!(start >= t(at), "service cannot start before arrival");
+                prop_assert_eq!(end.since(start), s.service_time(bytes));
+                prev_end = end;
+            }
+        }
+    }
+}

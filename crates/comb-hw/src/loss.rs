@@ -1,0 +1,158 @@
+//! Link-loss / reliability-sublayer model.
+//!
+//! Myrinet links are nearly lossless, but both stacks the paper studies run
+//! a reliability sublayer (GM's firmware; the Portals kernel module's
+//! "reliability and flow control"). This model makes that sublayer's cost
+//! visible: each packet is independently lost with probability `loss_rate`
+//! (deterministic, seeded), and every loss is recovered *at the sender* —
+//! the packet occupies its injection station again after a recovery timeout.
+//! Modelling recovery as sender-side delay keeps packet order intact, which
+//! the message-assembly and matching layers rely on.
+
+use comb_sim::SimDuration;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-NIC loss state. Deterministic: the sequence of loss decisions is a
+/// pure function of `(seed, salt)`.
+pub struct LossModel {
+    loss_rate: f64,
+    recovery: SimDuration,
+    max_retries: u32,
+    rng: Option<SmallRng>,
+    stats: LossStats,
+}
+
+/// Cumulative loss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LossStats {
+    /// Packets that required at least one retransmission.
+    pub lost_packets: u64,
+    /// Total retransmission attempts.
+    pub retransmissions: u64,
+}
+
+impl LossModel {
+    /// A model losing each packet with probability `loss_rate`, recovering
+    /// after `recovery` per attempt. `salt` decorrelates NICs sharing a
+    /// seed. A rate of zero costs nothing per packet.
+    pub fn new(loss_rate: f64, recovery: SimDuration, seed: u64, salt: u64) -> LossModel {
+        assert!(
+            (0.0..1.0).contains(&loss_rate),
+            "loss rate must be in [0, 1)"
+        );
+        LossModel {
+            loss_rate,
+            recovery,
+            max_retries: 32,
+            rng: if loss_rate > 0.0 {
+                Some(SmallRng::seed_from_u64(seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15)))
+            } else {
+                None
+            },
+            stats: LossStats::default(),
+        }
+    }
+
+    /// A lossless model.
+    pub fn lossless() -> LossModel {
+        LossModel::new(0.0, SimDuration::ZERO, 0, 0)
+    }
+
+    /// Extra sender-side delay for the next packet, given that one
+    /// transmission attempt costs `service`: zero if the first attempt
+    /// succeeds, otherwise `retries × (service + recovery)`.
+    pub fn packet_penalty(&mut self, service: SimDuration) -> SimDuration {
+        let Some(rng) = self.rng.as_mut() else {
+            return SimDuration::ZERO;
+        };
+        let mut retries: u32 = 0;
+        while retries < self.max_retries && rng.gen::<f64>() < self.loss_rate {
+            retries += 1;
+        }
+        if retries == 0 {
+            return SimDuration::ZERO;
+        }
+        self.stats.lost_packets += 1;
+        self.stats.retransmissions += retries as u64;
+        (service + self.recovery) * retries as u64
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> LossStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_model_is_free() {
+        let mut m = LossModel::lossless();
+        for _ in 0..1000 {
+            assert_eq!(
+                m.packet_penalty(SimDuration::from_micros(10)),
+                SimDuration::ZERO
+            );
+        }
+        assert_eq!(m.stats(), LossStats::default());
+    }
+
+    #[test]
+    fn losses_are_deterministic_given_seed() {
+        let run = |seed| {
+            let mut m = LossModel::new(0.05, SimDuration::from_micros(100), seed, 1);
+            (0..2000)
+                .map(|_| m.packet_penalty(SimDuration::from_micros(10)).as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds must differ");
+    }
+
+    #[test]
+    fn loss_rate_matches_statistics() {
+        let mut m = LossModel::new(0.1, SimDuration::from_micros(50), 7, 0);
+        let n = 20_000;
+        for _ in 0..n {
+            m.packet_penalty(SimDuration::from_micros(10));
+        }
+        let observed = m.stats().lost_packets as f64 / n as f64;
+        assert!(
+            (0.08..0.12).contains(&observed),
+            "observed loss {observed}, expected ~0.1"
+        );
+        // Retransmissions >= losses (geometric tail).
+        assert!(m.stats().retransmissions >= m.stats().lost_packets);
+    }
+
+    #[test]
+    fn penalty_scales_with_retry_count() {
+        // With an extreme loss rate every packet retries at least once and
+        // the penalty is a positive multiple of (service + recovery).
+        let mut m = LossModel::new(0.999, SimDuration::from_micros(100), 3, 0);
+        let service = SimDuration::from_micros(10);
+        let p = m.packet_penalty(service);
+        assert!(!p.is_zero());
+        assert_eq!(p.as_nanos() % (service + SimDuration::from_micros(100)).as_nanos(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn rate_of_one_is_rejected() {
+        let _ = LossModel::new(1.0, SimDuration::ZERO, 0, 0);
+    }
+
+    #[test]
+    fn salts_decorrelate_nics() {
+        let seq = |salt| {
+            let mut m = LossModel::new(0.2, SimDuration::from_micros(10), 99, salt);
+            (0..500)
+                .map(|_| m.packet_penalty(SimDuration::from_micros(1)).as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(seq(0), seq(1));
+    }
+}

@@ -1,0 +1,313 @@
+//! Portals-like kernel NIC (interrupt-driven, no OS-bypass).
+//!
+//! Transmit: the kernel send path runs on the host CPU — each packet steals
+//! `tx_host_per_packet` from the application — then packets serialize
+//! through the injection station.
+//!
+//! Receive: every packet raises an interrupt. The ISR costs
+//! `rx_per_packet + bytes / rx_bandwidth` (fixed overhead plus the
+//! kernel-to-user copy), all stolen from the host CPU, and ISRs serialize on
+//! the [`InterruptController`]. Matching happens *in the kernel* at ISR time
+//! (`rx_match_cost` on a message's first packet), so completed messages are
+//! pushed straight to the library: this transport has full **application
+//! offload** — communication progresses with no MPI calls — which is exactly
+//! what the paper's PWW method detects for Portals (Fig 11).
+
+use crate::config::{NicConfig, NicKind};
+use crate::cpu::Cpu;
+use crate::interrupt::InterruptController;
+use crate::link::Station;
+use crate::loss::LossModel;
+use crate::nic::{Nic, NicStats, NodeId, Packet, RxHandler, TxDone, WireMsg};
+use crate::packet::packet_sizes;
+use crate::switch::Fabric;
+use comb_sim::SimHandle;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+struct KernelInner {
+    tx: Station,
+    loss: LossModel,
+    isr: InterruptController,
+    handler: Option<RxHandler>,
+    stats: NicStats,
+}
+
+/// See the module docs.
+pub struct KernelNic {
+    id: NodeId,
+    handle: SimHandle,
+    cfg: NicConfig,
+    mtu: u64,
+    fabric: Arc<Fabric>,
+    cpu: Cpu,
+    inner: Arc<Mutex<KernelInner>>,
+}
+
+impl KernelNic {
+    /// Build and attach a kernel NIC to `fabric`, stealing host time from
+    /// `cpu`.
+    pub fn attach(
+        handle: &SimHandle,
+        cfg: &NicConfig,
+        fabric: &Arc<Fabric>,
+        cpu: &Cpu,
+    ) -> Arc<dyn Nic> {
+        assert_eq!(cfg.kind, NicKind::Kernel, "config is not a kernel NIC");
+        let mtu = fabric.link_config().mtu;
+        let nic = Arc::new(KernelNic {
+            id: NodeId(fabric.port_count()),
+            handle: handle.clone(),
+            cfg: cfg.clone(),
+            mtu,
+            fabric: Arc::clone(fabric),
+            cpu: cpu.clone(),
+            inner: Arc::new(Mutex::new(KernelInner {
+                tx: Station::new(cfg.tx_per_packet, cfg.tx_bandwidth),
+                loss: LossModel::new(
+                    fabric.link_config().loss_rate,
+                    fabric.link_config().loss_recovery,
+                    fabric.link_config().loss_seed,
+                    fabric.port_count() as u64,
+                ),
+                isr: InterruptController::new(cpu.clone()),
+                handler: None,
+                stats: NicStats::default(),
+            })),
+        });
+        let dyn_nic: Arc<dyn Nic> = nic;
+        let assigned = fabric.attach(Arc::downgrade(&dyn_nic));
+        assert_eq!(assigned, dyn_nic.node_id(), "fabric port/node id mismatch");
+        dyn_nic
+    }
+}
+
+impl Nic for KernelNic {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn kind(&self) -> NicKind {
+        NicKind::Kernel
+    }
+
+    fn submit(&self, dst: NodeId, msg: WireMsg, on_tx_done: TxDone) {
+        let now = self.handle.now();
+        let sizes = packet_sizes(msg.bytes, self.mtu);
+        let n = sizes.len();
+        let mut inner = self.inner.lock();
+        inner.stats.msgs_tx += 1;
+        inner.stats.bytes_tx += msg.bytes;
+        inner.stats.packets_tx += n as u64;
+        let tx_host = self.cfg.tx_host_per_packet;
+        let expedited = msg.expedited;
+        if expedited {
+            assert!(n == 1, "expedited messages must fit one packet");
+        }
+        let mut msg = Some(msg);
+        for (i, bytes) in sizes.into_iter().enumerate() {
+            let last = i + 1 == n;
+            let service = inner.tx.service_time(bytes);
+            let penalty = inner.loss.packet_penalty(service);
+            let (start, end) = if expedited {
+                (now, now + service + penalty)
+            } else {
+                inner.tx.enqueue_with_extra(now, bytes, penalty)
+            };
+            if !tx_host.is_zero() {
+                // The kernel send path for this packet runs on the host.
+                inner.stats.host_stolen += tx_host;
+                let cpu = self.cpu.clone();
+                self.handle.schedule_at(start, move || cpu.steal(tx_host));
+            }
+            let pkt = Packet {
+                bytes,
+                expedited,
+                first: i == 0,
+                tail: if last { msg.take() } else { None },
+            };
+            self.fabric.transmit(self.id, dst, pkt, end);
+            if last {
+                self.handle.schedule_at(end, on_tx_done);
+                break;
+            }
+        }
+    }
+
+    fn set_rx_handler(&self, handler: RxHandler) {
+        self.inner.lock().handler = Some(handler);
+    }
+
+    fn set_ring_notify(&self, _notify: Arc<dyn Fn() + Send + Sync>) {
+        // No receive ring: the kernel pushes every completed message.
+    }
+
+    fn poll_ring(&self) -> Option<(NodeId, WireMsg)> {
+        // The kernel delivers everything by interrupt; nothing parks.
+        None
+    }
+
+    fn ring_len(&self) -> usize {
+        0
+    }
+
+    fn stats(&self) -> NicStats {
+        let inner = self.inner.lock();
+        let mut stats = inner.stats;
+        stats.interrupts = inner.isr.stats().interrupts;
+        stats.host_stolen = inner.stats.host_stolen + inner.isr.stats().total;
+        stats.lost_packets = inner.loss.stats().lost_packets;
+        stats.retransmissions = inner.loss.stats().retransmissions;
+        stats
+    }
+
+    fn deliver_packet(&self, src: NodeId, pkt: Packet) {
+        let now = self.handle.now();
+        let mut inner = self.inner.lock();
+        inner.stats.packets_rx += 1;
+        inner.stats.bytes_rx += pkt.bytes;
+        let mut cost =
+            self.cfg.rx_per_packet + comb_sim::SimDuration::for_bytes(pkt.bytes, self.cfg.rx_bandwidth);
+        if pkt.first {
+            // Kernel-side matching for the message happens in the first
+            // packet's ISR.
+            cost += self.cfg.rx_match_cost;
+        }
+        let done = inner.isr.raise(now, cost);
+        if let Some(msg) = pkt.tail {
+            inner.stats.msgs_rx += 1;
+            let handler = inner
+                .handler
+                .clone()
+                .expect("no rx handler installed on kernel NIC");
+            drop(inner);
+            self.handle.schedule_at(done, move || handler(src, msg));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CpuConfig, HwConfig, LinkConfig};
+    use crate::nic::DeliveryClass;
+    use comb_sim::{SimDuration, Simulation};
+
+    struct Rig {
+        a: Arc<dyn Nic>,
+        b: Arc<dyn Nic>,
+        cpu_b: Cpu,
+    }
+
+    fn setup(sim: &Simulation) -> Rig {
+        let cfg = HwConfig::portals_myrinet();
+        let h = sim.handle();
+        let fabric = Fabric::new(&h, LinkConfig::default());
+        let cpu_a = Cpu::new(&h, CpuConfig::default());
+        let cpu_b = Cpu::new(&h, CpuConfig::default());
+        let a = KernelNic::attach(&h, &cfg.nic, &fabric, &cpu_a);
+        let b = KernelNic::attach(&h, &cfg.nic, &fabric, &cpu_b);
+        Rig { a, b, cpu_b }
+    }
+
+    fn wire(bytes: u64) -> WireMsg {
+        WireMsg {
+            bytes,
+            class: DeliveryClass::Ring, // ignored by the kernel NIC
+            expedited: false,
+            payload: Box::new(bytes),
+        }
+    }
+
+    #[test]
+    fn every_packet_interrupts_and_steals() {
+        let mut sim = Simulation::new();
+        let rig = setup(&sim);
+        let probe = sim.probe::<u64>();
+        let p = probe.clone();
+        rig.b.set_rx_handler(Arc::new(move |_, msg| p.set(msg.bytes)));
+        let a = Arc::clone(&rig.a);
+        sim.handle().schedule_in(SimDuration::ZERO, move || {
+            a.submit(NodeId(1), wire(100_000), Box::new(|| {}));
+        });
+        sim.run().unwrap();
+        assert_eq!(probe.get(), Some(100_000));
+        let packets = 100_000u64.div_ceil(4096);
+        assert_eq!(rig.b.stats().interrupts, packets);
+        // All ISR time was stolen from node B's CPU.
+        let stolen = rig.cpu_b.stats().stolen_total;
+        assert!(
+            stolen > SimDuration::from_millis(1),
+            "100 KB must steal >1ms of ISR time, got {stolen}"
+        );
+        assert_eq!(rig.b.stats().host_stolen, stolen);
+    }
+
+    #[test]
+    fn delivery_rate_is_isr_bound() {
+        let mut sim = Simulation::new();
+        let rig = setup(&sim);
+        let probe = sim.probe::<u64>();
+        let (p, h) = (probe.clone(), sim.handle());
+        rig.b
+            .set_rx_handler(Arc::new(move |_, _| p.set(h.now().as_nanos())));
+        let a = Arc::clone(&rig.a);
+        sim.handle().schedule_in(SimDuration::ZERO, move || {
+            a.submit(NodeId(1), wire(1_000_000), Box::new(|| {}));
+        });
+        sim.run().unwrap();
+        let mbs = 1_000_000.0 / (probe.get().unwrap() as f64 / 1e9) / 1e6;
+        assert!((70.0..95.0).contains(&mbs), "kernel delivery rate {mbs} MB/s");
+    }
+
+    #[test]
+    fn messaging_progresses_while_cpu_computes_but_dilates_the_work() {
+        // The offload property (paper Fig 11/12): a transfer completes while
+        // the receiver's process is busy computing, and the computation is
+        // stretched by exactly the stolen ISR time.
+        let mut sim = Simulation::new();
+        let rig = setup(&sim);
+        let delivered = sim.probe::<u64>();
+        let (p, h) = (delivered.clone(), sim.handle());
+        rig.b
+            .set_rx_handler(Arc::new(move |_, _| p.set(h.now().as_nanos())));
+        let a = Arc::clone(&rig.a);
+        sim.handle().schedule_in(SimDuration::ZERO, move || {
+            a.submit(NodeId(1), wire(200_000), Box::new(|| {}));
+        });
+        let work = sim.probe::<crate::cpu::ComputeSample>();
+        let (cpu, w) = (rig.cpu_b.clone(), work.clone());
+        sim.spawn("receiver-compute", move |ctx| {
+            w.set(cpu.compute(ctx, SimDuration::from_millis(20)));
+        });
+        sim.run().unwrap();
+        let s = work.get().unwrap();
+        let delivered_at = delivered.get().expect("message must complete with no MPI calls");
+        assert!(
+            delivered_at < (SimDuration::from_millis(20) + s.stolen).as_nanos(),
+            "transfer must finish inside the work phase"
+        );
+        assert!(s.stolen > SimDuration::from_millis(2), "stolen = {}", s.stolen);
+        assert_eq!(s.wall, SimDuration::from_millis(20) + s.stolen);
+    }
+
+    #[test]
+    fn tx_path_steals_host_time_on_sender() {
+        let mut sim = Simulation::new();
+        let cfg = HwConfig::portals_myrinet();
+        let h = sim.handle();
+        let fabric = Fabric::new(&h, LinkConfig::default());
+        let cpu_a = Cpu::new(&h, CpuConfig::default());
+        let cpu_b = Cpu::new(&h, CpuConfig::default());
+        let a = KernelNic::attach(&h, &cfg.nic, &fabric, &cpu_a);
+        let b = KernelNic::attach(&h, &cfg.nic, &fabric, &cpu_b);
+        b.set_rx_handler(Arc::new(|_, _| {}));
+        let a2 = Arc::clone(&a);
+        h.schedule_in(SimDuration::ZERO, move || {
+            a2.submit(NodeId(1), wire(40_960), Box::new(|| {}));
+        });
+        sim.run().unwrap();
+        // 10 packets x 5us tx host cost.
+        assert_eq!(cpu_a.stats().stolen_total, SimDuration::from_micros(50));
+    }
+}

@@ -1,0 +1,153 @@
+//! Network interface models.
+//!
+//! The [`Nic`] trait is the boundary between the message-passing library and
+//! the simulated hardware. Two personalities implement it:
+//!
+//! * [`BypassNic`](bypass::BypassNic) — GM-like OS-bypass: user-level DMA,
+//!   zero host involvement per packet, received messages parked in a ring
+//!   the library drains during MPI calls (pull), except `Direct`-class
+//!   messages (matched rendezvous data) which land straight in user memory.
+//! * [`KernelNic`](kernel::KernelNic) — Portals-like: every received packet
+//!   raises an interrupt, the ISR copies data to user space and performs
+//!   matching, and completed messages are *pushed* to the library with no
+//!   library call required (application offload).
+
+pub mod bypass;
+pub mod kernel;
+
+use crate::config::NicKind;
+use comb_sim::SimDuration;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Identifies a node (and its NIC) within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// How a fully received message reaches the library on a bypass NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryClass {
+    /// Parked in the NIC receive ring until the library polls (eager data
+    /// and protocol control messages on library-progress transports).
+    Ring,
+    /// Delivered immediately on arrival with no host cost (DMA into a
+    /// pre-matched user buffer: rendezvous payload).
+    Direct,
+}
+
+/// A message travelling the wire. The payload is opaque to the hardware —
+/// the MPI layer stores its protocol structures in it.
+pub struct WireMsg {
+    /// Payload size in bytes (drives transfer timing).
+    pub bytes: u64,
+    /// Delivery semantics on a bypass NIC (ignored by the kernel NIC,
+    /// which always pushes after ISR processing).
+    pub class: DeliveryClass,
+    /// Expedited messages (single-packet protocol control: RTS/CTS) are
+    /// interleaved between bulk packets instead of queueing behind them —
+    /// they skip the FIFO stations and only pay their own service time.
+    pub expedited: bool,
+    /// Opaque protocol payload.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for WireMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireMsg")
+            .field("bytes", &self.bytes)
+            .field("class", &self.class)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One packet in flight. Only the last packet of a message carries the
+/// message body; earlier packets exist purely for timing (and interrupts).
+pub struct Packet {
+    /// Payload bytes in this packet.
+    pub bytes: u64,
+    /// True for expedited (control) packets; they bypass station queues.
+    pub expedited: bool,
+    /// True for the first packet of a message (kernel NICs charge
+    /// per-message matching on it).
+    pub first: bool,
+    /// The message, present on the final packet only.
+    pub tail: Option<WireMsg>,
+}
+
+/// Upcall invoked when a NIC delivers a complete message to the library.
+pub type RxHandler = Arc<dyn Fn(NodeId, WireMsg) + Send + Sync>;
+
+/// One-shot callback fired at local transmit completion (last byte left the
+/// NIC). MPI send requests complete locally on this.
+pub type TxDone = Box<dyn FnOnce() + Send>;
+
+/// Cumulative NIC counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Messages submitted for transmission.
+    pub msgs_tx: u64,
+    /// Messages fully received and delivered (or parked in the ring).
+    pub msgs_rx: u64,
+    /// Packets transmitted.
+    pub packets_tx: u64,
+    /// Packets received.
+    pub packets_rx: u64,
+    /// Payload bytes transmitted.
+    pub bytes_tx: u64,
+    /// Payload bytes received.
+    pub bytes_rx: u64,
+    /// Interrupts raised (kernel NIC only).
+    pub interrupts: u64,
+    /// Host CPU time stolen by this NIC (kernel NIC only).
+    pub host_stolen: SimDuration,
+    /// Packets that needed link-level retransmission.
+    pub lost_packets: u64,
+    /// Total retransmission attempts.
+    pub retransmissions: u64,
+}
+
+/// A simulated network interface.
+pub trait Nic: Send + Sync {
+    /// The node this NIC belongs to.
+    fn node_id(&self) -> NodeId;
+
+    /// Transport personality.
+    fn kind(&self) -> NicKind;
+
+    /// Submit a message for transmission. `on_tx_done` fires at local
+    /// completion. Must be called from simulation context (process or
+    /// event); timing starts at the current virtual time.
+    fn submit(&self, dst: NodeId, msg: WireMsg, on_tx_done: TxDone);
+
+    /// Install the delivery upcall. Must be called once, before traffic.
+    fn set_rx_handler(&self, handler: RxHandler);
+
+    /// Install a hook invoked whenever a message is parked in the receive
+    /// ring. The library uses it to wake blocked waiters so they re-enter
+    /// progress at the arrival instant (a real implementation busy-waits and
+    /// observes the ring at spin granularity; waking exactly at arrival is
+    /// the deterministic equivalent). No host time is charged by the hook
+    /// itself. Kernel NICs, which have no ring, never invoke it.
+    fn set_ring_notify(&self, notify: Arc<dyn Fn() + Send + Sync>);
+
+    /// Pull one parked message from the receive ring, if any. Only the
+    /// bypass NIC ever returns messages here.
+    fn poll_ring(&self) -> Option<(NodeId, WireMsg)>;
+
+    /// Number of messages parked in the receive ring.
+    fn ring_len(&self) -> usize;
+
+    /// Cumulative counters.
+    fn stats(&self) -> NicStats;
+
+    /// Hardware-side packet ingress; called by the fabric. Not for library
+    /// use.
+    #[doc(hidden)]
+    fn deliver_packet(&self, src: NodeId, pkt: Packet);
+}

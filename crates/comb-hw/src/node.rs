@@ -1,0 +1,160 @@
+//! Node and cluster composition.
+
+use crate::config::{HwConfig, NicKind};
+use crate::cpu::Cpu;
+use crate::nic::{bypass::BypassNic, kernel::KernelNic, Nic, NodeId};
+use crate::switch::Fabric;
+use comb_sim::trace::Tracer;
+use comb_sim::SimHandle;
+use std::sync::Arc;
+
+/// One compute node: one or more host CPUs plus a NIC on the fabric.
+pub struct Node {
+    /// The node's port on the fabric.
+    pub id: NodeId,
+    /// CPU 0 — where the application process (and the MPI library it
+    /// calls) runs.
+    pub cpu: Cpu,
+    /// Additional processors (SMP nodes); empty on uniprocessor nodes.
+    /// With `SmpConfig::isr_on_spare_cpu`, NIC interrupts land on the last
+    /// of these instead of on `cpu`.
+    pub extra_cpus: Vec<Cpu>,
+    /// Network interface.
+    pub nic: Arc<dyn Nic>,
+}
+
+impl Node {
+    /// The CPU that services this node's NIC interrupts.
+    pub fn isr_cpu(&self) -> &Cpu {
+        self.extra_cpus.last().unwrap_or(&self.cpu)
+    }
+}
+
+/// A small cluster: `n` identical nodes on one switch.
+pub struct Cluster {
+    /// The platform description this cluster was built from.
+    pub config: HwConfig,
+    /// The interconnect.
+    pub fabric: Arc<Fabric>,
+    /// The nodes, indexed by `NodeId.0`.
+    pub nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Build a cluster of `n` nodes described by `config` inside the
+    /// simulation behind `handle`.
+    pub fn build(handle: &SimHandle, config: &HwConfig, n: usize) -> Cluster {
+        Cluster::build_traced(handle, config, n, Tracer::new())
+    }
+
+    /// Like [`Cluster::build`] with a tracer receiving per-packet fabric
+    /// records (and available to higher layers via [`Cluster::tracer`]).
+    pub fn build_traced(handle: &SimHandle, config: &HwConfig, n: usize, tracer: Tracer) -> Cluster {
+        assert!(n >= 1, "a cluster needs at least one node");
+        assert!(config.smp.cpus_per_node >= 1, "a node needs at least one CPU");
+        let fabric = Fabric::new_traced(handle, config.link.clone(), tracer);
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let cpu = Cpu::new(handle, config.cpu.clone());
+            let extra_cpus: Vec<Cpu> = (1..config.smp.cpus_per_node)
+                .map(|_| Cpu::new(handle, config.cpu.clone()))
+                .collect();
+            let isr_cpu = if config.smp.isr_on_spare_cpu {
+                extra_cpus.last().unwrap_or(&cpu).clone()
+            } else {
+                cpu.clone()
+            };
+            let nic: Arc<dyn Nic> = match config.nic.kind {
+                NicKind::Bypass => BypassNic::attach(handle, &config.nic, &fabric),
+                NicKind::Kernel => KernelNic::attach(handle, &config.nic, &fabric, &isr_cpu),
+            };
+            assert_eq!(nic.node_id(), NodeId(i));
+            nodes.push(Node {
+                id: NodeId(i),
+                cpu,
+                extra_cpus,
+                nic,
+            });
+        }
+        Cluster {
+            config: config.clone(),
+            fabric,
+            nodes,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes (never true for built clusters).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// The tracer shared by the cluster's fabric (and the MPI layer, which
+    /// clones it at attach time).
+    pub fn tracer(&self) -> &Tracer {
+        self.fabric.tracer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comb_sim::Simulation;
+
+    #[test]
+    fn builds_matching_nic_kinds() {
+        let sim = Simulation::new();
+        let gm = Cluster::build(&sim.handle(), &HwConfig::gm_myrinet(), 2);
+        assert_eq!(gm.len(), 2);
+        assert_eq!(gm.node(NodeId(0)).nic.kind(), NicKind::Bypass);
+        let portals = Cluster::build(&sim.handle(), &HwConfig::portals_myrinet(), 2);
+        assert_eq!(portals.node(NodeId(1)).nic.kind(), NicKind::Kernel);
+        assert_eq!(portals.fabric.port_count(), 2);
+    }
+
+    #[test]
+    fn node_ids_are_sequential_ports() {
+        let sim = Simulation::new();
+        let c = Cluster::build(&sim.handle(), &HwConfig::gm_myrinet(), 4);
+        for (i, node) in c.nodes.iter().enumerate() {
+            assert_eq!(node.id, NodeId(i));
+            assert_eq!(node.nic.node_id(), NodeId(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod smp_tests {
+    use super::*;
+    use comb_sim::Simulation;
+
+    #[test]
+    fn smp_nodes_get_extra_cpus_and_isr_steering() {
+        let sim = Simulation::new();
+        let cfg = HwConfig::portals_myrinet_smp();
+        assert_eq!(cfg.smp.cpus_per_node, 2);
+        let c = Cluster::build(&sim.handle(), &cfg, 2);
+        let node = c.node(NodeId(0));
+        assert_eq!(node.extra_cpus.len(), 1);
+        // The ISR CPU is the spare, not the application CPU.
+        assert!(!std::ptr::eq(node.isr_cpu() as *const _, &node.cpu as *const _));
+    }
+
+    #[test]
+    fn uniprocessor_isr_cpu_is_the_application_cpu() {
+        let sim = Simulation::new();
+        let c = Cluster::build(&sim.handle(), &HwConfig::portals_myrinet(), 2);
+        let node = c.node(NodeId(0));
+        assert!(node.extra_cpus.is_empty());
+        assert!(std::ptr::eq(node.isr_cpu() as *const _, &node.cpu as *const _));
+    }
+}

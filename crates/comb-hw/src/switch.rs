@@ -1,0 +1,93 @@
+//! The switch fabric: routes packets between NICs with a fixed one-way
+//! latency (wire propagation + store-and-forward switch delay).
+//!
+//! Port contention is modelled at the endpoints: the sender's injection
+//! station and the receiver's delivery station/ISR chain serialize packets,
+//! which for a crossbar switch (the paper's 8-port Myrinet SAN/LAN switch)
+//! is where the queueing actually happens.
+
+use crate::config::LinkConfig;
+use crate::nic::{Nic, NodeId, Packet};
+use comb_sim::trace::Tracer;
+use comb_sim::{SimHandle, SimTime};
+use parking_lot::Mutex;
+use std::sync::{Arc, Weak};
+
+/// The cluster interconnect.
+pub struct Fabric {
+    handle: SimHandle,
+    link: LinkConfig,
+    ports: Mutex<Vec<Weak<dyn Nic>>>,
+    tracer: Tracer,
+}
+
+impl Fabric {
+    /// A fabric with the given link parameters and a disabled tracer.
+    pub fn new(handle: &SimHandle, link: LinkConfig) -> Arc<Fabric> {
+        Fabric::new_traced(handle, link, Tracer::new())
+    }
+
+    /// A fabric emitting per-packet trace records to `tracer` (when it is
+    /// enabled).
+    pub fn new_traced(handle: &SimHandle, link: LinkConfig, tracer: Tracer) -> Arc<Fabric> {
+        Arc::new(Fabric {
+            handle: handle.clone(),
+            link,
+            ports: Mutex::new(Vec::new()),
+            tracer,
+        })
+    }
+
+    /// The fabric's tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Link parameters.
+    pub fn link_config(&self) -> &LinkConfig {
+        &self.link
+    }
+
+    /// Number of attached ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.lock().len()
+    }
+
+    /// Attach a NIC to the next free port. The NIC's `node_id` must equal
+    /// the returned port index (the cluster builder guarantees this).
+    pub fn attach(&self, nic: Weak<dyn Nic>) -> NodeId {
+        let mut ports = self.ports.lock();
+        let id = NodeId(ports.len());
+        ports.push(nic);
+        id
+    }
+
+    /// Put a packet on the wire at `departure` (when its last byte leaves
+    /// the source NIC); it reaches the destination NIC one link latency
+    /// later.
+    pub fn transmit(&self, src: NodeId, dst: NodeId, pkt: Packet, departure: SimTime) {
+        let nic = {
+            let ports = self.ports.lock();
+            ports
+                .get(dst.0)
+                .unwrap_or_else(|| panic!("no NIC attached at port {dst}"))
+                .clone()
+        };
+        let arrival = departure + self.link.latency;
+        self.tracer.emit(departure, "fabric", || {
+            format!(
+                "{src}->{dst} pkt {}B{}{} arrives {arrival}",
+                pkt.bytes,
+                if pkt.first { " [first]" } else { "" },
+                if pkt.tail.is_some() { " [last]" } else { "" },
+            )
+        });
+        self.handle.schedule_at(arrival, move || {
+            if let Some(nic) = nic.upgrade() {
+                nic.deliver_packet(src, pkt);
+            }
+            // A dropped NIC means the cluster is being torn down; the
+            // packet simply evaporates.
+        });
+    }
+}

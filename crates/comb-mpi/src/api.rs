@@ -1,0 +1,299 @@
+//! The per-process MPI API: the calls COMB's benchmark code makes.
+//!
+//! [`MpiProc`] wraps one rank's engine with blocking completion operations
+//! (`wait`, `waitall`, `waitany`), blocking `send`/`recv`, and a barrier.
+//! Blocking waits follow the platform's progress model: on library-progress
+//! transports each wake re-enters library progress (the deterministic
+//! equivalent of MPICH's busy-wait loop); on offload transports the wait
+//! simply parks until the transport completes the request.
+
+use crate::engine::{MpiEngine, MpiStats};
+use crate::request::RequestHandle;
+use crate::types::{Envelope, MpiError, Payload, Rank, RankSel, Status, Tag, TagSel};
+use comb_hw::Cluster;
+use comb_sim::{ProcCtx, SimHandle};
+
+/// Reserved tag used by [`MpiProc::barrier`].
+pub const BARRIER_TAG: Tag = Tag(u32::MAX);
+
+/// The MPI world: one process per cluster node.
+pub struct MpiWorld {
+    procs: Vec<MpiProc>,
+}
+
+impl MpiWorld {
+    /// Attach an MPI engine to every node of `cluster`. Rank *i* lives on
+    /// node *i*; the library cost model comes from the cluster's config.
+    pub fn attach(handle: &SimHandle, cluster: &Cluster) -> MpiWorld {
+        let size = cluster.len();
+        let procs = cluster
+            .nodes
+            .iter()
+            .map(|node| {
+                let engine = MpiEngine::new_traced(
+                    Rank(node.id.0),
+                    handle,
+                    &node.cpu,
+                    &node.nic,
+                    cluster.config.mpi.clone(),
+                    cluster.tracer().clone(),
+                );
+                MpiProc {
+                    engine,
+                    world_size: size,
+                }
+            })
+            .collect();
+        MpiWorld { procs }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The process handle for `rank`. Panics on an out-of-range rank.
+    pub fn proc(&self, rank: Rank) -> MpiProc {
+        self.procs[rank.0].clone()
+    }
+}
+
+/// One rank's MPI interface. Cloneable; clones share the engine.
+#[derive(Clone)]
+pub struct MpiProc {
+    engine: MpiEngine,
+    world_size: usize,
+}
+
+impl MpiProc {
+    /// Wrap an explicitly constructed engine (for harnesses that need a
+    /// non-default CPU handle, e.g. a background/time-shared one).
+    pub fn from_engine(engine: MpiEngine, world_size: usize) -> MpiProc {
+        MpiProc { engine, world_size }
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> Rank {
+        self.engine.rank()
+    }
+
+    /// Number of ranks in the world.
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    /// Cumulative counters for this rank.
+    pub fn stats(&self) -> MpiStats {
+        self.engine.stats()
+    }
+
+    /// Number of live (unreaped) requests.
+    pub fn live_requests(&self) -> usize {
+        self.engine.live_requests()
+    }
+
+    fn check_rank(&self, r: Rank) -> Result<(), MpiError> {
+        if r.0 < self.world_size {
+            Ok(())
+        } else {
+            Err(MpiError::InvalidRank(r))
+        }
+    }
+
+    /// Non-blocking send (`MPI_Isend`).
+    pub fn isend(&self, ctx: &ProcCtx, dst: Rank, tag: Tag, payload: Payload) -> RequestHandle {
+        self.check_rank(dst).expect("isend to invalid rank");
+        self.engine.isend(ctx, dst, tag, payload)
+    }
+
+    /// Non-blocking receive (`MPI_Irecv`).
+    pub fn irecv(
+        &self,
+        ctx: &ProcCtx,
+        src: impl Into<RankSel>,
+        tag: impl Into<TagSel>,
+    ) -> RequestHandle {
+        self.engine.irecv(ctx, src.into(), tag.into())
+    }
+
+    /// `MPI_Test`: poll one request, driving library progress as a side
+    /// effect (the effect the paper measures in Section 4.3). Consumes the
+    /// request and returns its status on success.
+    pub fn test(&self, ctx: &ProcCtx, req: RequestHandle) -> Option<Status> {
+        self.engine.test(ctx, req).map(|(st, _)| st)
+    }
+
+    /// `MPI_Testall`: one test-call charge, then true (consuming all) only
+    /// if every request has completed; statuses in input order.
+    pub fn testall(&self, ctx: &ProcCtx, reqs: &[RequestHandle]) -> Option<Vec<Status>> {
+        self.engine.charge_test(ctx);
+        self.engine.progress(ctx);
+        if reqs.iter().all(|&r| self.engine.is_complete(r)) {
+            Some(
+                reqs.iter()
+                    .map(|&r| {
+                        self.engine
+                            .try_consume(r)
+                            .expect("request vanished during testall")
+                            .0
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// `MPI_Testany`: one test-call charge; consumes and returns the first
+    /// completed request, if any.
+    pub fn testany(&self, ctx: &ProcCtx, reqs: &[RequestHandle]) -> Option<(usize, Status)> {
+        self.engine.charge_test(ctx);
+        self.engine.progress(ctx);
+        for (i, &r) in reqs.iter().enumerate() {
+            if self.engine.is_complete(r) {
+                let (st, _) = self
+                    .engine
+                    .try_consume(r)
+                    .expect("request vanished during testany");
+                return Some((i, st));
+            }
+        }
+        None
+    }
+
+    /// `MPI_Iprobe`: non-destructively check for a matching unexpected
+    /// message, driving library progress as a side effect.
+    pub fn iprobe(
+        &self,
+        ctx: &ProcCtx,
+        src: impl Into<RankSel>,
+        tag: impl Into<TagSel>,
+    ) -> Option<Envelope> {
+        self.engine.iprobe(ctx, src.into(), tag.into())
+    }
+
+    /// Like [`MpiProc::test`] but also returns a receive's payload.
+    pub fn test_with_payload(
+        &self,
+        ctx: &ProcCtx,
+        req: RequestHandle,
+    ) -> Option<(Status, Option<Payload>)> {
+        self.engine.test(ctx, req)
+    }
+
+    /// True if the request has completed (no charge, no consume; a
+    /// simulation-side query, not an MPI call).
+    pub fn is_complete(&self, req: RequestHandle) -> bool {
+        self.engine.is_complete(req)
+    }
+
+    /// Consume the request if it has completed, charging nothing — a
+    /// zero-cost reap for fire-and-forget sends whose completion the
+    /// benchmark does not time (keeps the request table from growing).
+    pub fn poll_complete(&self, req: RequestHandle) -> Option<Status> {
+        self.engine.try_consume(req).map(|(st, _)| st)
+    }
+
+    /// Explicitly drive library progress (equivalent to a no-op `MPI_Test`
+    /// without the completion check).
+    pub fn progress(&self, ctx: &ProcCtx) {
+        self.engine.progress(ctx);
+    }
+
+    /// `MPI_Wait`: block until the request completes; returns its status.
+    pub fn wait(&self, ctx: &ProcCtx, req: RequestHandle) -> Status {
+        self.wait_with_payload(ctx, req).0
+    }
+
+    /// `MPI_Wait` that also returns a receive's payload.
+    pub fn wait_with_payload(&self, ctx: &ProcCtx, req: RequestHandle) -> (Status, Option<Payload>) {
+        loop {
+            self.engine.progress(ctx);
+            if let Some(r) = self.engine.try_consume(req) {
+                return r;
+            }
+            self.engine.park_for_activity(ctx);
+        }
+    }
+
+    /// `MPI_Waitall`: block until every request completes. Statuses are
+    /// returned in the order the handles were passed.
+    pub fn waitall(&self, ctx: &ProcCtx, reqs: &[RequestHandle]) -> Vec<Status> {
+        loop {
+            self.engine.progress(ctx);
+            if reqs.iter().all(|&r| self.engine.is_complete(r)) {
+                return reqs
+                    .iter()
+                    .map(|&r| {
+                        self.engine
+                            .try_consume(r)
+                            .expect("request vanished during waitall")
+                            .0
+                    })
+                    .collect();
+            }
+            self.engine.park_for_activity(ctx);
+        }
+    }
+
+    /// `MPI_Waitany`: block until one of `reqs` completes; returns its index
+    /// and status (with payload). The completed handle is consumed; the
+    /// others remain live.
+    pub fn waitany(
+        &self,
+        ctx: &ProcCtx,
+        reqs: &[RequestHandle],
+    ) -> (usize, Status, Option<Payload>) {
+        assert!(!reqs.is_empty(), "waitany on an empty request list");
+        loop {
+            self.engine.progress(ctx);
+            for (i, &r) in reqs.iter().enumerate() {
+                if self.engine.is_complete(r) {
+                    let (st, payload) =
+                        self.engine.try_consume(r).expect("request vanished during waitany");
+                    return (i, st, payload);
+                }
+            }
+            self.engine.park_for_activity(ctx);
+        }
+    }
+
+    /// Blocking standard send.
+    pub fn send(&self, ctx: &ProcCtx, dst: Rank, tag: Tag, payload: Payload) -> Status {
+        let req = self.isend(ctx, dst, tag, payload);
+        self.wait(ctx, req)
+    }
+
+    /// Blocking receive; returns the status and payload.
+    pub fn recv(
+        &self,
+        ctx: &ProcCtx,
+        src: impl Into<RankSel>,
+        tag: impl Into<TagSel>,
+    ) -> (Status, Payload) {
+        let req = self.irecv(ctx, src, tag);
+        let (st, payload) = self.wait_with_payload(ctx, req);
+        (st, payload.expect("receive completed without payload"))
+    }
+
+    /// A linear barrier over all ranks (gather to rank 0, then release).
+    /// Adequate for the small worlds COMB uses.
+    pub fn barrier(&self, ctx: &ProcCtx) {
+        let n = self.world_size;
+        if n <= 1 {
+            return;
+        }
+        let me = self.rank();
+        if me == Rank(0) {
+            for r in 1..n {
+                let _ = self.recv(ctx, Rank(r), BARRIER_TAG);
+            }
+            for r in 1..n {
+                self.send(ctx, Rank(r), BARRIER_TAG, Payload::synthetic(0));
+            }
+        } else {
+            self.send(ctx, Rank(0), BARRIER_TAG, Payload::synthetic(0));
+            let _ = self.recv(ctx, Rank(0), BARRIER_TAG);
+        }
+    }
+}

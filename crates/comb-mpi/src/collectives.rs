@@ -1,0 +1,206 @@
+//! Collective operations over the world communicator.
+//!
+//! Linear (root-relayed) algorithms: COMB itself only needs a barrier, but
+//! applications built on this library (e.g. the halo-exchange example) use
+//! broadcast and reductions. Algorithms are deliberately simple — the point
+//! is a correct, timed substrate, not collective-algorithm research.
+
+use crate::api::MpiProc;
+use crate::types::{Payload, Rank, Tag};
+use bytes::Bytes;
+use comb_sim::ProcCtx;
+
+/// Encode a `u64` contribution as an 8-byte message payload.
+fn encode(v: u64) -> Payload {
+    Payload::Data(Bytes::copy_from_slice(&v.to_le_bytes()))
+}
+
+/// Decode an 8-byte contribution.
+fn decode(p: &Payload) -> u64 {
+    match p {
+        Payload::Data(b) => {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&b[..8]);
+            u64::from_le_bytes(buf)
+        }
+        Payload::Synthetic { .. } => panic!("collective payloads carry real bytes"),
+    }
+}
+
+/// Reserved tag range for collective plumbing.
+const BCAST_TAG: Tag = Tag(u32::MAX - 1);
+const REDUCE_TAG: Tag = Tag(u32::MAX - 2);
+const GATHER_TAG: Tag = Tag(u32::MAX - 3);
+
+/// Reduction operators over `u64` contributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of contributions.
+    Sum,
+    /// Minimum contribution.
+    Min,
+    /// Maximum contribution.
+    Max,
+}
+
+impl ReduceOp {
+    fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+impl MpiProc {
+    /// Broadcast a payload from `root` to every rank; returns the payload
+    /// (the root's own copy on the root).
+    pub fn bcast(&self, ctx: &ProcCtx, root: Rank, payload: Option<Payload>) -> Payload {
+        let n = self.world_size();
+        if self.rank() == root {
+            let payload = payload.expect("root must supply the broadcast payload");
+            for r in 0..n {
+                if Rank(r) != root {
+                    self.send(ctx, Rank(r), BCAST_TAG, payload.clone());
+                }
+            }
+            payload
+        } else {
+            assert!(payload.is_none(), "non-roots receive the payload");
+            let (_, p) = self.recv(ctx, root, BCAST_TAG);
+            p
+        }
+    }
+
+    /// Reduce each rank's `value` at `root` with `op`; returns the result
+    /// on the root, `None` elsewhere.
+    pub fn reduce(&self, ctx: &ProcCtx, root: Rank, op: ReduceOp, value: u64) -> Option<u64> {
+        let n = self.world_size();
+        if self.rank() == root {
+            let mut acc = value;
+            for _ in 0..n - 1 {
+                let (_, p) = self.recv(ctx, crate::types::RankSel::Any, REDUCE_TAG);
+                acc = op.apply(acc, decode(&p));
+            }
+            Some(acc)
+        } else {
+            self.send(ctx, root, REDUCE_TAG, encode(value));
+            None
+        }
+    }
+
+    /// Reduce-then-broadcast; every rank gets the result.
+    pub fn allreduce(&self, ctx: &ProcCtx, op: ReduceOp, value: u64) -> u64 {
+        let root = Rank(0);
+        let reduced = self.reduce(ctx, root, op, value);
+        let out = if self.rank() == root {
+            self.bcast(ctx, root, Some(encode(reduced.expect("root holds the reduction"))))
+        } else {
+            self.bcast(ctx, root, None)
+        };
+        decode(&out)
+    }
+
+    /// Gather each rank's `value` at `root`, returned in rank order on the
+    /// root, `None` elsewhere.
+    pub fn gather(&self, ctx: &ProcCtx, root: Rank, value: u64) -> Option<Vec<u64>> {
+        let n = self.world_size();
+        if self.rank() == root {
+            let mut out = vec![0u64; n];
+            out[root.0] = value;
+            for (r, slot) in out.iter_mut().enumerate() {
+                if Rank(r) != root {
+                    let (_, p) = self.recv(ctx, Rank(r), GATHER_TAG);
+                    *slot = decode(&p);
+                }
+            }
+            Some(out)
+        } else {
+            self.send(ctx, root, GATHER_TAG, encode(value));
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::MpiWorld;
+    use comb_hw::{Cluster, HwConfig};
+    use comb_sim::{Probe, Simulation};
+
+    /// Run `f` on every rank of an `n`-node GM cluster; collect returns.
+    fn run_world<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send + Clone + 'static,
+        F: Fn(&comb_sim::ProcCtx, MpiProc) -> T + Send + Sync + Clone + 'static,
+    {
+        let mut sim = Simulation::new();
+        let cluster = Cluster::build(&sim.handle(), &HwConfig::gm_myrinet(), n);
+        let world = MpiWorld::attach(&sim.handle(), &cluster);
+        let probes: Vec<Probe<T>> = (0..n).map(|_| Probe::new()).collect();
+        for (r, probe) in probes.iter().enumerate() {
+            let (m, p, f) = (world.proc(Rank(r)), probe.clone(), f.clone());
+            sim.spawn(&format!("rank{r}"), move |ctx| p.set(f(ctx, m)));
+        }
+        sim.run().expect("collective run");
+        probes.iter().map(|p| p.get().expect("rank result")).collect()
+    }
+
+    #[test]
+    fn bcast_reaches_every_rank() {
+        let got = run_world(4, |ctx, mpi| {
+            let payload = if mpi.rank() == Rank(1) {
+                Some(Payload::synthetic(12_345))
+            } else {
+                None
+            };
+            mpi.bcast(ctx, Rank(1), payload).len()
+        });
+        assert_eq!(got, vec![12_345; 4]);
+    }
+
+    #[test]
+    fn reduce_combines_all_contributions() {
+        let got = run_world(4, |ctx, mpi| {
+            mpi.reduce(ctx, Rank(0), ReduceOp::Sum, (mpi.rank().0 as u64 + 1) * 10)
+        });
+        assert_eq!(got[0], Some(10 + 20 + 30 + 40));
+        assert!(got[1..].iter().all(Option::is_none));
+        let maxes = run_world(3, |ctx, mpi| {
+            mpi.reduce(ctx, Rank(2), ReduceOp::Max, mpi.rank().0 as u64 * 7 + 1)
+        });
+        assert_eq!(maxes[2], Some(15));
+    }
+
+    #[test]
+    fn allreduce_agrees_everywhere() {
+        let got = run_world(5, |ctx, mpi| {
+            mpi.allreduce(ctx, ReduceOp::Min, 100 - mpi.rank().0 as u64)
+        });
+        assert_eq!(got, vec![96; 5]);
+    }
+
+    #[test]
+    fn gather_preserves_rank_order() {
+        let got = run_world(4, |ctx, mpi| {
+            mpi.gather(ctx, Rank(0), (mpi.rank().0 as u64 + 1) * 1000)
+        });
+        assert_eq!(got[0], Some(vec![1000, 2000, 3000, 4000]));
+    }
+
+    #[test]
+    fn barrier_works_across_many_ranks() {
+        let times = run_world(6, |ctx, mpi| {
+            if mpi.rank() == Rank(3) {
+                ctx.hold(comb_sim::SimDuration::from_millis(2));
+            }
+            mpi.barrier(ctx);
+            ctx.now().as_nanos()
+        });
+        for t in &times {
+            assert!(*t >= 2_000_000, "no rank may leave before the straggler");
+        }
+    }
+}

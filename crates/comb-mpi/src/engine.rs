@@ -1,0 +1,571 @@
+//! The per-rank MPI engine: request table, matcher, protocol state, and the
+//! progress pump, wired to a simulated NIC.
+//!
+//! Locking rule: the engine lock is **never held across a virtual-time
+//! yield** (every `Cpu::compute` / `Condition::wait` happens outside the
+//! lock), because events that fire during a yield (deliveries, transmit
+//! completions) take the same lock.
+
+use crate::matching::{MatchEngine, PostedRecv, Unexpected, UnexpectedBody};
+use crate::protocol::{ProtoMsg, CTL_BYTES};
+use crate::request::{Request, RequestHandle, RequestKind, RequestTable};
+use crate::types::{Envelope, Payload, Rank, RankSel, Status, TagSel};
+use comb_hw::{Cpu, DeliveryClass, MpiCostConfig, Nic, NodeId, ProgressModel, WireMsg};
+use comb_sim::trace::Tracer;
+use comb_sim::{Condition, ProcCtx, SimDuration, SimHandle, Signal};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Cumulative per-rank MPI counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MpiStats {
+    /// Non-blocking sends posted.
+    pub isends: u64,
+    /// Non-blocking receives posted.
+    pub irecvs: u64,
+    /// `test` calls made.
+    pub tests: u64,
+    /// Protocol messages processed by library progress.
+    pub progress_msgs: u64,
+    /// Messages that arrived before a matching receive was posted.
+    pub unexpected: u64,
+    /// Sends that took the eager path.
+    pub eager_sends: u64,
+    /// Sends that took the rendezvous path.
+    pub rndv_sends: u64,
+    /// Payload bytes in completed sends.
+    pub bytes_sent: u64,
+    /// Payload bytes in completed receives.
+    pub bytes_received: u64,
+    /// Receives completed.
+    pub recvs_completed: u64,
+}
+
+struct PendingRndvSend {
+    req: RequestHandle,
+    env: Envelope,
+    payload: Payload,
+    dst: Rank,
+}
+
+struct EngineInner {
+    requests: RequestTable,
+    matcher: MatchEngine,
+    /// Sender-side rendezvous state awaiting CTS, by sender token.
+    send_pending: HashMap<u64, PendingRndvSend>,
+    /// Receiver-side rendezvous landing zones awaiting DATA, by recv token.
+    recv_tokens: HashMap<u64, RequestHandle>,
+    /// Next envelope sequence number per destination rank.
+    send_seq: HashMap<Rank, u64>,
+    /// Next expected envelope sequence per source rank, plus a reorder
+    /// buffer for envelopes whose predecessors (e.g. a bulk eager payload
+    /// overtaken by an expedited RTS) have not arrived yet. This is the
+    /// reliability layer's in-order delivery guarantee.
+    recv_seq: HashMap<Rank, u64>,
+    reorder: HashMap<Rank, BTreeMap<u64, ProtoMsg>>,
+    next_token: u64,
+    stats: MpiStats,
+}
+
+/// The message-passing engine for one rank. Cloneable handle.
+#[derive(Clone)]
+pub struct MpiEngine {
+    rank: Rank,
+    handle: SimHandle,
+    cpu: Cpu,
+    nic: Arc<dyn Nic>,
+    cfg: MpiCostConfig,
+    tracer: Tracer,
+    inner: Arc<Mutex<EngineInner>>,
+    /// Notified on every request completion and every ring arrival; blocking
+    /// waits park here.
+    completion_cond: Condition,
+}
+
+impl MpiEngine {
+    /// Build an engine for `rank` on the given CPU and NIC, and install the
+    /// NIC upcalls.
+    pub fn new(
+        rank: Rank,
+        handle: &SimHandle,
+        cpu: &Cpu,
+        nic: &Arc<dyn Nic>,
+        cfg: MpiCostConfig,
+    ) -> MpiEngine {
+        MpiEngine::new_traced(rank, handle, cpu, nic, cfg, Tracer::new())
+    }
+
+    /// Like [`MpiEngine::new`], emitting call/completion records to
+    /// `tracer` when it is enabled.
+    pub fn new_traced(
+        rank: Rank,
+        handle: &SimHandle,
+        cpu: &Cpu,
+        nic: &Arc<dyn Nic>,
+        cfg: MpiCostConfig,
+        tracer: Tracer,
+    ) -> MpiEngine {
+        let engine = MpiEngine {
+            rank,
+            handle: handle.clone(),
+            cpu: cpu.clone(),
+            nic: Arc::clone(nic),
+            cfg,
+            tracer,
+            inner: Arc::new(Mutex::new(EngineInner {
+                requests: RequestTable::default(),
+                matcher: MatchEngine::default(),
+                send_pending: HashMap::new(),
+                recv_tokens: HashMap::new(),
+                send_seq: HashMap::new(),
+                recv_seq: HashMap::new(),
+                reorder: HashMap::new(),
+                next_token: 0,
+                stats: MpiStats::default(),
+            })),
+            completion_cond: Condition::new(handle),
+        };
+        let push_engine = engine.clone();
+        nic.set_rx_handler(Arc::new(move |src, msg| push_engine.handle_push(src, msg)));
+        let cond = engine.completion_cond.clone();
+        nic.set_ring_notify(Arc::new(move || cond.notify_all()));
+        engine
+    }
+
+    /// This engine's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// The progress model in effect.
+    pub fn progress_model(&self) -> ProgressModel {
+        self.cfg.progress
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> MpiStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of live (unreaped) requests — for leak checks in tests.
+    pub fn live_requests(&self) -> usize {
+        self.inner.lock().requests.live()
+    }
+
+    fn node_of(&self, rank: Rank) -> NodeId {
+        NodeId(rank.0)
+    }
+
+    // ------------------------------------------------------------------
+    // Posting
+    // ------------------------------------------------------------------
+
+    /// Post a non-blocking send. Charges the host-side post cost and hands
+    /// the message to the transport.
+    pub fn isend(&self, ctx: &ProcCtx, dst: Rank, tag: crate::types::Tag, payload: Payload) -> RequestHandle {
+        let len = payload.len();
+        let eager_wire = match self.cfg.progress {
+            ProgressModel::Offload => true,
+            ProgressModel::Library => len < self.cfg.eager_threshold,
+        };
+        // Post cost: the small-message path costs more on GM (bounce-buffer
+        // copy inside the library, the paper's 45 us); rendezvous posts are
+        // cheap. Offload transports pay their kernel-crossing cost here.
+        let small_path = len < self.cfg.eager_threshold;
+        let cost = if small_path {
+            self.cfg.isend_eager
+        } else {
+            self.cfg.isend_rndv
+        };
+        self.cpu.compute(ctx, cost);
+
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            len,
+        };
+        self.tracer.emit(self.handle.now(), "mpi", || {
+            format!("{} isend -> {dst} tag={} len={len}", self.rank, tag.0)
+        });
+        let signal = Signal::new(&self.handle);
+        let mut inner = self.inner.lock();
+        let req = inner.requests.insert(Request::new(RequestKind::Send, signal));
+        inner.stats.isends += 1;
+        let seq = {
+            let c = inner.send_seq.entry(dst).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        if eager_wire {
+            inner.stats.eager_sends += 1;
+            inner.stats.bytes_sent += len;
+            drop(inner);
+            let class = match self.cfg.progress {
+                ProgressModel::Offload => DeliveryClass::Direct,
+                ProgressModel::Library => DeliveryClass::Ring,
+            };
+            let wire = WireMsg {
+                bytes: len,
+                class,
+                expedited: false,
+                payload: Box::new(ProtoMsg::Eager { env, seq, payload }),
+            };
+            let me = self.clone();
+            self.nic.submit(
+                self.node_of(dst),
+                wire,
+                Box::new(move || me.complete_send(req, env)),
+            );
+        } else {
+            inner.stats.rndv_sends += 1;
+            inner.stats.bytes_sent += len;
+            let token = inner.next_token;
+            inner.next_token += 1;
+            inner.send_pending.insert(
+                token,
+                PendingRndvSend {
+                    req,
+                    env,
+                    payload,
+                    dst,
+                },
+            );
+            drop(inner);
+            let wire = WireMsg {
+                bytes: CTL_BYTES,
+                class: DeliveryClass::Ring,
+                expedited: true,
+                payload: Box::new(ProtoMsg::Rts {
+                    env,
+                    seq,
+                    sender_token: token,
+                }),
+            };
+            // The RTS transmit completion is not the send completion; the
+            // send completes when the DATA leaves (after CTS).
+            self.nic.submit(self.node_of(dst), wire, Box::new(|| {}));
+        }
+        req
+    }
+
+    /// Post a non-blocking receive.
+    pub fn irecv(&self, ctx: &ProcCtx, src: RankSel, tag: TagSel) -> RequestHandle {
+        self.tracer.emit(self.handle.now(), "mpi", || {
+            format!("{} irecv src={src:?} tag={tag:?}", self.rank)
+        });
+        self.cpu.compute(ctx, self.cfg.irecv);
+        let signal = Signal::new(&self.handle);
+        let mut inner = self.inner.lock();
+        let req = inner.requests.insert(Request::new(RequestKind::Recv, signal));
+        inner.stats.irecvs += 1;
+        let hit = inner.matcher.post_recv(PostedRecv { req, src, tag });
+        match hit {
+            None => {}
+            Some(Unexpected {
+                env,
+                body: UnexpectedBody::Eager(payload),
+            }) => {
+                drop(inner);
+                // Landing a buffered eager payload costs a library copy on
+                // library-progress transports (kernel already copied on
+                // offload ones, but it must copy again out of its bounce
+                // buffer — charge the same rate).
+                self.cpu
+                    .compute(ctx, SimDuration::for_bytes(env.len, self.cfg.eager_copy_bandwidth));
+                self.complete_recv(req, env, payload);
+            }
+            Some(Unexpected {
+                env,
+                body: UnexpectedBody::Rndv { sender_token },
+            }) => {
+                let recv_token = inner.next_token;
+                inner.next_token += 1;
+                inner.recv_tokens.insert(recv_token, req);
+                drop(inner);
+                self.send_cts(env.src, sender_token, recv_token);
+            }
+        }
+        req
+    }
+
+    fn send_cts(&self, to: Rank, sender_token: u64, recv_token: u64) {
+        let wire = WireMsg {
+            bytes: CTL_BYTES,
+            class: DeliveryClass::Ring,
+            expedited: true,
+            payload: Box::new(ProtoMsg::Cts {
+                sender_token,
+                recv_token,
+            }),
+        };
+        self.nic.submit(self.node_of(to), wire, Box::new(|| {}));
+    }
+
+    // ------------------------------------------------------------------
+    // Completion plumbing
+    // ------------------------------------------------------------------
+
+    fn complete_send(&self, req: RequestHandle, env: Envelope) {
+        let mut inner = self.inner.lock();
+        inner.requests.complete(
+            req,
+            Status {
+                source: env.src,
+                tag: env.tag,
+                len: env.len,
+            },
+            None,
+        );
+        drop(inner);
+        self.completion_cond.notify_all();
+    }
+
+    fn complete_recv(&self, req: RequestHandle, env: Envelope, payload: Payload) {
+        self.tracer.emit(self.handle.now(), "mpi", || {
+            format!("{} recv complete from {} len={}", self.rank, env.src, env.len)
+        });
+        let mut inner = self.inner.lock();
+        inner.stats.bytes_received += env.len;
+        inner.stats.recvs_completed += 1;
+        inner
+            .requests
+            .complete(req, Status::from_envelope(&env), Some(payload));
+        drop(inner);
+        self.completion_cond.notify_all();
+    }
+
+    // ------------------------------------------------------------------
+    // Progress
+    // ------------------------------------------------------------------
+
+    /// Library-driven progress: drain the NIC ring, paying the per-message
+    /// library costs. No-op on offload transports (the transport itself
+    /// progressed everything). Returns the number of messages processed.
+    pub fn progress(&self, ctx: &ProcCtx) -> usize {
+        if self.cfg.progress == ProgressModel::Offload {
+            return 0;
+        }
+        let mut handled = 0;
+        while let Some((src, wire)) = self.nic.poll_ring() {
+            handled += 1;
+            let proto = *wire
+                .payload
+                .downcast::<ProtoMsg>()
+                .expect("foreign payload in NIC ring");
+            // Per-message library processing, plus the user-buffer copy for
+            // eager payloads, happens on the host right now.
+            let mut cost = self.cfg.progress_per_msg;
+            if let ProtoMsg::Eager { ref env, .. } = proto {
+                cost += SimDuration::for_bytes(env.len, self.cfg.eager_copy_bandwidth);
+            }
+            self.cpu.compute(ctx, cost);
+            self.inner.lock().stats.progress_msgs += 1;
+            self.dispatch_proto(src, proto);
+        }
+        handled
+    }
+
+    /// Push-path delivery: direct DMA completions on bypass NICs, and every
+    /// message on kernel NICs (invoked from the ISR, costs already stolen).
+    fn handle_push(&self, src: NodeId, wire: WireMsg) {
+        let proto = *wire
+            .payload
+            .downcast::<ProtoMsg>()
+            .expect("foreign payload pushed to MPI engine");
+        self.dispatch_proto(src, proto);
+        // Wake any blocked waiter: on offload transports completions happen
+        // with no library call in flight.
+        self.completion_cond.notify_all();
+    }
+
+    fn dispatch_proto(&self, src: NodeId, proto: ProtoMsg) {
+        // Envelope-carrying messages must be matched in send order even if
+        // the expedited control lane reordered them on the wire: gate them
+        // on the per-source sequence number, stashing early arrivals.
+        if let Some(seq) = proto.seq() {
+            let src_rank = Rank(src.0);
+            let mut inner = self.inner.lock();
+            let expected = *inner.recv_seq.entry(src_rank).or_insert(0);
+            if seq != expected {
+                debug_assert!(seq > expected, "duplicate envelope sequence");
+                inner.reorder.entry(src_rank).or_default().insert(seq, proto);
+                return;
+            }
+            drop(inner);
+            self.dispatch_in_order(src, proto);
+            // Drain any consecutive stashed successors.
+            loop {
+                let next = {
+                    let mut inner = self.inner.lock();
+                    let expected = *inner.recv_seq.get(&src_rank).expect("seq counter vanished");
+                    match inner.reorder.get_mut(&src_rank) {
+                        Some(buf) => buf.remove(&expected),
+                        None => None,
+                    }
+                };
+                match next {
+                    Some(m) => self.dispatch_in_order(src, m),
+                    None => break,
+                }
+            }
+            return;
+        }
+        self.dispatch_unordered(src, proto);
+    }
+
+    /// Handle an envelope message that is next in sequence.
+    fn dispatch_in_order(&self, src: NodeId, proto: ProtoMsg) {
+        {
+            let mut inner = self.inner.lock();
+            let c = inner
+                .recv_seq
+                .get_mut(&Rank(src.0))
+                .expect("sequence counter must exist");
+            *c += 1;
+        }
+        self.dispatch_unordered(src, proto);
+    }
+
+    fn dispatch_unordered(&self, _src: NodeId, proto: ProtoMsg) {
+        match proto {
+            ProtoMsg::Eager { env, payload, .. } => {
+                let mut inner = self.inner.lock();
+                match inner.matcher.match_arrival(env.src, &env) {
+                    Some(posted) => {
+                        drop(inner);
+                        self.complete_recv(posted.req, env, payload);
+                    }
+                    None => {
+                        inner.stats.unexpected += 1;
+                        inner.matcher.add_unexpected(Unexpected {
+                            env,
+                            body: UnexpectedBody::Eager(payload),
+                        });
+                    }
+                }
+            }
+            ProtoMsg::Rts {
+                env, sender_token, ..
+            } => {
+                let mut inner = self.inner.lock();
+                match inner.matcher.match_arrival(env.src, &env) {
+                    Some(posted) => {
+                        let recv_token = inner.next_token;
+                        inner.next_token += 1;
+                        inner.recv_tokens.insert(recv_token, posted.req);
+                        drop(inner);
+                        self.send_cts(env.src, sender_token, recv_token);
+                    }
+                    None => {
+                        inner.stats.unexpected += 1;
+                        inner.matcher.add_unexpected(Unexpected {
+                            env,
+                            body: UnexpectedBody::Rndv { sender_token },
+                        });
+                    }
+                }
+            }
+            ProtoMsg::Cts {
+                sender_token,
+                recv_token,
+            } => {
+                let pending = self
+                    .inner
+                    .lock()
+                    .send_pending
+                    .remove(&sender_token)
+                    .expect("CTS for unknown sender token");
+                let wire = WireMsg {
+                    bytes: pending.env.len,
+                    class: DeliveryClass::Direct,
+                    expedited: false,
+                    payload: Box::new(ProtoMsg::Data {
+                        recv_token,
+                        env: pending.env,
+                        payload: pending.payload,
+                    }),
+                };
+                let me = self.clone();
+                let (req, env) = (pending.req, pending.env);
+                self.nic.submit(
+                    self.node_of(pending.dst),
+                    wire,
+                    Box::new(move || me.complete_send(req, env)),
+                );
+            }
+            ProtoMsg::Data {
+                recv_token,
+                env,
+                payload,
+            } => {
+                let req = self
+                    .inner
+                    .lock()
+                    .recv_tokens
+                    .remove(&recv_token)
+                    .expect("DATA for unknown receive token");
+                self.complete_recv(req, env, payload);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Completion queries (the API layer wraps these with blocking loops)
+    // ------------------------------------------------------------------
+
+    /// Charge one `MPI_Test` call, run library progress, and if the request
+    /// completed consume it, returning its status (and payload for
+    /// receives).
+    pub fn test(&self, ctx: &ProcCtx, req: RequestHandle) -> Option<(Status, Option<Payload>)> {
+        self.cpu.compute(ctx, self.cfg.test_call);
+        self.inner.lock().stats.tests += 1;
+        self.progress(ctx);
+        self.try_consume(req)
+    }
+
+    /// Charge the cost of one test-family call (testall/testany/iprobe).
+    pub(crate) fn charge_test(&self, ctx: &ProcCtx) {
+        self.cpu.compute(ctx, self.cfg.test_call);
+        self.inner.lock().stats.tests += 1;
+    }
+
+    /// Non-charging completion check + consume (wait loops use this after
+    /// they already paid for progress).
+    pub(crate) fn try_consume(&self, req: RequestHandle) -> Option<(Status, Option<Payload>)> {
+        let mut inner = self.inner.lock();
+        let complete = inner.requests.get(req).map(|r| r.complete).unwrap_or(false);
+        if complete {
+            inner.requests.remove(req)
+        } else {
+            None
+        }
+    }
+
+    /// `MPI_Iprobe`: charge one test-call, run library progress, and report
+    /// whether a matching message is available (posted-receive matching is
+    /// NOT performed — probing is non-destructive).
+    pub fn iprobe(&self, ctx: &ProcCtx, src: RankSel, tag: TagSel) -> Option<Envelope> {
+        self.cpu.compute(ctx, self.cfg.test_call);
+        self.inner.lock().stats.tests += 1;
+        self.progress(ctx);
+        self.inner.lock().matcher.peek_unexpected(src, tag)
+    }
+
+    /// True if the request is complete (without consuming it).
+    pub fn is_complete(&self, req: RequestHandle) -> bool {
+        self.inner
+            .lock()
+            .requests
+            .get(req)
+            .map(|r| r.complete)
+            .unwrap_or(false)
+    }
+
+    /// Park the calling process until the completion condition is next
+    /// notified (arrival or completion).
+    pub(crate) fn park_for_activity(&self, ctx: &ProcCtx) {
+        self.completion_cond.wait(ctx);
+    }
+}

@@ -1,0 +1,181 @@
+//! Envelope matching: the posted-receive queue and the unexpected-message
+//! queue.
+//!
+//! MPI's matching rules: an arriving message is matched against posted
+//! receives in post order; a newly posted receive is matched against
+//! unexpected arrivals in arrival order. Together with FIFO wire delivery
+//! this gives the MPI non-overtaking guarantee for any (source, tag) pair.
+
+use crate::request::RequestHandle;
+use crate::types::{Envelope, Payload, Rank, RankSel, TagSel};
+use std::collections::VecDeque;
+
+/// A posted, not-yet-matched receive.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PostedRecv {
+    pub req: RequestHandle,
+    pub src: RankSel,
+    pub tag: TagSel,
+}
+
+/// Why an unexpected entry exists: an eager message whose payload is already
+/// here, or a rendezvous announcement whose payload is still on the sender.
+pub(crate) enum UnexpectedBody {
+    /// Full payload arrived (eager / offloaded transports).
+    Eager(Payload),
+    /// Rendezvous announced; reply with CTS carrying the sender's token.
+    Rndv {
+        /// Sender-side token to echo in the CTS.
+        sender_token: u64,
+    },
+}
+
+/// An arrival that found no posted receive.
+pub(crate) struct Unexpected {
+    pub env: Envelope,
+    pub body: UnexpectedBody,
+}
+
+/// The matching engine state for one rank.
+#[derive(Default)]
+pub(crate) struct MatchEngine {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<Unexpected>,
+    pub unexpected_total: u64,
+}
+
+impl MatchEngine {
+    /// Match an arriving envelope against the posted receives (post order).
+    /// On a hit the posted entry is removed and returned.
+    pub fn match_arrival(&mut self, src: Rank, env: &Envelope) -> Option<PostedRecv> {
+        debug_assert_eq!(src, env.src);
+        let idx = self
+            .posted
+            .iter()
+            .position(|p| p.src.matches(env.src) && p.tag.matches(env.tag))?;
+        self.posted.remove(idx)
+    }
+
+    /// Queue an arrival that matched nothing.
+    pub fn add_unexpected(&mut self, u: Unexpected) {
+        self.unexpected_total += 1;
+        self.unexpected.push_back(u);
+    }
+
+    /// Match a new receive against the unexpected queue (arrival order).
+    /// On a hit the unexpected entry is removed and returned; otherwise the
+    /// receive is queued as posted.
+    pub fn post_recv(&mut self, recv: PostedRecv) -> Option<Unexpected> {
+        let idx = self
+            .unexpected
+            .iter()
+            .position(|u| recv.src.matches(u.env.src) && recv.tag.matches(u.env.tag));
+        match idx {
+            Some(i) => self.unexpected.remove(i),
+            None => {
+                self.posted.push_back(recv);
+                None
+            }
+        }
+    }
+
+    /// Non-destructively find the first unexpected arrival matching the
+    /// selectors (for `MPI_Iprobe`).
+    pub fn peek_unexpected(&self, src: RankSel, tag: TagSel) -> Option<Envelope> {
+        self.unexpected
+            .iter()
+            .find(|u| src.matches(u.env.src) && tag.matches(u.env.tag))
+            .map(|u| u.env)
+    }
+
+    /// Number of posted-but-unmatched receives.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Number of queued unexpected arrivals.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Tag;
+
+    fn env(src: usize, tag: u32, len: u64) -> Envelope {
+        Envelope {
+            src: Rank(src),
+            tag: Tag(tag),
+            len,
+        }
+    }
+
+    fn recv(id: u64, src: RankSel, tag: TagSel) -> PostedRecv {
+        PostedRecv {
+            req: RequestHandle(id),
+            src,
+            tag,
+        }
+    }
+
+    #[test]
+    fn arrival_matches_in_post_order() {
+        let mut m = MatchEngine::default();
+        assert!(m.post_recv(recv(1, RankSel::Any, TagSel::Any)).is_none());
+        assert!(m.post_recv(recv(2, RankSel::Any, TagSel::Any)).is_none());
+        let hit = m.match_arrival(Rank(0), &env(0, 5, 10)).unwrap();
+        assert_eq!(hit.req, RequestHandle(1), "earliest posted receive wins");
+        let hit = m.match_arrival(Rank(0), &env(0, 5, 10)).unwrap();
+        assert_eq!(hit.req, RequestHandle(2));
+        assert!(m.match_arrival(Rank(0), &env(0, 5, 10)).is_none());
+    }
+
+    #[test]
+    fn tag_and_source_filters_apply() {
+        let mut m = MatchEngine::default();
+        m.post_recv(recv(1, RankSel::Is(Rank(2)), TagSel::Is(Tag(7))));
+        assert!(m.match_arrival(Rank(1), &env(1, 7, 0)).is_none());
+        assert!(m.match_arrival(Rank(2), &env(2, 8, 0)).is_none());
+        let hit = m.match_arrival(Rank(2), &env(2, 7, 0)).unwrap();
+        assert_eq!(hit.req, RequestHandle(1));
+        // The two non-matching arrivals were not queued automatically —
+        // callers do that explicitly.
+        assert_eq!(m.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn new_recv_matches_unexpected_in_arrival_order() {
+        let mut m = MatchEngine::default();
+        m.add_unexpected(Unexpected {
+            env: env(0, 1, 100),
+            body: UnexpectedBody::Eager(Payload::synthetic(100)),
+        });
+        m.add_unexpected(Unexpected {
+            env: env(0, 1, 200),
+            body: UnexpectedBody::Eager(Payload::synthetic(200)),
+        });
+        let hit = m.post_recv(recv(9, RankSel::Any, TagSel::Is(Tag(1)))).unwrap();
+        assert_eq!(hit.env.len, 100, "earliest arrival wins");
+        let hit = m.post_recv(recv(10, RankSel::Any, TagSel::Any)).unwrap();
+        assert_eq!(hit.env.len, 200);
+        assert_eq!(m.unexpected_len(), 0);
+        assert_eq!(m.unexpected_total, 2);
+    }
+
+    #[test]
+    fn specific_recv_skips_non_matching_unexpected() {
+        let mut m = MatchEngine::default();
+        m.add_unexpected(Unexpected {
+            env: env(0, 1, 100),
+            body: UnexpectedBody::Eager(Payload::synthetic(100)),
+        });
+        let miss = m.post_recv(recv(1, RankSel::Any, TagSel::Is(Tag(2))));
+        assert!(miss.is_none());
+        assert_eq!(m.posted_len(), 1);
+        assert_eq!(m.unexpected_len(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! The wire protocol: eager transfers and the RTS/CTS/DATA rendezvous.
+//!
+//! On **library-progress** transports (GM-like), eager payloads and
+//! rendezvous control messages travel as `Ring`-class wire messages — they
+//! park in the receive ring until the library polls, which is why such
+//! transports need MPI calls to make progress. Rendezvous payloads travel
+//! `Direct` (DMA into the pre-matched user buffer announced by the CTS).
+//!
+//! On **offload** transports (Portals/EMP-like), everything travels `Direct`
+//! and matching happens at delivery time with no library involvement; there
+//! is no rendezvous because the receive side can always land data.
+
+use crate::types::{Envelope, Payload};
+
+/// Wire size of a protocol control message (RTS/CTS), in bytes.
+pub const CTL_BYTES: u64 = 64;
+
+/// Protocol messages carried as the opaque payload of a hardware
+/// [`comb_hw::WireMsg`].
+pub(crate) enum ProtoMsg {
+    /// Payload travels with the envelope (small messages on library
+    /// transports; every message on offload transports).
+    Eager {
+        env: Envelope,
+        /// Per-(sender, destination) sequence number; envelope-carrying
+        /// messages are matched in sequence order so that the expedited
+        /// control lane cannot violate MPI's non-overtaking rule.
+        seq: u64,
+        payload: Payload,
+    },
+    /// Request-to-send: announces a rendezvous message.
+    Rts {
+        env: Envelope,
+        /// See [`ProtoMsg::Eager::seq`].
+        seq: u64,
+        sender_token: u64,
+    },
+    /// Clear-to-send: the receiver matched the RTS and exposes a landing
+    /// token for the payload.
+    Cts {
+        sender_token: u64,
+        recv_token: u64,
+    },
+    /// Rendezvous payload, DMA'd into the buffer identified by the CTS.
+    Data {
+        recv_token: u64,
+        env: Envelope,
+        payload: Payload,
+    },
+}
+
+impl ProtoMsg {
+    /// The envelope-ordering sequence number, for messages that carry one.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            ProtoMsg::Eager { seq, .. } | ProtoMsg::Rts { seq, .. } => Some(*seq),
+            _ => None,
+        }
+    }
+
+    /// Bytes this message occupies on the wire.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            ProtoMsg::Eager { env, .. } => env.len,
+            ProtoMsg::Rts { .. } | ProtoMsg::Cts { .. } => CTL_BYTES,
+            ProtoMsg::Data { env, .. } => env.len,
+        }
+    }
+
+    /// Short name for traces and tests.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ProtoMsg::Eager { .. } => "EAGER",
+            ProtoMsg::Rts { .. } => "RTS",
+            ProtoMsg::Cts { .. } => "CTS",
+            ProtoMsg::Data { .. } => "DATA",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Rank, Tag};
+
+    fn env(len: u64) -> Envelope {
+        Envelope {
+            src: Rank(0),
+            tag: Tag(0),
+            len,
+        }
+    }
+
+    #[test]
+    fn wire_bytes_by_kind() {
+        assert_eq!(
+            ProtoMsg::Eager {
+                env: env(100),
+                seq: 0,
+                payload: Payload::synthetic(100)
+            }
+            .wire_bytes(),
+            100
+        );
+        assert_eq!(
+            ProtoMsg::Rts {
+                env: env(1_000_000),
+                seq: 0,
+                sender_token: 1
+            }
+            .wire_bytes(),
+            CTL_BYTES
+        );
+        assert_eq!(
+            ProtoMsg::Cts {
+                sender_token: 1,
+                recv_token: 2
+            }
+            .wire_bytes(),
+            CTL_BYTES
+        );
+        assert_eq!(
+            ProtoMsg::Data {
+                recv_token: 2,
+                env: env(5000),
+                payload: Payload::synthetic(5000)
+            }
+            .wire_bytes(),
+            5000
+        );
+    }
+
+    #[test]
+    fn kind_names() {
+        let m = ProtoMsg::Rts {
+            env: env(1),
+            seq: 3,
+            sender_token: 0,
+        };
+        assert_eq!(m.kind_name(), "RTS");
+        assert_eq!(m.seq(), Some(3));
+        assert_eq!(
+            ProtoMsg::Cts {
+                sender_token: 0,
+                recv_token: 0
+            }
+            .seq(),
+            None
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Core MPI-subset types: ranks, tags, wildcards, envelopes, payloads,
+//! statuses.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// A process rank within the (single, world) communicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rank(pub usize);
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+/// A message tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u32);
+
+/// Source selector for receives: a specific rank or `MPI_ANY_SOURCE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankSel {
+    /// Match messages from this rank only.
+    Is(Rank),
+    /// `MPI_ANY_SOURCE`.
+    Any,
+}
+
+impl RankSel {
+    /// True if `rank` satisfies this selector.
+    pub fn matches(self, rank: Rank) -> bool {
+        match self {
+            RankSel::Is(r) => r == rank,
+            RankSel::Any => true,
+        }
+    }
+}
+
+impl From<Rank> for RankSel {
+    fn from(r: Rank) -> Self {
+        RankSel::Is(r)
+    }
+}
+
+/// Tag selector for receives: a specific tag or `MPI_ANY_TAG`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match messages with this tag only.
+    Is(Tag),
+    /// `MPI_ANY_TAG`.
+    Any,
+}
+
+impl TagSel {
+    /// True if `tag` satisfies this selector.
+    pub fn matches(self, tag: Tag) -> bool {
+        match self {
+            TagSel::Is(t) => t == tag,
+            TagSel::Any => true,
+        }
+    }
+}
+
+impl From<Tag> for TagSel {
+    fn from(t: Tag) -> Self {
+        TagSel::Is(t)
+    }
+}
+
+/// Message payload. Benchmarks use `Synthetic` (length only — transfer
+/// timing never depends on contents); tests use `Data` to verify
+/// byte-for-byte delivery integrity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// A payload of `len` bytes whose contents are irrelevant.
+    Synthetic {
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Real bytes, carried end to end.
+    Data(Bytes),
+}
+
+impl Payload {
+    /// A synthetic payload of `len` bytes.
+    pub fn synthetic(len: u64) -> Payload {
+        Payload::Synthetic { len }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Synthetic { len } => *len,
+            Payload::Data(b) => b.len() as u64,
+        }
+    }
+
+    /// True if the payload has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(b: Bytes) -> Self {
+        Payload::Data(b)
+    }
+}
+
+/// The message envelope used for matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+/// Completion status of a receive (or send).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Rank the message came from (the local rank, for sends).
+    pub source: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+impl Status {
+    /// Build a status from an envelope.
+    pub fn from_envelope(env: &Envelope) -> Status {
+        Status {
+            source: env.src,
+            tag: env.tag,
+            len: env.len,
+        }
+    }
+}
+
+/// Errors surfaced by the MPI layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// A request handle was not found (already waited on, or foreign).
+    UnknownRequest,
+    /// An operation addressed a rank outside the world.
+    InvalidRank(Rank),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::UnknownRequest => write!(f, "unknown or consumed request handle"),
+            MpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectors_match_as_documented() {
+        assert!(RankSel::Any.matches(Rank(3)));
+        assert!(RankSel::Is(Rank(3)).matches(Rank(3)));
+        assert!(!RankSel::Is(Rank(3)).matches(Rank(4)));
+        assert!(TagSel::Any.matches(Tag(9)));
+        assert!(TagSel::Is(Tag(9)).matches(Tag(9)));
+        assert!(!TagSel::Is(Tag(9)).matches(Tag(8)));
+    }
+
+    #[test]
+    fn payload_lengths() {
+        assert_eq!(Payload::synthetic(100).len(), 100);
+        assert!(Payload::synthetic(0).is_empty());
+        let data = Payload::from(Bytes::from_static(b"hello"));
+        assert_eq!(data.len(), 5);
+    }
+
+    #[test]
+    fn status_from_envelope() {
+        let env = Envelope {
+            src: Rank(1),
+            tag: Tag(7),
+            len: 42,
+        };
+        let st = Status::from_envelope(&env);
+        assert_eq!(st.source, Rank(1));
+        assert_eq!(st.tag, Tag(7));
+        assert_eq!(st.len, 42);
+    }
+}

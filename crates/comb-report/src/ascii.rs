@@ -1,0 +1,192 @@
+//! Terminal rendering of figures: a scatter plot on a character grid with
+//! optional log-x scaling, axis annotations and a legend. Good enough to
+//! eyeball every paper figure straight from CI output.
+
+use crate::series::Dataset;
+
+const MARKS: [char; 8] = ['o', 'x', '+', '*', '#', '@', '%', '&'];
+
+/// Render a dataset as an ASCII plot of roughly `width` x `height`
+/// characters (plus axes and legend).
+pub fn render(ds: &Dataset, width: usize, height: usize) -> String {
+    let width = width.max(20);
+    let height = height.max(8);
+
+    let all_points: Vec<(f64, f64)> = ds
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| (p.x, p.y)))
+        .collect();
+    if all_points.is_empty() {
+        return format!("{} — {} (no data)\n", ds.id, ds.title);
+    }
+
+    let xs: Vec<f64> = all_points.iter().map(|&(x, _)| tx(x, ds.log_x)).collect();
+    let ys: Vec<f64> = all_points.iter().map(|&(_, y)| y).collect();
+    let (x_min, x_max) = bounds(&xs);
+    let (mut y_min, mut y_max) = bounds(&ys);
+    // Anchor the y axis at zero for non-negative data (bandwidth,
+    // availability); pad the top slightly so maxima stay visible.
+    if y_min >= 0.0 {
+        y_min = 0.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+    y_max += (y_max - y_min) * 0.05;
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in ds.series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for p in &s.points {
+            let gx = scale(tx(p.x, ds.log_x), x_min, x_max, width - 1);
+            let gy = scale(p.y, y_min, y_max, height - 1);
+            grid[height - 1 - gy][gx] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{} — {}\n", ds.id, ds.title));
+    let y_label_w = 10;
+    for (row_idx, row) in grid.iter().enumerate() {
+        let label = if row_idx == 0 {
+            format!("{y_max:>9.3}")
+        } else if row_idx == height - 1 {
+            format!("{y_min:>9.3}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(y_label_w - 1));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let (x_lo, x_hi) = if ds.log_x {
+        (
+            format!("{:.0e}", 10f64.powf(x_min)),
+            format!("{:.0e}", 10f64.powf(x_max)),
+        )
+    } else {
+        (format!("{x_min:.0}"), format!("{x_max:.0}"))
+    };
+    let gap = width.saturating_sub(x_lo.len() + x_hi.len());
+    out.push_str(&" ".repeat(y_label_w));
+    out.push_str(&x_lo);
+    out.push_str(&" ".repeat(gap));
+    out.push_str(&x_hi);
+    out.push('\n');
+    out.push_str(&format!(
+        "{}x: {}{} | y: {}\n",
+        " ".repeat(y_label_w),
+        ds.x_label,
+        if ds.log_x { " (log)" } else { "" },
+        ds.y_label
+    ));
+    for (si, s) in ds.series.iter().enumerate() {
+        out.push_str(&format!(
+            "{}{} {}\n",
+            " ".repeat(y_label_w),
+            MARKS[si % MARKS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+fn tx(x: f64, log: bool) -> f64 {
+    if log {
+        x.max(f64::MIN_POSITIVE).log10()
+    } else {
+        x
+    }
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (max - min).abs() < f64::EPSILON {
+        (min, min + 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+fn scale(v: f64, lo: f64, hi: f64, cells: usize) -> usize {
+    let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    (t * cells as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn ds(log_x: bool) -> Dataset {
+        Dataset {
+            id: "figT".into(),
+            title: "T".into(),
+            x_label: "X".into(),
+            y_label: "Y".into(),
+            log_x,
+            series: vec![
+                Series::new("a", [(10.0, 0.0), (1000.0, 50.0), (100000.0, 100.0)]),
+                Series::new("b", [(10.0, 100.0), (100000.0, 0.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_marks_axes_and_legend() {
+        let plot = render(&ds(true), 60, 16);
+        assert!(plot.contains("figT — T"));
+        assert!(plot.contains('o'), "series a marks");
+        assert!(plot.contains('x'), "series b marks");
+        assert!(plot.contains("o a"));
+        assert!(plot.contains("x b"));
+        assert!(plot.contains("X (log)"));
+        assert!(plot.contains("1e1"));
+        assert!(plot.contains("1e5"));
+    }
+
+    #[test]
+    fn linear_axis_labels() {
+        let plot = render(&ds(false), 60, 16);
+        assert!(plot.contains("x: X |"));
+        assert!(plot.contains("10"));
+        assert!(plot.contains("100000"));
+    }
+
+    #[test]
+    fn empty_dataset_is_handled() {
+        let empty = Dataset {
+            id: "fig0".into(),
+            title: "E".into(),
+            x_label: "X".into(),
+            y_label: "Y".into(),
+            log_x: false,
+            series: vec![],
+        };
+        assert!(render(&empty, 60, 16).contains("no data"));
+    }
+
+    #[test]
+    fn extreme_points_land_on_grid_corners() {
+        // The max-y point must appear on the top row, min on the bottom.
+        let one = Dataset {
+            id: "f".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_x: false,
+            series: vec![Series::new("s", [(0.0, 0.0), (1.0, 100.0)])],
+        };
+        let plot = render(&one, 30, 10);
+        let rows: Vec<&str> = plot.lines().collect();
+        // Row 1 is the first grid row (row 0 is the title).
+        assert!(rows[1].contains('o') || rows[2].contains('o'), "top point visible");
+    }
+}

@@ -1,0 +1,498 @@
+//! Qualitative shape checks: the paper's claims, encoded as assertions over
+//! the regenerated datasets. We do not check absolute numbers (the substrate
+//! is a simulator, not the authors' testbed) — we check *who wins, where the
+//! knees fall, and which curves plateau*, exactly the relations the paper's
+//! analysis rests on.
+
+use crate::figures::FigureId;
+use crate::series::{Dataset, Series};
+
+/// Result of one shape check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// What was checked.
+    pub name: String,
+    /// Whether the regenerated data satisfies it.
+    pub pass: bool,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+fn check(name: &str, pass: bool, detail: String) -> Check {
+    Check {
+        name: name.to_string(),
+        pass,
+        detail,
+    }
+}
+
+/// The x value where a rising series first crosses `level`; `None` if it
+/// never does.
+fn crossing_x(s: &Series, level: f64) -> Option<f64> {
+    s.points.iter().find(|p| p.y >= level).map(|p| p.x)
+}
+
+/// Mean y of a series.
+fn mean_y(s: &Series) -> f64 {
+    if s.points.is_empty() {
+        return 0.0;
+    }
+    s.points.iter().map(|p| p.y).sum::<f64>() / s.points.len() as f64
+}
+
+/// Run the shape checks for one regenerated figure.
+pub fn check_figure(id: FigureId, ds: &Dataset) -> Vec<Check> {
+    let mut out = Vec::new();
+    match id {
+        FigureId::Fig04 => {
+            for s in &ds.series {
+                let (first, last) = (s.first_y().unwrap_or(1.0), s.last_y().unwrap_or(0.0));
+                out.push(check(
+                    &format!("{}: availability starts low, ends high", s.label),
+                    first < 0.45 && last > 0.85,
+                    format!("first={first:.3} last={last:.3}"),
+                ));
+            }
+            // The rise (knee) moves right with message size.
+            let knees: Vec<Option<f64>> = ds.series.iter().map(|s| crossing_x(s, 0.6)).collect();
+            let ordered = knees.windows(2).all(|w| match (w[0], w[1]) {
+                (Some(a), Some(b)) => a <= b,
+                _ => false,
+            });
+            out.push(check(
+                "knee moves right with message size",
+                ordered,
+                format!("knees at {knees:?}"),
+            ));
+        }
+        FigureId::Fig05 => {
+            for s in &ds.series {
+                let max = s.y_max();
+                let first = s.first_y().unwrap_or(0.0);
+                let last = s.last_y().unwrap_or(0.0);
+                out.push(check(
+                    &format!("{}: plateau then steep decline", s.label),
+                    first > 0.7 * max && last < 0.25 * max,
+                    format!("first={first:.1} max={max:.1} last={last:.1} MB/s"),
+                ));
+            }
+        }
+        FigureId::Fig06 => {
+            for s in &ds.series {
+                let (first, last) = (s.first_y().unwrap_or(1.0), s.last_y().unwrap_or(0.0));
+                out.push(check(
+                    &format!("{}: no initial plateau; climbs to ~1", s.label),
+                    first < 0.35 && last > 0.8,
+                    format!("first={first:.3} last={last:.3}"),
+                ));
+                let rising = s.points.windows(2).all(|w| w[1].y >= w[0].y - 0.05);
+                out.push(check(
+                    &format!("{}: availability is (near-)monotone in work", s.label),
+                    rising,
+                    "checked pairwise".into(),
+                ));
+            }
+        }
+        FigureId::Fig07 => {
+            for s in &ds.series {
+                let max = s.y_max();
+                let last = s.last_y().unwrap_or(0.0);
+                out.push(check(
+                    &format!("{}: bandwidth declines with work interval", s.label),
+                    last < 0.5 * max,
+                    format!("max={max:.1} last={last:.1} MB/s"),
+                ));
+            }
+        }
+        FigureId::Fig08 | FigureId::Fig09 => {
+            let gm = ds.series_by_label("GM").map(|s| s.y_max()).unwrap_or(0.0);
+            let portals = ds
+                .series_by_label("Portals")
+                .map(|s| s.y_max())
+                .unwrap_or(f64::MAX);
+            out.push(check(
+                "GM peak bandwidth clearly exceeds Portals",
+                gm > 1.3 * portals,
+                format!("GM={gm:.1} Portals={portals:.1} MB/s"),
+            ));
+            if id == FigureId::Fig08 {
+                out.push(check(
+                    "GM plateau near 90 MB/s, Portals near 40-55",
+                    (80.0..100.0).contains(&gm) && (30.0..60.0).contains(&portals),
+                    format!("GM={gm:.1} Portals={portals:.1} MB/s"),
+                ));
+            }
+        }
+        FigureId::Fig10 => {
+            let gm = ds.series_by_label("GM").map(mean_y).unwrap_or(f64::MAX);
+            let portals = ds.series_by_label("Portals").map(mean_y).unwrap_or(0.0);
+            out.push(check(
+                "posting on GM is much cheaper than on Portals",
+                gm * 3.0 < portals,
+                format!("GM={gm:.1}us Portals={portals:.1}us per post"),
+            ));
+        }
+        FigureId::Fig11 => {
+            let gm_last = ds
+                .series_by_label("GM")
+                .and_then(Series::last_y)
+                .unwrap_or(0.0);
+            let portals_last = ds
+                .series_by_label("Portals")
+                .and_then(Series::last_y)
+                .unwrap_or(f64::MAX);
+            out.push(check(
+                "Portals drains messaging during work (offload); GM does not",
+                portals_last < 250.0 && gm_last > 900.0,
+                format!("GM wait={gm_last:.0}us Portals wait={portals_last:.0}us at max work"),
+            ));
+        }
+        FigureId::Fig12 => {
+            let with_mh = ds.series_by_label("Work with MH");
+            let only = ds.series_by_label("Work Only");
+            let gap = match (with_mh.and_then(Series::last_y), only.and_then(Series::last_y)) {
+                (Some(a), Some(b)) => a - b,
+                _ => 0.0,
+            };
+            out.push(check(
+                "interrupt overhead dilates the work phase",
+                gap > 500.0,
+                format!("gap={gap:.0}us at 500k iterations"),
+            ));
+        }
+        FigureId::Fig13 => {
+            let with_mh = ds.series_by_label("Work with MH");
+            let only = ds.series_by_label("Work Only");
+            let close = match (with_mh, only) {
+                (Some(a), Some(b)) => a
+                    .points
+                    .iter()
+                    .zip(&b.points)
+                    .all(|(x, y)| (x.y - y.y).abs() < 1.0 + 0.01 * y.y),
+                _ => false,
+            };
+            out.push(check(
+                "no communication overhead: the curves coincide",
+                close,
+                "pointwise |with - only| < 1% checked".into(),
+            ));
+        }
+        FigureId::Fig14 => {
+            for s in &ds.series {
+                let max = s.y_max();
+                // Highest availability among near-peak-bandwidth points.
+                let best_avail = s
+                    .points
+                    .iter()
+                    .filter(|p| p.y > 0.8 * max)
+                    .map(|p| p.x)
+                    .fold(0.0, f64::max);
+                if s.label == "10 KB" {
+                    out.push(check(
+                        "10 KB: the 45us eager send path caps availability",
+                        best_avail < 0.8,
+                        format!("peak bandwidth up to availability {best_avail:.2}"),
+                    ));
+                } else {
+                    out.push(check(
+                        &format!("{}: peak bandwidth at high availability", s.label),
+                        best_avail > 0.85,
+                        format!("peak bandwidth up to availability {best_avail:.2}"),
+                    ));
+                }
+            }
+        }
+        FigureId::Fig15 => {
+            for s in &ds.series {
+                let max = s.y_max();
+                let best_avail = s
+                    .points
+                    .iter()
+                    .filter(|p| p.y > 0.8 * max)
+                    .map(|p| p.x)
+                    .fold(0.0, f64::max);
+                out.push(check(
+                    &format!("{}: peak bandwidth confined to low availability", s.label),
+                    best_avail < 0.55,
+                    format!("peak bandwidth up to availability {best_avail:.2}"),
+                ));
+            }
+        }
+        FigureId::Fig16 | FigureId::Fig17 => {
+            let poll_reach = ds
+                .series_by_label("Poll")
+                .map(|s| {
+                    let max = s.y_max();
+                    s.points
+                        .iter()
+                        .filter(|p| p.y > 0.8 * max)
+                        .map(|p| p.x)
+                        .fold(0.0, f64::max)
+                })
+                .unwrap_or(0.0);
+            let pww_reach = reach(ds.series_by_label("PWW"));
+            out.push(check(
+                "polling sustains bandwidth to much higher availability than PWW",
+                poll_reach > pww_reach + 0.2,
+                format!("poll reaches {poll_reach:.2}, PWW {pww_reach:.2}"),
+            ));
+            if id == FigureId::Fig17 {
+                let tested_reach = reach(ds.series_by_label("PWW + Test"));
+                out.push(check(
+                    "MPI_Test extends PWW bandwidth into higher availability",
+                    tested_reach > pww_reach + 0.1,
+                    format!("PWW+Test reaches {tested_reach:.2}, PWW {pww_reach:.2}"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Highest availability at which a series still delivers >80% of its own
+/// peak bandwidth.
+fn reach(s: Option<&Series>) -> f64 {
+    s.map(|s| {
+        let max = s.y_max();
+        s.points
+            .iter()
+            .filter(|p| p.y > 0.8 * max)
+            .map(|p| p.x)
+            .fold(0.0, f64::max)
+    })
+    .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(id: &str, series: Vec<Series>) -> Dataset {
+        Dataset {
+            id: id.into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_x: true,
+            series,
+        }
+    }
+
+    #[test]
+    fn fig08_check_passes_on_paper_like_data() {
+        let d = ds(
+            "fig08",
+            vec![
+                Series::new("GM", [(10.0, 90.0), (1e6, 30.0)]),
+                Series::new("Portals", [(10.0, 45.0), (1e6, 20.0)]),
+            ],
+        );
+        let checks = check_figure(FigureId::Fig08, &d);
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+    }
+
+    #[test]
+    fn fig08_check_fails_when_portals_wins() {
+        let d = ds(
+            "fig08",
+            vec![
+                Series::new("GM", [(10.0, 40.0)]),
+                Series::new("Portals", [(10.0, 90.0)]),
+            ],
+        );
+        let checks = check_figure(FigureId::Fig08, &d);
+        assert!(!checks[0].pass);
+    }
+
+    #[test]
+    fn fig11_detects_offload_difference() {
+        let d = ds(
+            "fig11",
+            vec![
+                Series::new("GM", [(1e4, 2000.0), (1e7, 1800.0)]),
+                Series::new("Portals", [(1e4, 2000.0), (1e7, 50.0)]),
+            ],
+        );
+        assert!(check_figure(FigureId::Fig11, &d)[0].pass);
+        let bad = ds(
+            "fig11",
+            vec![
+                Series::new("GM", [(1e7, 100.0)]),
+                Series::new("Portals", [(1e7, 100.0)]),
+            ],
+        );
+        assert!(!check_figure(FigureId::Fig11, &bad)[0].pass);
+    }
+
+    #[test]
+    fn crossing_and_mean_helpers() {
+        let s = Series::new("s", [(1.0, 0.1), (2.0, 0.5), (3.0, 0.9)]);
+        assert_eq!(crossing_x(&s, 0.5), Some(2.0));
+        assert_eq!(crossing_x(&s, 0.95), None);
+        assert!((mean_y(&s) - 0.5).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod synthetic_tests {
+    //! Each figure's checks against hand-built paper-shaped and
+    //! counter-shaped datasets — fast, no simulation.
+    use super::*;
+
+    fn ds(series: Vec<Series>) -> Dataset {
+        Dataset {
+            id: "t".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_x: true,
+            series,
+        }
+    }
+
+    fn rising_avail(knee: f64) -> Vec<(f64, f64)> {
+        // Low plateau then a steep rise around `knee`.
+        (0..20)
+            .map(|i| {
+                let x = 10f64.powf(1.0 + i as f64 * 0.35);
+                let y = if x < knee { 0.1 } else { 0.97 };
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fig04_passes_on_ordered_knees_and_fails_on_disorder() {
+        let good = ds(vec![
+            Series::new("10 KB", rising_avail(1e4)),
+            Series::new("50 KB", rising_avail(1e5)),
+            Series::new("100 KB", rising_avail(1e6)),
+            Series::new("300 KB", rising_avail(1e7)),
+        ]);
+        assert!(check_figure(FigureId::Fig04, &good).iter().all(|c| c.pass));
+        let bad = ds(vec![
+            Series::new("10 KB", rising_avail(1e7)),
+            Series::new("50 KB", rising_avail(1e5)),
+            Series::new("100 KB", rising_avail(1e6)),
+            Series::new("300 KB", rising_avail(1e4)),
+        ]);
+        let checks = check_figure(FigureId::Fig04, &bad);
+        assert!(checks.iter().any(|c| !c.pass), "disordered knees must fail");
+    }
+
+    #[test]
+    fn fig05_plateau_then_decline() {
+        let plateau: Vec<(f64, f64)> = (0..10)
+            .map(|i| (10f64.powf(1.0 + i as f64 * 0.5), if i < 7 { 50.0 } else { 5.0 }))
+            .collect();
+        let good = ds(vec![Series::new("100 KB", plateau)]);
+        assert!(check_figure(FigureId::Fig05, &good).iter().all(|c| c.pass));
+        let flat = ds(vec![Series::new("100 KB", vec![(10.0, 50.0), (1e8, 49.0)])]);
+        assert!(!check_figure(FigureId::Fig05, &flat)[0].pass, "no decline must fail");
+    }
+
+    #[test]
+    fn fig06_requires_climb_without_plateau() {
+        let climb: Vec<(f64, f64)> = (0..10)
+            .map(|i| (1e4 * 2f64.powi(i), 0.05 + 0.1 * i as f64))
+            .collect();
+        let good = ds(vec![Series::new("100 KB", climb)]);
+        assert!(check_figure(FigureId::Fig06, &good).iter().all(|c| c.pass));
+        let sagging: Vec<(f64, f64)> = (0..10)
+            .map(|i| (1e4 * 2f64.powi(i), if i == 5 { 0.1 } else { 0.05 + 0.1 * i as f64 }))
+            .collect();
+        let bad = ds(vec![Series::new("100 KB", sagging)]);
+        assert!(check_figure(FigureId::Fig06, &bad).iter().any(|c| !c.pass));
+    }
+
+    #[test]
+    fn fig10_post_cost_ordering() {
+        let good = ds(vec![
+            Series::new("GM", vec![(1e4, 8.0), (1e7, 10.0)]),
+            Series::new("Portals", vec![(1e4, 150.0), (1e7, 180.0)]),
+        ]);
+        assert!(check_figure(FigureId::Fig10, &good)[0].pass);
+        let bad = ds(vec![
+            Series::new("GM", vec![(1e4, 100.0)]),
+            Series::new("Portals", vec![(1e4, 150.0)]),
+        ]);
+        assert!(!check_figure(FigureId::Fig10, &bad)[0].pass);
+    }
+
+    #[test]
+    fn fig12_and_fig13_overhead_gap() {
+        let dilated = ds(vec![
+            Series::new("Work with MH", vec![(1e5, 3000.0), (5e5, 5600.0)]),
+            Series::new("Work Only", vec![(1e5, 2000.0), (5e5, 4000.0)]),
+        ]);
+        assert!(check_figure(FigureId::Fig12, &dilated)[0].pass);
+        assert!(!check_figure(FigureId::Fig13, &dilated)[0].pass);
+        let coincident = ds(vec![
+            Series::new("Work with MH", vec![(1e5, 2000.0), (5e5, 4000.0)]),
+            Series::new("Work Only", vec![(1e5, 2000.0), (5e5, 4000.0)]),
+        ]);
+        assert!(!check_figure(FigureId::Fig12, &coincident)[0].pass);
+        assert!(check_figure(FigureId::Fig13, &coincident)[0].pass);
+    }
+
+    #[test]
+    fn fig14_small_message_dip_is_required() {
+        let good = ds(vec![
+            Series::new("10 KB", vec![(0.2, 60.0), (0.5, 60.0), (0.9, 10.0)]),
+            Series::new("50 KB", vec![(0.2, 85.0), (0.95, 85.0), (0.99, 20.0)]),
+            Series::new("100 KB", vec![(0.2, 90.0), (0.95, 90.0), (0.99, 20.0)]),
+            Series::new("300 KB", vec![(0.2, 90.0), (0.97, 90.0), (0.99, 20.0)]),
+        ]);
+        assert!(check_figure(FigureId::Fig14, &good).iter().all(|c| c.pass));
+        // A 10 KB curve holding peak bandwidth at 0.95 availability would
+        // contradict the 45 us eager-send overhead.
+        let bad = ds(vec![Series::new("10 KB", vec![(0.95, 60.0), (0.99, 10.0)])]);
+        assert!(!check_figure(FigureId::Fig14, &bad)[0].pass);
+    }
+
+    #[test]
+    fn fig15_peak_confined_to_low_availability() {
+        let good = ds(vec![Series::new(
+            "100 KB",
+            vec![(0.1, 50.0), (0.3, 50.0), (0.7, 20.0), (0.95, 5.0)],
+        )]);
+        assert!(check_figure(FigureId::Fig15, &good)[0].pass);
+        let bad = ds(vec![Series::new(
+            "100 KB",
+            vec![(0.1, 50.0), (0.9, 50.0), (0.95, 5.0)],
+        )]);
+        assert!(!check_figure(FigureId::Fig15, &bad)[0].pass);
+    }
+
+    #[test]
+    fn fig16_fig17_reach_relations() {
+        let fig16 = ds(vec![
+            Series::new("Poll", vec![(0.2, 88.0), (0.95, 88.0), (0.99, 10.0)]),
+            Series::new("PWW", vec![(0.1, 80.0), (0.5, 30.0), (0.9, 5.0)]),
+        ]);
+        assert!(check_figure(FigureId::Fig16, &fig16).iter().all(|c| c.pass));
+        let fig17 = ds(vec![
+            Series::new("Poll", vec![(0.2, 88.0), (0.95, 88.0)]),
+            Series::new("PWW + Test", vec![(0.1, 80.0), (0.6, 78.0), (0.9, 20.0)]),
+            Series::new("PWW", vec![(0.1, 80.0), (0.5, 30.0)]),
+        ]);
+        let checks = check_figure(FigureId::Fig17, &fig17);
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+        // If the test-in-work curve does not extend the reach, fail.
+        let flat17 = ds(vec![
+            Series::new("Poll", vec![(0.95, 88.0)]),
+            Series::new("PWW + Test", vec![(0.1, 80.0)]),
+            Series::new("PWW", vec![(0.1, 80.0)]),
+        ]);
+        let checks = check_figure(FigureId::Fig17, &flat17);
+        assert!(checks.iter().any(|c| !c.pass));
+    }
+
+    #[test]
+    fn missing_series_do_not_panic() {
+        let empty = ds(vec![]);
+        for id in FigureId::ALL {
+            let _ = check_figure(id, &empty); // must not panic
+        }
+    }
+}

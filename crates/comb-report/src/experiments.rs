@@ -1,0 +1,158 @@
+//! The full evaluation: regenerate every figure, write CSVs, render ASCII
+//! plots, and run the shape checks. Drives the CLI and the EXPERIMENTS.md
+//! record.
+
+use crate::ascii;
+use crate::expect::{check_figure, Check};
+use crate::figures::{generate, Campaigns, Fidelity, FigureId};
+use crate::series::Dataset;
+use comb_core::RunError;
+use std::path::{Path, PathBuf};
+
+/// Result of regenerating one figure.
+pub struct FigureReport {
+    /// Which figure.
+    pub id: FigureId,
+    /// The regenerated data.
+    pub dataset: Dataset,
+    /// Shape checks against the paper's claims.
+    pub checks: Vec<Check>,
+    /// Where the CSV was written, if requested.
+    pub csv_path: Option<PathBuf>,
+}
+
+impl FigureReport {
+    /// True if every shape check passed.
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Render the figure as an ASCII plot.
+    pub fn plot(&self, width: usize, height: usize) -> String {
+        ascii::render(&self.dataset, width, height)
+    }
+
+    /// One-line summary: id, pass/fail counts.
+    pub fn summary(&self) -> String {
+        let passed = self.checks.iter().filter(|c| c.pass).count();
+        format!(
+            "{}  [{}/{} checks]  {}",
+            self.id,
+            passed,
+            self.checks.len(),
+            self.id.title()
+        )
+    }
+}
+
+/// Regenerate the given figures at the given fidelity, optionally writing
+/// CSVs to `out_dir`. Sweeps are shared across figures.
+pub fn run_figures(
+    ids: &[FigureId],
+    fidelity: Fidelity,
+    out_dir: Option<&Path>,
+) -> Result<Vec<FigureReport>, RunError> {
+    let mut campaigns = Campaigns::new(fidelity);
+    let mut reports = Vec::with_capacity(ids.len());
+    for &id in ids {
+        let dataset = generate(id, &mut campaigns)?;
+        let checks = check_figure(id, &dataset);
+        let csv_path = out_dir.map(|dir| {
+            dataset
+                .write_csv(dir)
+                .unwrap_or_else(|e| panic!("writing {id}.csv: {e}"))
+        });
+        reports.push(FigureReport {
+            id,
+            dataset,
+            checks,
+            csv_path,
+        });
+    }
+    Ok(reports)
+}
+
+/// Regenerate the whole evaluation (all 14 data figures).
+pub fn run_all(fidelity: Fidelity, out_dir: Option<&Path>) -> Result<Vec<FigureReport>, RunError> {
+    run_figures(&FigureId::ALL, fidelity, out_dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_figure_report_has_checks_and_csv() {
+        let dir = std::env::temp_dir().join("comb_report_experiments_test");
+        let reports =
+            run_figures(&[FigureId::Fig13], Fidelity::quick(), Some(&dir)).expect("fig13 runs");
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert!(!r.checks.is_empty());
+        assert!(r.all_pass(), "{:#?}", r.checks);
+        assert!(r.csv_path.as_ref().unwrap().exists());
+        assert!(r.summary().contains("fig13"));
+        assert!(r.plot(60, 14).contains("Work Only"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Render a markdown record of the given figure reports — the
+/// machine-generated companion to EXPERIMENTS.md.
+pub fn markdown_report(reports: &[FigureReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let total: usize = reports.iter().map(|r| r.checks.len()).sum();
+    let passed: usize = reports
+        .iter()
+        .map(|r| r.checks.iter().filter(|c| c.pass).count())
+        .sum();
+    let _ = writeln!(out, "# COMB evaluation record\n");
+    let _ = writeln!(
+        out,
+        "{passed}/{total} shape checks passed across {} figures.\n",
+        reports.len()
+    );
+    for r in reports {
+        let _ = writeln!(out, "## {} — {}\n", r.id, r.id.title());
+        let _ = writeln!(out, "{}\n", r.id.description());
+        let _ = writeln!(out, "| check | result | evidence |");
+        let _ = writeln!(out, "|---|---|---|");
+        for c in &r.checks {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} |",
+                c.name,
+                if c.pass { "PASS" } else { "**FAIL**" },
+                c.detail
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "Series maxima:");
+        for s in &r.dataset.series {
+            let _ = writeln!(out, "* {}: max y = {:.3}", s.label, s.y_max());
+        }
+        if let Some(p) = &r.csv_path {
+            let _ = writeln!(out, "\nData: `{}`", p.display());
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod markdown_tests {
+    use super::*;
+
+    #[test]
+    fn markdown_report_includes_all_sections() {
+        let reports =
+            run_figures(&[FigureId::Fig13], Fidelity::quick(), None).expect("fig13 runs");
+        let md = markdown_report(&reports);
+        assert!(md.contains("# COMB evaluation record"));
+        assert!(md.contains("## fig13"));
+        assert!(md.contains("| check | result |"));
+        assert!(md.contains("PASS"));
+        assert!(md.contains("Work with MH"));
+    }
+}

@@ -1,0 +1,454 @@
+//! Definitions of every data figure in the paper's evaluation (Figures
+//! 4–17; Figures 1–3 are method diagrams) and the code that regenerates
+//! them on the simulated platforms.
+
+use crate::series::{Dataset, Series};
+use comb_core::{
+    lin_spaced, log_spaced, polling_sweep, pww_sweep, MethodConfig, PollingSample, PwwSample,
+    RunError, Transport, PAPER_SIZES,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// The paper's data figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum FigureId {
+    Fig04,
+    Fig05,
+    Fig06,
+    Fig07,
+    Fig08,
+    Fig09,
+    Fig10,
+    Fig11,
+    Fig12,
+    Fig13,
+    Fig14,
+    Fig15,
+    Fig16,
+    Fig17,
+}
+
+impl FigureId {
+    /// All data figures, in paper order.
+    pub const ALL: [FigureId; 14] = [
+        FigureId::Fig04,
+        FigureId::Fig05,
+        FigureId::Fig06,
+        FigureId::Fig07,
+        FigureId::Fig08,
+        FigureId::Fig09,
+        FigureId::Fig10,
+        FigureId::Fig11,
+        FigureId::Fig12,
+        FigureId::Fig13,
+        FigureId::Fig14,
+        FigureId::Fig15,
+        FigureId::Fig16,
+        FigureId::Fig17,
+    ];
+
+    /// The paper's caption, abbreviated.
+    pub fn title(self) -> &'static str {
+        match self {
+            FigureId::Fig04 => "Polling Method: CPU Availability (Portals)",
+            FigureId::Fig05 => "Polling Method: Bandwidth (Portals)",
+            FigureId::Fig06 => "PWW Method: CPU Availability (Portals)",
+            FigureId::Fig07 => "PWW Method: Bandwidth (Portals)",
+            FigureId::Fig08 => "Polling Method: Bandwidth for GM and Portals",
+            FigureId::Fig09 => "PWW Method: Bandwidth for GM and Portals",
+            FigureId::Fig10 => "PWW Method: Average Post Time (100 KB)",
+            FigureId::Fig11 => "PWW Method: Average Wait Time (100 KB)",
+            FigureId::Fig12 => "PWW Method: CPU Overhead for Portals",
+            FigureId::Fig13 => "PWW Method: CPU Overhead for GM",
+            FigureId::Fig14 => "Polling Method: Bandwidth vs CPU Availability (GM)",
+            FigureId::Fig15 => "Polling Method: Bandwidth vs CPU Availability (Portals)",
+            FigureId::Fig16 => "Polling and PWW Methods: Bandwidth vs Availability (GM)",
+            FigureId::Fig17 => "Polling and Modified PWW: Bandwidth vs Availability (GM)",
+        }
+    }
+
+    /// What the figure demonstrates (paper Section 4).
+    pub fn description(self) -> &'static str {
+        match self {
+            FigureId::Fig04 => {
+                "Availability stays low while interrupts process messages, then rises \
+                 steeply once the poll interval is long enough to stall the flow."
+            }
+            FigureId::Fig05 => {
+                "Bandwidth plateaus at the sustained maximum, then declines steeply when \
+                 all in-flight messages complete within one poll interval."
+            }
+            FigureId::Fig06 => {
+                "No initial plateau: the PWW wait-regardless semantics suppress apparent \
+                 availability until the work interval fills the delay."
+            }
+            FigureId::Fig07 => "Bandwidth declines more gradually with work interval than polling.",
+            FigureId::Fig08 => "GM's OS-bypass beats interrupt-driven Portals on raw bandwidth.",
+            FigureId::Fig09 => "GM also wins under PWW at small work intervals.",
+            FigureId::Fig10 => "Posting is far cheaper on GM than through Portals' kernel crossing.",
+            FigureId::Fig11 => {
+                "The application-offload detector: Portals' wait vanishes for long work \
+                 intervals; GM's wait stays at the transfer time."
+            }
+            FigureId::Fig12 => {
+                "Portals: work with message handling exceeds work alone — interrupt \
+                 overhead dilates the work phase."
+            }
+            FigureId::Fig13 => "GM: no overhead — the two work curves coincide.",
+            FigureId::Fig14 => {
+                "GM sustains peak bandwidth at high availability (true overlap), except \
+                 the 10 KB curve, dragged down by the 45 us small-message send path."
+            }
+            FigureId::Fig15 => "Portals only reaches peak bandwidth at low availability.",
+            FigureId::Fig16 => {
+                "Under PWW, GM loses bandwidth at much lower availability than under \
+                 polling — library progress needs the application's calls."
+            }
+            FigureId::Fig17 => {
+                "One MPI_Test inside the work phase extends GM's PWW bandwidth into \
+                 higher availability."
+            }
+        }
+    }
+
+    /// Stable lowercase id ("fig04").
+    pub fn id(self) -> String {
+        format!("{self}")
+    }
+}
+
+impl fmt::Display for FigureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = match self {
+            FigureId::Fig04 => 4,
+            FigureId::Fig05 => 5,
+            FigureId::Fig06 => 6,
+            FigureId::Fig07 => 7,
+            FigureId::Fig08 => 8,
+            FigureId::Fig09 => 9,
+            FigureId::Fig10 => 10,
+            FigureId::Fig11 => 11,
+            FigureId::Fig12 => 12,
+            FigureId::Fig13 => 13,
+            FigureId::Fig14 => 14,
+            FigureId::Fig15 => 15,
+            FigureId::Fig16 => 16,
+            FigureId::Fig17 => 17,
+        };
+        write!(f, "fig{n:02}")
+    }
+}
+
+impl FromStr for FigureId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_lowercase();
+        let norm = norm
+            .strip_prefix("fig")
+            .or_else(|| norm.strip_prefix("figure"))
+            .unwrap_or(&norm)
+            .trim_matches(|c: char| !c.is_ascii_digit());
+        let n: u32 = norm.parse().map_err(|_| format!("unknown figure '{s}'"))?;
+        FigureId::ALL
+            .iter()
+            .copied()
+            .find(|f| f.id() == format!("fig{n:02}"))
+            .ok_or_else(|| format!("no data figure {n} (the paper's data figures are 4..17)"))
+    }
+}
+
+/// Sweep density / run length, trading accuracy for wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fidelity {
+    /// Sweep points per decade of the x axis.
+    pub per_decade: u32,
+    /// PWW cycles averaged per point.
+    pub cycles: u64,
+    /// Polling: target total work iterations per point.
+    pub target_iters: u64,
+    /// Polling: cap on poll intervals per point.
+    pub max_intervals: u64,
+}
+
+impl Fidelity {
+    /// Fast preset for tests and smoke runs (a full evaluation in seconds).
+    pub fn quick() -> Fidelity {
+        Fidelity {
+            per_decade: 2,
+            cycles: 6,
+            target_iters: 2_000_000,
+            max_intervals: 4_000,
+        }
+    }
+
+    /// Paper-density preset (a full evaluation in a couple of minutes).
+    pub fn paper() -> Fidelity {
+        Fidelity {
+            per_decade: 3,
+            cycles: 12,
+            target_iters: 8_000_000,
+            max_intervals: 20_000,
+        }
+    }
+
+    fn method_config(&self, transport: Transport, size: u64) -> MethodConfig {
+        let mut cfg = MethodConfig::new(transport, size);
+        cfg.cycles = self.cycles;
+        cfg.target_iters = self.target_iters;
+        cfg.max_intervals = self.max_intervals;
+        cfg
+    }
+}
+
+/// The paper's x-axis ranges, in loop iterations.
+const POLL_RANGE: (u64, u64) = (10, 100_000_000);
+const PWW_RANGE: (u64, u64) = (10_000, 10_000_000);
+/// Figures 12/13 use a linear axis to 500k iterations.
+const OVERHEAD_RANGE: (u64, u64) = (25_000, 500_000);
+const OVERHEAD_POINTS: usize = 8;
+
+/// Caches sweep results so figures sharing a campaign (e.g. 4, 5 and 15 all
+/// use the Portals polling sweep) run it once.
+pub struct Campaigns {
+    fidelity: Fidelity,
+    polling: HashMap<(String, u64), Vec<PollingSample>>,
+    pww: HashMap<(String, u64, bool), Vec<PwwSample>>,
+    overhead: HashMap<String, Vec<PwwSample>>,
+}
+
+impl Campaigns {
+    /// Empty cache at the given fidelity.
+    pub fn new(fidelity: Fidelity) -> Campaigns {
+        Campaigns {
+            fidelity,
+            polling: HashMap::new(),
+            pww: HashMap::new(),
+            overhead: HashMap::new(),
+        }
+    }
+
+    fn polling(&mut self, t: &Transport, size: u64) -> Result<&[PollingSample], RunError> {
+        let key = (t.name(), size);
+        if !self.polling.contains_key(&key) {
+            let cfg = self.fidelity.method_config(t.clone(), size);
+            let xs = log_spaced(POLL_RANGE.0, POLL_RANGE.1, self.fidelity.per_decade);
+            let samples = polling_sweep(&cfg, &xs)?;
+            self.polling.insert(key.clone(), samples);
+        }
+        Ok(&self.polling[&key])
+    }
+
+    fn pww(&mut self, t: &Transport, size: u64, test: bool) -> Result<&[PwwSample], RunError> {
+        let key = (t.name(), size, test);
+        if !self.pww.contains_key(&key) {
+            let cfg = self.fidelity.method_config(t.clone(), size);
+            let xs = log_spaced(PWW_RANGE.0, PWW_RANGE.1, self.fidelity.per_decade);
+            let samples = pww_sweep(&cfg, &xs, test)?;
+            self.pww.insert(key.clone(), samples);
+        }
+        Ok(&self.pww[&key])
+    }
+
+    fn overhead(&mut self, t: &Transport) -> Result<&[PwwSample], RunError> {
+        let key = t.name();
+        if !self.overhead.contains_key(&key) {
+            let cfg = self.fidelity.method_config(t.clone(), 100 * 1024);
+            let xs = lin_spaced(OVERHEAD_RANGE.0, OVERHEAD_RANGE.1, OVERHEAD_POINTS);
+            let samples = pww_sweep(&cfg, &xs, false)?;
+            self.overhead.insert(key.clone(), samples);
+        }
+        Ok(&self.overhead[&key])
+    }
+}
+
+fn size_label(size: u64) -> String {
+    format!("{} KB", size / 1024)
+}
+
+fn polling_series(label: &str, s: &[PollingSample], y: impl Fn(&PollingSample) -> f64) -> Series {
+    Series::new(label, s.iter().map(|p| (p.poll_interval as f64, y(p))))
+}
+
+fn pww_series(label: &str, s: &[PwwSample], y: impl Fn(&PwwSample) -> f64) -> Series {
+    Series::new(label, s.iter().map(|p| (p.work_interval as f64, y(p))))
+}
+
+fn avail_vs_bw_series(label: &str, s: &[PollingSample]) -> Series {
+    Series::new(label, s.iter().map(|p| (p.availability, p.bandwidth_mbs)))
+}
+
+fn pww_avail_vs_bw_series(label: &str, s: &[PwwSample]) -> Series {
+    Series::new(label, s.iter().map(|p| (p.availability, p.bandwidth_mbs)))
+}
+
+/// Regenerate one figure, reusing any sweeps already in `campaigns`.
+pub fn generate(id: FigureId, campaigns: &mut Campaigns) -> Result<Dataset, RunError> {
+    let mut ds = Dataset {
+        id: id.id(),
+        title: id.title().to_string(),
+        x_label: "Poll Interval (loop iterations)".into(),
+        y_label: String::new(),
+        log_x: true,
+        series: Vec::new(),
+    };
+    let kb100 = 100 * 1024;
+    match id {
+        FigureId::Fig04 | FigureId::Fig05 => {
+            ds.y_label = if id == FigureId::Fig04 {
+                "CPU Availability (fraction to user)".into()
+            } else {
+                "Bandwidth (MB/s)".into()
+            };
+            for &size in &PAPER_SIZES {
+                let s = campaigns.polling(&Transport::Portals, size)?;
+                ds.series.push(if id == FigureId::Fig04 {
+                    polling_series(&size_label(size), s, |p| p.availability)
+                } else {
+                    polling_series(&size_label(size), s, |p| p.bandwidth_mbs)
+                });
+            }
+        }
+        FigureId::Fig06 | FigureId::Fig07 => {
+            ds.x_label = "Work Interval (loop iterations)".into();
+            ds.y_label = if id == FigureId::Fig06 {
+                "CPU Availability (fraction to user)".into()
+            } else {
+                "Bandwidth (MB/s)".into()
+            };
+            for &size in &PAPER_SIZES {
+                let s = campaigns.pww(&Transport::Portals, size, false)?;
+                ds.series.push(if id == FigureId::Fig06 {
+                    pww_series(&size_label(size), s, |p| p.availability)
+                } else {
+                    pww_series(&size_label(size), s, |p| p.bandwidth_mbs)
+                });
+            }
+        }
+        FigureId::Fig08 => {
+            ds.y_label = "Bandwidth (MB/s)".into();
+            for t in [Transport::Gm, Transport::Portals] {
+                let name = t.name();
+                let s = campaigns.polling(&t, kb100)?;
+                ds.series.push(polling_series(&name, s, |p| p.bandwidth_mbs));
+            }
+        }
+        FigureId::Fig09 | FigureId::Fig10 | FigureId::Fig11 => {
+            ds.x_label = "Work Interval (loop iterations)".into();
+            ds.y_label = match id {
+                FigureId::Fig09 => "Bandwidth (MB/s)".into(),
+                FigureId::Fig10 => "Time to Post (us)".into(),
+                _ => "Time Per Message (us)".into(),
+            };
+            for t in [Transport::Gm, Transport::Portals] {
+                let name = t.name();
+                let s = campaigns.pww(&t, kb100, false)?;
+                ds.series.push(match id {
+                    FigureId::Fig09 => pww_series(&name, s, |p| p.bandwidth_mbs),
+                    FigureId::Fig10 => pww_series(&name, s, |p| p.post_per_msg.as_micros_f64()),
+                    _ => pww_series(&name, s, |p| p.wait_per_msg.as_micros_f64()),
+                });
+            }
+        }
+        FigureId::Fig12 | FigureId::Fig13 => {
+            ds.x_label = "Work Interval (loop iterations)".into();
+            ds.y_label = "Average Time Per Cycle (us)".into();
+            ds.log_x = false;
+            let t = if id == FigureId::Fig12 {
+                Transport::Portals
+            } else {
+                Transport::Gm
+            };
+            let s = campaigns.overhead(&t)?;
+            ds.series
+                .push(pww_series("Work with MH", s, |p| p.work_with_mh.as_micros_f64()));
+            ds.series
+                .push(pww_series("Work Only", s, |p| p.work_only.as_micros_f64()));
+        }
+        FigureId::Fig14 | FigureId::Fig15 => {
+            ds.x_label = "CPU Available to User (fraction of time)".into();
+            ds.y_label = "Bandwidth (MB/s)".into();
+            ds.log_x = false;
+            let t = if id == FigureId::Fig14 {
+                Transport::Gm
+            } else {
+                Transport::Portals
+            };
+            for &size in &PAPER_SIZES {
+                let s = campaigns.polling(&t, size)?;
+                ds.series.push(avail_vs_bw_series(&size_label(size), s));
+            }
+        }
+        FigureId::Fig16 | FigureId::Fig17 => {
+            ds.x_label = "CPU Available to User (fraction of time)".into();
+            ds.y_label = "Bandwidth (MB/s)".into();
+            ds.log_x = false;
+            let poll = campaigns.polling(&Transport::Gm, kb100)?;
+            ds.series.push(avail_vs_bw_series("Poll", poll));
+            if id == FigureId::Fig17 {
+                let tested = campaigns.pww(&Transport::Gm, kb100, true)?;
+                ds.series.push(pww_avail_vs_bw_series("PWW + Test", tested));
+            }
+            let pww = campaigns.pww(&Transport::Gm, kb100, false)?;
+            ds.series.push(pww_avail_vs_bw_series("PWW", pww));
+        }
+    }
+    Ok(ds)
+}
+
+/// Regenerate every data figure, sharing sweeps across figures.
+pub fn generate_all(fidelity: Fidelity) -> Result<Vec<Dataset>, RunError> {
+    let mut campaigns = Campaigns::new(fidelity);
+    FigureId::ALL
+        .iter()
+        .map(|&id| generate(id, &mut campaigns))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_ids_roundtrip_through_strings() {
+        for id in FigureId::ALL {
+            let s = id.id();
+            assert_eq!(s.parse::<FigureId>().unwrap(), id);
+        }
+        assert_eq!("Figure 11".parse::<FigureId>().unwrap(), FigureId::Fig11);
+        assert_eq!("5".parse::<FigureId>().unwrap(), FigureId::Fig05);
+        assert!("fig03".parse::<FigureId>().is_err());
+        assert!("banana".parse::<FigureId>().is_err());
+    }
+
+    #[test]
+    fn titles_and_descriptions_are_nonempty() {
+        for id in FigureId::ALL {
+            assert!(!id.title().is_empty());
+            assert!(!id.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn fig12_generates_two_series_linear_axis() {
+        let mut c = Campaigns::new(Fidelity::quick());
+        let ds = generate(FigureId::Fig12, &mut c).unwrap();
+        assert_eq!(ds.series.len(), 2);
+        assert!(!ds.log_x);
+        assert_eq!(ds.series[0].label, "Work with MH");
+        assert!(ds.point_count() > 0);
+    }
+
+    #[test]
+    fn campaigns_cache_is_shared_across_figures() {
+        let mut c = Campaigns::new(Fidelity::quick());
+        // Fig 13 and Fig 16 both need GM sweeps; fig13's overhead campaign
+        // is distinct, but the polling campaign must be computed once.
+        let _ = generate(FigureId::Fig13, &mut c).unwrap();
+        assert_eq!(c.overhead.len(), 1);
+        let before = c.polling.len();
+        assert_eq!(before, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # comb-report — figure regeneration, CSV output, ASCII plots and shape
+//! checks for the COMB reproduction
+//!
+//! Maps every data figure of the paper's evaluation (Figures 4–17) to the
+//! sweeps that regenerate it on the simulated platforms, renders the result
+//! (CSV + terminal plot), and checks the paper's qualitative claims against
+//! the regenerated data ([`expect`]).
+//!
+//! ```no_run
+//! use comb_report::{run_figures, Fidelity, FigureId};
+//!
+//! let reports = run_figures(&[FigureId::Fig11], Fidelity::quick(), None).unwrap();
+//! println!("{}", reports[0].plot(72, 20));
+//! assert!(reports[0].all_pass());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod expect;
+pub mod experiments;
+pub mod figures;
+pub mod series;
+
+pub use expect::{check_figure, Check};
+pub use experiments::{markdown_report, run_all, run_figures, FigureReport};
+pub use figures::{generate, generate_all, Campaigns, Fidelity, FigureId};
+pub use series::{Dataset, Point, Series};

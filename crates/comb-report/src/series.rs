@@ -1,0 +1,160 @@
+//! Data series and datasets: the in-memory form of a paper figure, with
+//! CSV output.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One (x, y) point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+/// A labelled series of points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. "100 KB", "GM", "Portals").
+    pub label: String,
+    /// The points, in sweep order.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Build a series from (x, y) pairs.
+    pub fn new(label: impl Into<String>, points: impl IntoIterator<Item = (f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points: points.into_iter().map(|(x, y)| Point { x, y }).collect(),
+        }
+    }
+
+    /// Largest y value; 0.0 for an empty series.
+    pub fn y_max(&self) -> f64 {
+        self.points.iter().map(|p| p.y).fold(0.0, f64::max)
+    }
+
+    /// The y value of the point with the smallest x.
+    pub fn first_y(&self) -> Option<f64> {
+        self.points.first().map(|p| p.y)
+    }
+
+    /// The y value of the point with the largest x.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|p| p.y)
+    }
+}
+
+/// A complete figure: titled, axis-labelled collection of series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Stable identifier (e.g. "fig05"); used as the CSV file stem.
+    pub id: String,
+    /// Human-readable title (the paper's caption).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Render/interpret the x axis logarithmically.
+    pub log_x: bool,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Dataset {
+    /// Long-format CSV: `series,x,y` with a comment header carrying the
+    /// title and axis labels.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}: {}", self.id, self.title);
+        let _ = writeln!(out, "# x: {} | y: {}", self.x_label, self.y_label);
+        let _ = writeln!(out, "series,x,y");
+        for s in &self.series {
+            for p in &s.points {
+                let _ = writeln!(out, "{},{},{}", csv_escape(&s.label), p.x, p.y);
+            }
+        }
+        out
+    }
+
+    /// Write `<dir>/<id>.csv`; returns the path.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+
+    /// Total number of points across all series.
+    pub fn point_count(&self) -> usize {
+        self.series.iter().map(|s| s.points.len()).sum()
+    }
+
+    /// Find a series by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset {
+            id: "fig99".into(),
+            title: "Test figure".into(),
+            x_label: "Poll Interval".into(),
+            y_label: "Bandwidth (MB/s)".into(),
+            log_x: true,
+            series: vec![
+                Series::new("10 KB", [(10.0, 80.0), (100.0, 70.0)]),
+                Series::new("has,comma", [(10.0, 1.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let csv = dataset().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("# fig99"));
+        assert_eq!(lines[2], "series,x,y");
+        assert_eq!(lines[3], "10 KB,10,80");
+        assert_eq!(lines[5], "\"has,comma\",10,1");
+        assert_eq!(dataset().point_count(), 3);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("comb_report_test_csv");
+        let path = dataset().write_csv(&dir).unwrap();
+        assert!(path.ends_with("fig99.csv"));
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("10 KB,100,70"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn series_helpers() {
+        let s = Series::new("x", [(1.0, 3.0), (2.0, 9.0), (3.0, 6.0)]);
+        assert_eq!(s.y_max(), 9.0);
+        assert_eq!(s.first_y(), Some(3.0));
+        assert_eq!(s.last_y(), Some(6.0));
+        assert!(dataset().series_by_label("10 KB").is_some());
+        assert!(dataset().series_by_label("nope").is_none());
+    }
+}

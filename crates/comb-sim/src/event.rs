@@ -1,0 +1,171 @@
+//! Event queue internals.
+//!
+//! Events are totally ordered by `(time, sequence-number)`. The sequence
+//! number is assigned at scheduling time, so two events scheduled for the
+//! same instant fire in the order they were scheduled. This, plus the
+//! one-runnable-entity-at-a-time process model, makes every simulation run
+//! bit-for-bit reproducible.
+
+use crate::process::ProcId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle to a scheduled event; used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) u64);
+
+/// What happens when an event fires.
+pub(crate) enum EventKind {
+    /// Run a closure on the kernel thread (hardware model callbacks).
+    Call(Box<dyn FnOnce() + Send>),
+    /// Resume a simulated process.
+    Resume(ProcId),
+}
+
+impl std::fmt::Debug for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventKind::Call(_) => write!(f, "Call(..)"),
+            EventKind::Resume(p) => write!(f, "Resume({p:?})"),
+        }
+    }
+}
+
+pub(crate) struct ScheduledEvent {
+    pub time: SimTime,
+    pub seq: u64,
+    pub id: EventId,
+    pub kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap and we want the
+        // earliest (time, seq) on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The mutable core of the event queue. Lives behind a mutex in
+/// [`crate::kernel::SimShared`]; uncontended because at most one simulation
+/// entity runs at any moment.
+#[derive(Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    next_id: u64,
+    pub executed: u64,
+}
+
+impl EventQueue {
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, id, kind });
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that already
+    /// fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Pop the next live event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id.0) {
+                continue;
+            }
+            self.executed += 1;
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Time of the next live event without popping it.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(ev) = self.heap.peek() {
+            if self.cancelled.contains(&ev.id.0) {
+                let ev = self.heap.pop().expect("peeked event vanished");
+                self.cancelled.remove(&ev.id.0);
+                continue;
+            }
+            return Some(ev.time);
+        }
+        None
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn call() -> EventKind {
+        EventKind::Call(Box::new(|| {}))
+    }
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q = EventQueue::default();
+        let t1 = SimTime::from_nanos(10);
+        let t0 = SimTime::from_nanos(5);
+        let a = q.schedule(t1, call());
+        let b = q.schedule(t0, call());
+        let c = q.schedule(t1, call());
+        assert_eq!(q.pop().unwrap().id, b);
+        assert_eq!(q.pop().unwrap().id, a, "same-time events fire in schedule order");
+        assert_eq!(q.pop().unwrap().id, c);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut q = EventQueue::default();
+        let t = SimTime::from_nanos(1);
+        let a = q.schedule(t, call());
+        let b = q.schedule(t, call());
+        q.cancel(a);
+        assert_eq!(q.pop().unwrap().id, b);
+        assert!(q.pop().is_none());
+        // Cancelling an already-fired event is a no-op.
+        q.cancel(b);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::default();
+        let a = q.schedule(SimTime::from_nanos(1), call());
+        q.schedule(SimTime::from_nanos(2), call());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(2)));
+    }
+}

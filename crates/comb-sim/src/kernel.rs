@@ -1,0 +1,640 @@
+//! The simulation kernel: shared state, scheduling handle, and the
+//! event-loop driver.
+
+use crate::event::{EventId, EventKind, EventQueue, ScheduledEvent};
+use crate::process::{ProcCtx, ProcId, ResumeMsg, ShutdownToken, YieldMsg};
+use crate::time::{SimDuration, SimTime};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// State shared between the kernel, process contexts, and event closures.
+pub(crate) struct SimShared {
+    pub queue: Mutex<EventQueue>,
+    /// Current virtual time in nanoseconds; written only by the kernel loop.
+    pub clock: AtomicU64,
+}
+
+/// Cloneable, `Send` handle for interacting with a running simulation:
+/// reading the clock, scheduling and cancelling events, creating signals.
+///
+/// Handles stay valid for the life of the [`Simulation`]; scheduling after
+/// the run has finished is allowed (the events simply never fire).
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) shared: Arc<SimShared>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.shared.clock.load(Ordering::Relaxed))
+    }
+
+    /// Schedule `f` to run on the kernel thread after delay `d`.
+    pub fn schedule_in<F: FnOnce() + Send + 'static>(&self, d: SimDuration, f: F) -> EventId {
+        self.schedule_at(self.now() + d, f)
+    }
+
+    /// Schedule `f` to run on the kernel thread at absolute time `t`.
+    /// Panics if `t` is in the virtual past.
+    pub fn schedule_at<F: FnOnce() + Send + 'static>(&self, t: SimTime, f: F) -> EventId {
+        assert!(t >= self.now(), "cannot schedule an event in the past");
+        self.shared
+            .queue
+            .lock()
+            .schedule(t, EventKind::Call(Box::new(f)))
+    }
+
+    /// Cancel a scheduled event. No-op if it already fired.
+    pub fn cancel(&self, id: EventId) {
+        self.shared.queue.lock().cancel(id);
+    }
+
+    /// Schedule a process resume at absolute time `t` (internal; used by the
+    /// wait/notify primitives).
+    pub(crate) fn schedule_resume(&self, pid: ProcId, t: SimTime) -> EventId {
+        self.shared.queue.lock().schedule(t, EventKind::Resume(pid))
+    }
+
+    /// Number of events executed so far (diagnostics).
+    pub fn events_executed(&self) -> u64 {
+        self.shared.queue.lock().executed
+    }
+}
+
+/// Why a simulation run stopped abnormally.
+#[derive(Debug)]
+pub enum SimError {
+    /// The event queue drained but some processes never finished — they are
+    /// parked forever.
+    Deadlock {
+        /// Names of the processes still parked.
+        parked: Vec<String>,
+    },
+    /// A simulated process panicked.
+    ProcessPanicked {
+        /// Name of the panicking process.
+        name: String,
+        /// The panic message.
+        message: String,
+    },
+    /// `run_with_limit` executed more events than allowed.
+    EventLimitExceeded {
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { parked } => {
+                write!(f, "simulation deadlock; parked processes: {parked:?}")
+            }
+            SimError::ProcessPanicked { name, message } => {
+                write!(f, "simulated process '{name}' panicked: {message}")
+            }
+            SimError::EventLimitExceeded { limit } => {
+                write!(f, "event limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Runnable,
+    Parked,
+    Finished,
+}
+
+struct ProcSlot {
+    name: String,
+    resume_tx: Sender<ResumeMsg>,
+    thread: Option<JoinHandle<()>>,
+    state: ProcState,
+}
+
+/// Thread-safe cell for extracting results out of simulated processes.
+///
+/// Simulated process closures must be `'static`, so they cannot borrow from
+/// the driver's stack; a `Probe` is the idiomatic way to get a value out.
+pub struct Probe<T> {
+    inner: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> Clone for Probe<T> {
+    fn clone(&self) -> Self {
+        Probe {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for Probe<T> {
+    fn default() -> Self {
+        Probe {
+            inner: Arc::new(Mutex::new(None)),
+        }
+    }
+}
+
+impl<T> Probe<T> {
+    /// Create an empty probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a value (replacing any previous one).
+    pub fn set(&self, value: T) {
+        *self.inner.lock() = Some(value);
+    }
+
+    /// Take the value out, leaving the probe empty.
+    pub fn take(&self) -> Option<T> {
+        self.inner.lock().take()
+    }
+
+    /// True if a value has been stored.
+    pub fn is_set(&self) -> bool {
+        self.inner.lock().is_some()
+    }
+}
+
+impl<T: Clone> Probe<T> {
+    /// Clone the stored value out.
+    pub fn get(&self) -> Option<T> {
+        self.inner.lock().clone()
+    }
+}
+
+/// A deterministic process-oriented discrete-event simulation.
+///
+/// ```
+/// use comb_sim::{Simulation, SimDuration};
+///
+/// let mut sim = Simulation::new();
+/// let probe = sim.probe::<u64>();
+/// sim.spawn("worker", move |ctx| {
+///     ctx.hold(SimDuration::from_micros(3));
+///     probe.set(ctx.now().as_nanos());
+/// });
+/// sim.run().unwrap();
+/// ```
+pub struct Simulation {
+    shared: Arc<SimShared>,
+    procs: Vec<ProcSlot>,
+    yield_rx: Receiver<(ProcId, YieldMsg)>,
+    yield_tx: Sender<(ProcId, YieldMsg)>,
+    finished: bool,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Create an empty simulation at virtual time zero.
+    pub fn new() -> Self {
+        install_shutdown_panic_hook();
+        let (yield_tx, yield_rx) = unbounded();
+        Simulation {
+            shared: Arc::new(SimShared {
+                queue: Mutex::new(EventQueue::default()),
+                clock: AtomicU64::new(0),
+            }),
+            procs: Vec::new(),
+            yield_rx,
+            yield_tx,
+            finished: false,
+        }
+    }
+
+    /// A handle for scheduling events and creating signals.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Convenience constructor for a result [`Probe`].
+    pub fn probe<T>(&self) -> Probe<T> {
+        Probe::new()
+    }
+
+    /// Spawn a simulated process. It becomes runnable at the current
+    /// virtual time (after already-scheduled same-time events).
+    pub fn spawn<F>(&mut self, name: &str, f: F) -> ProcId
+    where
+        F: FnOnce(&ProcCtx) + Send + 'static,
+    {
+        let pid = ProcId(self.procs.len());
+        let (resume_tx, resume_rx) = bounded::<ResumeMsg>(1);
+        let ctx = ProcCtx {
+            pid,
+            handle: self.handle(),
+            resume_rx,
+            yield_tx: self.yield_tx.clone(),
+        };
+        let thread_name = format!("sim-{name}");
+        let name_owned = name.to_string();
+        let thread = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                // Wait for the first resume before running user code.
+                ctx.await_resume();
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                match result {
+                    Ok(()) => {
+                        // Kernel may already be gone during teardown races.
+                        let _ = ctx.yield_tx.send((ctx.pid, YieldMsg::Finished));
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<ShutdownToken>().is_some() {
+                            // Quiet teardown unwind.
+                        } else {
+                            let message = panic_message(payload.as_ref());
+                            let _ = ctx.yield_tx.send((ctx.pid, YieldMsg::Panicked(message)));
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn simulated process thread");
+        self.procs.push(ProcSlot {
+            name: name_owned,
+            resume_tx,
+            thread: Some(thread),
+            state: ProcState::Runnable,
+        });
+        let handle = self.handle();
+        handle.schedule_resume(pid, handle.now());
+        pid
+    }
+
+    /// Run until the event queue drains. Returns the final virtual time.
+    pub fn run(&mut self) -> Result<SimTime, SimError> {
+        self.run_with_limit(u64::MAX)
+    }
+
+    /// Run until the queue drains or `max_events` events have executed.
+    pub fn run_with_limit(&mut self, max_events: u64) -> Result<SimTime, SimError> {
+        self.run_inner(max_events, SimTime::MAX, false)
+    }
+
+    /// Run until the first event strictly after `deadline` (which stays
+    /// queued), or until the queue drains. Unlike [`Simulation::run`],
+    /// still-parked processes are not an error — the simulation can be
+    /// resumed with another `run_until`/`run` call.
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<SimTime, SimError> {
+        self.run_inner(u64::MAX, deadline, true)
+    }
+
+    fn run_inner(
+        &mut self,
+        max_events: u64,
+        deadline: SimTime,
+        partial: bool,
+    ) -> Result<SimTime, SimError> {
+        let mut executed: u64 = 0;
+        loop {
+            let ev: Option<ScheduledEvent> = {
+                let mut q = self.shared.queue.lock();
+                match q.peek_time() {
+                    Some(t) if t > deadline => None,
+                    _ => q.pop(),
+                }
+            };
+            let Some(ev) = ev else { break };
+            executed += 1;
+            if executed > max_events {
+                return Err(SimError::EventLimitExceeded { limit: max_events });
+            }
+            debug_assert!(
+                ev.time.as_nanos() >= self.shared.clock.load(Ordering::Relaxed),
+                "event queue went backwards in time"
+            );
+            self.shared
+                .clock
+                .store(ev.time.as_nanos(), Ordering::Relaxed);
+            match ev.kind {
+                EventKind::Call(f) => f(),
+                EventKind::Resume(pid) => self.dispatch(pid)?,
+            }
+        }
+        if partial {
+            // Fast-forward the clock to the deadline if nothing else is
+            // pending before it, so repeated run_until calls compose.
+            if deadline != SimTime::MAX {
+                let now = self.shared.clock.load(Ordering::Relaxed);
+                if deadline.as_nanos() > now {
+                    self.shared.clock.store(deadline.as_nanos(), Ordering::Relaxed);
+                }
+            }
+            return Ok(self.handle().now());
+        }
+        self.finished = true;
+        let parked: Vec<String> = self
+            .procs
+            .iter()
+            .filter(|p| p.state != ProcState::Finished)
+            .map(|p| p.name.clone())
+            .collect();
+        if parked.is_empty() {
+            Ok(self.handle().now())
+        } else {
+            Err(SimError::Deadlock { parked })
+        }
+    }
+
+    fn dispatch(&mut self, pid: ProcId) -> Result<(), SimError> {
+        let slot = &mut self.procs[pid.0];
+        if slot.state == ProcState::Finished {
+            // A stale resume for a finished process (e.g. a signal fired
+            // after the waiter timed out and completed). Ignore.
+            return Ok(());
+        }
+        slot.state = ProcState::Runnable;
+        slot.resume_tx
+            .send(ResumeMsg::Go)
+            .expect("process thread died unexpectedly");
+        let (ypid, msg) = self
+            .yield_rx
+            .recv()
+            .expect("all process threads disappeared");
+        debug_assert_eq!(ypid, pid, "yield from a process that was not running");
+        match msg {
+            YieldMsg::Hold(d) => {
+                let h = self.handle();
+                h.schedule_resume(pid, h.now() + d);
+            }
+            YieldMsg::Park => {
+                self.procs[pid.0].state = ProcState::Parked;
+            }
+            YieldMsg::Finished => {
+                let slot = &mut self.procs[pid.0];
+                slot.state = ProcState::Finished;
+                if let Some(t) = slot.thread.take() {
+                    let _ = t.join();
+                }
+            }
+            YieldMsg::Panicked(message) => {
+                let slot = &mut self.procs[pid.0];
+                slot.state = ProcState::Finished;
+                let name = slot.name.clone();
+                if let Some(t) = slot.thread.take() {
+                    let _ = t.join();
+                }
+                return Err(SimError::ProcessPanicked { name, message });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Unwind any still-parked process threads quietly.
+        for slot in &mut self.procs {
+            if slot.state != ProcState::Finished {
+                let _ = slot.resume_tx.send(ResumeMsg::Shutdown);
+            }
+            if let Some(t) = slot.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Install (once) a panic hook that suppresses the teardown-unwind token so
+/// dropping a simulation with parked processes does not spam stderr, while
+/// forwarding every other panic to the previous hook.
+fn install_shutdown_panic_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ShutdownToken>().is_some() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_order_and_clock_advances() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (l1, l2, l3) = (log.clone(), log.clone(), log.clone());
+        let h2 = h.clone();
+        h.schedule_in(SimDuration::from_nanos(20), move || l1.lock().push(2));
+        h.schedule_in(SimDuration::from_nanos(10), move || {
+            l2.lock().push(1);
+            // Nested scheduling from an event closure.
+            h2.schedule_in(SimDuration::from_nanos(100), move || l3.lock().push(3));
+        });
+        let end = sim.run().unwrap();
+        assert_eq!(*log.lock(), vec![1, 2, 3]);
+        assert_eq!(end.as_nanos(), 110);
+    }
+
+    #[test]
+    fn cancelled_event_never_fires() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let fired = Arc::new(Mutex::new(false));
+        let f = fired.clone();
+        let id = h.schedule_in(SimDuration::from_nanos(5), move || *f.lock() = true);
+        h.cancel(id);
+        sim.run().unwrap();
+        assert!(!*fired.lock());
+    }
+
+    #[test]
+    fn two_processes_interleave_deterministically() {
+        let mut sim = Simulation::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (la, lb) = (log.clone(), log.clone());
+        sim.spawn("a", move |ctx| {
+            for i in 0..3 {
+                ctx.hold(SimDuration::from_nanos(10));
+                la.lock().push(("a", i, ctx.now().as_nanos()));
+            }
+        });
+        sim.spawn("b", move |ctx| {
+            for i in 0..3 {
+                ctx.hold(SimDuration::from_nanos(15));
+                lb.lock().push(("b", i, ctx.now().as_nanos()));
+            }
+        });
+        sim.run().unwrap();
+        let got = log.lock().clone();
+        assert_eq!(
+            got,
+            vec![
+                ("a", 0, 10),
+                ("b", 0, 15),
+                ("a", 1, 20),
+                // At t=30 both are runnable; b's resume was scheduled at
+                // t=15, a's at t=20, so b fires first (FIFO among ties).
+                ("b", 1, 30),
+                ("a", 2, 30),
+                ("b", 2, 45),
+            ]
+        );
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let mut sim = Simulation::new();
+        sim.spawn("boom", |_ctx| panic!("kaboom"));
+        match sim.run() {
+            Err(SimError::ProcessPanicked { name, message }) => {
+                assert_eq!(name, "boom");
+                assert!(message.contains("kaboom"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_teardown_is_clean() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        sim.spawn("stuck", move |ctx| {
+            // Park on a signal that nobody ever fires.
+            let sig = crate::Signal::new(&h);
+            sig.wait(ctx);
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { parked }) => assert_eq!(parked, vec!["stuck".to_string()]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        drop(sim); // must not hang or print
+    }
+
+    #[test]
+    fn event_limit_is_enforced() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        // Self-perpetuating event chain.
+        fn chain(h: SimHandle) {
+            let h2 = h.clone();
+            h.schedule_in(SimDuration::from_nanos(1), move || chain(h2));
+        }
+        chain(h);
+        match sim.run_with_limit(1000) {
+            Err(SimError::EventLimitExceeded { limit }) => assert_eq!(limit, 1000),
+            other => panic!("expected limit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_roundtrip() {
+        let p: Probe<u32> = Probe::new();
+        assert!(!p.is_set());
+        p.set(7);
+        assert_eq!(p.get(), Some(7));
+        assert_eq!(p.take(), Some(7));
+        assert!(p.take().is_none());
+    }
+
+    #[test]
+    fn identical_runs_execute_identical_event_counts() {
+        fn build_and_run() -> (u64, u64) {
+            let mut sim = Simulation::new();
+            for p in 0..4 {
+                sim.spawn(&format!("p{p}"), move |ctx| {
+                    for i in 0..50 {
+                        ctx.hold(SimDuration::from_nanos((p as u64 + 1) * (i + 1)));
+                    }
+                });
+            }
+            let end = sim.run().unwrap();
+            (end.as_nanos(), sim.handle().events_executed())
+        }
+        assert_eq!(build_and_run(), build_and_run());
+    }
+}
+
+#[cfg(test)]
+mod run_until_tests {
+    use super::*;
+    use crate::Signal;
+
+    #[test]
+    fn run_until_stops_at_deadline_and_resumes() {
+        let mut sim = Simulation::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l = log.clone();
+        sim.spawn("p", move |ctx| {
+            for i in 0..5 {
+                ctx.hold(SimDuration::from_micros(10));
+                l.lock().push(i);
+            }
+        });
+        let t = sim.run_until(SimTime::from_nanos(25_000)).unwrap();
+        assert_eq!(t, SimTime::from_nanos(25_000));
+        assert_eq!(*log.lock(), vec![0, 1], "only events up to 25us ran");
+        // Resume to completion.
+        let end = sim.run().unwrap();
+        assert_eq!(end, SimTime::from_nanos(50_000));
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_until_with_parked_processes_is_not_a_deadlock() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let sig = Signal::new(&h);
+        let s = sig.clone();
+        sim.spawn("waiter", move |ctx| s.wait(ctx));
+        // Nothing fires the signal before the deadline; that's fine.
+        let t = sim.run_until(SimTime::from_nanos(1_000)).unwrap();
+        assert_eq!(t, SimTime::from_nanos(1_000));
+        // Fire it and finish cleanly.
+        sig.fire();
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn run_until_composes_and_clock_is_monotone() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let count = Arc::new(Mutex::new(0u32));
+        for i in 1..=10u64 {
+            let c = count.clone();
+            h.schedule_in(SimDuration::from_micros(i), move || *c.lock() += 1);
+        }
+        for deadline_us in [3u64, 3, 7, 20] {
+            let t = sim.run_until(SimTime::from_nanos(deadline_us * 1000)).unwrap();
+            assert_eq!(t.as_nanos(), deadline_us * 1000);
+        }
+        assert_eq!(*count.lock(), 10);
+    }
+}

@@ -1,0 +1,154 @@
+//! Simulated processes.
+//!
+//! Each simulated process runs on its own OS thread, but the kernel and the
+//! processes hand control back and forth through rendezvous channels so that
+//! **exactly one** entity (the kernel or a single process) executes at any
+//! moment. Simulated code therefore reads like the paper's pseudocode —
+//! straight-line loops with blocking `hold`/`wait` calls — while remaining
+//! fully deterministic.
+
+use crate::kernel::SimHandle;
+use crate::time::{SimDuration, SimTime};
+use crossbeam::channel::{Receiver, Sender};
+
+/// Identifier of a simulated process within one [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub(crate) usize);
+
+impl ProcId {
+    /// Raw index, stable for the life of the simulation.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Sent by the kernel to a parked process thread.
+pub(crate) enum ResumeMsg {
+    Go,
+    /// The simulation is being torn down; unwind the process thread quietly.
+    Shutdown,
+}
+
+/// Sent by a process thread to the kernel when it gives up control.
+pub(crate) enum YieldMsg {
+    /// Sleep for a duration; kernel schedules the resume.
+    Hold(SimDuration),
+    /// The process registered itself with a signal/condition and parks until
+    /// something schedules a resume for it.
+    Park,
+    /// The process function returned.
+    Finished,
+    /// The process function panicked with this message.
+    Panicked(String),
+}
+
+/// Panic payload used to unwind process threads during simulation teardown.
+/// Never observable by user code.
+pub(crate) struct ShutdownToken;
+
+/// Execution context handed to each simulated process.
+///
+/// All blocking operations (`hold`, [`crate::Signal::wait`]) go through this
+/// context; everything else (scheduling events, reading the clock) is also
+/// available on the embedded [`SimHandle`].
+pub struct ProcCtx {
+    pub(crate) pid: ProcId,
+    pub(crate) handle: SimHandle,
+    pub(crate) resume_rx: Receiver<ResumeMsg>,
+    pub(crate) yield_tx: Sender<(ProcId, YieldMsg)>,
+}
+
+impl ProcCtx {
+    /// This process's id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.handle.now()
+    }
+
+    /// A cloneable handle for scheduling events and creating signals.
+    pub fn handle(&self) -> &SimHandle {
+        &self.handle
+    }
+
+    /// Advance virtual time by `d` for this process (cooperatively yields to
+    /// the kernel). A zero-duration hold still yields, letting same-time
+    /// events scheduled earlier run first.
+    pub fn hold(&self, d: SimDuration) {
+        self.yield_to_kernel(YieldMsg::Hold(d));
+    }
+
+    /// Park until some event resumes this process. Used by the signal and
+    /// condition primitives, which register the waiter before parking.
+    pub(crate) fn park(&self) {
+        self.yield_to_kernel(YieldMsg::Park);
+    }
+
+    fn yield_to_kernel(&self, msg: YieldMsg) {
+        self.yield_tx
+            .send((self.pid, msg))
+            .expect("kernel vanished while process running");
+        self.await_resume();
+    }
+
+    pub(crate) fn await_resume(&self) {
+        match self.resume_rx.recv() {
+            Ok(ResumeMsg::Go) => {}
+            Ok(ResumeMsg::Shutdown) | Err(_) => {
+                // Unwind quietly; caught by the thread wrapper in kernel.rs.
+                std::panic::panic_any(ShutdownToken);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SimDuration, Simulation};
+
+    #[test]
+    fn hold_advances_virtual_time() {
+        let mut sim = Simulation::new();
+        let probe = sim.probe::<u64>();
+        let p = probe.clone();
+        sim.spawn("p", move |ctx| {
+            ctx.hold(SimDuration::from_micros(5));
+            p.set(ctx.now().as_nanos());
+        });
+        sim.run().unwrap();
+        assert_eq!(probe.get(), Some(5_000));
+    }
+
+    #[test]
+    fn zero_hold_yields_but_does_not_advance() {
+        let mut sim = Simulation::new();
+        let probe = sim.probe::<(u64, u64)>();
+        let p = probe.clone();
+        sim.spawn("p", move |ctx| {
+            let t0 = ctx.now().as_nanos();
+            ctx.hold(SimDuration::ZERO);
+            p.set((t0, ctx.now().as_nanos()));
+        });
+        sim.run().unwrap();
+        let (t0, t1) = probe.get().expect("probe not set");
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn sequential_holds_accumulate() {
+        let mut sim = Simulation::new();
+        let probe = sim.probe::<u64>();
+        let p = probe.clone();
+        sim.spawn("p", move |ctx| {
+            for _ in 0..10 {
+                ctx.hold(SimDuration::from_nanos(7));
+            }
+            p.set(ctx.now().as_nanos());
+        });
+        sim.run().unwrap();
+        assert_eq!(probe.get(), Some(70));
+    }
+}

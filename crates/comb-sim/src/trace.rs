@@ -1,0 +1,131 @@
+//! Optional structured event tracing.
+//!
+//! Hardware models and the MPI engine emit trace records through a shared
+//! [`Tracer`]. Tracing is disabled by default and costs one atomic load per
+//! emit when off; when enabled the records accumulate in memory and can be
+//! dumped for debugging a simulation.
+
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Virtual time of the record.
+    pub time: SimTime,
+    /// Component that emitted it (e.g. "nic0", "mpi1", "cpu0").
+    pub component: &'static str,
+    /// Free-form message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.component, self.message)
+    }
+}
+
+/// Shared, cloneable trace sink.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+#[derive(Default)]
+struct TracerInner {
+    enabled: AtomicBool,
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl Tracer {
+    /// A disabled tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An enabled tracer.
+    pub fn enabled() -> Self {
+        let t = Self::default();
+        t.set_enabled(true);
+        t
+    }
+
+    /// Turn collection on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// True if records are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Emit a record (lazily formatted: the closure only runs when enabled).
+    pub fn emit<F: FnOnce() -> String>(&self, time: SimTime, component: &'static str, msg: F) {
+        if self.is_enabled() {
+            self.inner.records.lock().push(TraceRecord {
+                time,
+                component,
+                message: msg(),
+            });
+        }
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.inner.records.lock().len()
+    }
+
+    /// True if no records were collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all records.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.inner.records.lock().clone()
+    }
+
+    /// Drop all records.
+    pub fn clear(&self) {
+        self.inner.records.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_collects_nothing() {
+        let t = Tracer::new();
+        t.emit(SimTime::ZERO, "x", || "hello".into());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_collects_and_formats() {
+        let t = Tracer::enabled();
+        t.emit(SimTime::from_nanos(1500), "nic0", || "tx start".into());
+        assert_eq!(t.len(), 1);
+        let r = &t.records()[0];
+        assert_eq!(r.component, "nic0");
+        assert!(format!("{r}").contains("tx start"));
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lazy_formatting_skipped_when_disabled() {
+        let t = Tracer::new();
+        let mut called = false;
+        t.emit(SimTime::ZERO, "x", || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+    }
+}

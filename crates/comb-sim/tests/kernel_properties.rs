@@ -1,0 +1,108 @@
+//! Property-based tests of the simulation kernel: ordering, determinism,
+//! and cancellation invariants under randomized schedules.
+
+use comb_sim::{SimDuration, SimTime, Simulation};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Events fire in non-decreasing time order, and same-time events fire
+    /// in schedule order, for any schedule.
+    #[test]
+    fn events_fire_in_total_order(delays in proptest::collection::vec(0u64..10_000, 1..80)) {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let log: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let l = log.clone();
+            h.schedule_in(SimDuration::from_nanos(d), move || l.lock().push((d, i)));
+        }
+        sim.run().unwrap();
+        let fired = log.lock().clone();
+        prop_assert_eq!(fired.len(), delays.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated: {:?}", w);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated: {:?}", w);
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset of events fires exactly the others.
+    #[test]
+    fn cancellation_is_exact(
+        delays in proptest::collection::vec(1u64..10_000, 1..60),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let fired: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut ids = Vec::new();
+        for (i, &d) in delays.iter().enumerate() {
+            let f = fired.clone();
+            ids.push(h.schedule_in(SimDuration::from_nanos(d), move || f.lock().push(i)));
+        }
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i % cancel_mask.len()] {
+                h.cancel(*id);
+            } else {
+                expected.push(i);
+            }
+        }
+        sim.run().unwrap();
+        let mut got = fired.lock().clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A random multi-process schedule ends at the same virtual time and
+    /// event count every run.
+    #[test]
+    fn random_schedules_are_deterministic(
+        proc_delays in proptest::collection::vec(
+            proptest::collection::vec(1u64..5_000, 1..20), 1..5)
+    ) {
+        let run = |spec: &Vec<Vec<u64>>| {
+            let mut sim = Simulation::new();
+            for (p, delays) in spec.iter().enumerate() {
+                let delays = delays.clone();
+                sim.spawn(&format!("p{p}"), move |ctx| {
+                    for d in delays {
+                        ctx.hold(SimDuration::from_nanos(d));
+                    }
+                });
+            }
+            let end = sim.run().unwrap();
+            (end, sim.handle().events_executed())
+        };
+        prop_assert_eq!(run(&proc_delays), run(&proc_delays));
+    }
+
+    /// run_until never overshoots the deadline and composes with run().
+    #[test]
+    fn run_until_respects_deadlines(
+        delays in proptest::collection::vec(1u64..10_000, 1..40),
+        cut in 1u64..12_000,
+    ) {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let fired: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        for &d in &delays {
+            let f = fired.clone();
+            h.schedule_in(SimDuration::from_nanos(d), move || f.lock().push(d));
+        }
+        sim.run_until(SimTime::from_nanos(cut)).unwrap();
+        {
+            let partial = fired.lock();
+            prop_assert!(partial.iter().all(|&d| d <= cut));
+            let expected_now: usize = delays.iter().filter(|&&d| d <= cut).count();
+            prop_assert_eq!(partial.len(), expected_now);
+        }
+        sim.run().unwrap();
+        prop_assert_eq!(fired.lock().len(), delays.len());
+    }
+}

@@ -1,0 +1,71 @@
+//! Build a *custom* simulated platform and benchmark it with COMB — the
+//! workflow a systems designer would use to predict how a hardware change
+//! (faster copies, cheaper interrupts, slower host) moves the paper's
+//! trade-off curves.
+//!
+//! ```sh
+//! cargo run --release --example custom_platform
+//! ```
+
+use comb::core::{run_polling_point, MethodConfig, Transport};
+use comb::hw::{HwConfig, NicConfig, NicKind};
+use comb::sim::SimDuration;
+
+/// A hypothetical next-generation Portals: same kernel architecture, but
+/// interrupt coalescing halves the fixed ISR cost and a smarter copy path
+/// doubles the copy bandwidth.
+fn portals_ng() -> HwConfig {
+    let mut cfg = HwConfig::portals_myrinet();
+    cfg.name = "Portals-NG".to_string();
+    cfg.nic = NicConfig {
+        kind: NicKind::Kernel,
+        rx_per_packet: SimDuration::from_micros(5),
+        rx_bandwidth: 220_000_000,
+        tx_host_per_packet: SimDuration::from_micros(3),
+        rx_match_cost: SimDuration::from_micros(8),
+        ..cfg.nic
+    };
+    cfg
+}
+
+/// The same host with a CPU running at half the clock: every library call
+/// and ISR costs the same absolute time, but the application's work takes
+/// twice as long, shifting the knee of every curve.
+fn slow_host_gm() -> HwConfig {
+    let mut cfg = HwConfig::gm_myrinet();
+    cfg.name = "GM-250MHz".to_string();
+    cfg.cpu.freq_hz = 250_000_000;
+    cfg
+}
+
+fn main() {
+    println!("COMB on custom platforms (polling method, 100 KB)\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10}",
+        "platform", "poll", "bandwidth", "avail"
+    );
+    println!("{}", "-".repeat(48));
+    for hw in [
+        HwConfig::portals_myrinet(),
+        portals_ng(),
+        HwConfig::gm_myrinet(),
+        slow_host_gm(),
+    ] {
+        let name = hw.name.clone();
+        let cfg = MethodConfig::new(Transport::from(hw), 100 * 1024);
+        for poll in [10_000u64, 1_000_000] {
+            let s = run_polling_point(&cfg, poll).expect("point");
+            println!(
+                "{:<12} {:>10} {:>9.1} MB/s {:>10.3}",
+                name, poll, s.bandwidth_mbs, s.availability
+            );
+        }
+    }
+    println!();
+    println!("Things to notice:");
+    println!(" * Portals-NG recovers most of GM's bandwidth AND much of the lost");
+    println!("   availability: cheap interrupts change the whole trade-off curve.");
+    println!(" * Halving the host clock does not change GM's bandwidth plateau —");
+    println!("   the NIC does the work — but the same poll interval now costs");
+    println!("   twice the wall time, so the knee (in iterations) moves left.");
+}

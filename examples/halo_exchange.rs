@@ -1,0 +1,128 @@
+//! A real application pattern on the simulated cluster: 1-D stencil halo
+//! exchange with communication/computation overlap — the workload class the
+//! paper's introduction motivates. Shows how COMB's platform-level findings
+//! (offload or not, overhead or not) translate into application time.
+//!
+//! Each of 4 ranks owns a domain slice. Per iteration:
+//!   1. post halo receives + sends to both neighbours (non-blocking)
+//!   2. compute the interior (no MPI calls — this is where overlap pays)
+//!   3. wait for the halos
+//!   4. compute the boundary cells
+//!
+//! ```sh
+//! cargo run --release --example halo_exchange
+//! ```
+
+use comb::hw::{Cluster, Cpu, HwConfig};
+use comb::mpi::{MpiProc, MpiWorld, Payload, Rank, ReduceOp, Tag};
+use comb::sim::{Probe, ProcCtx, SimDuration, Simulation};
+
+const RANKS: usize = 4;
+const ITERATIONS: usize = 25;
+const HALO_BYTES: u64 = 64 * 1024;
+/// Interior work per iteration, in calibrated loop iterations (4 ms).
+const INTERIOR_ITERS: u64 = 1_000_000;
+/// Boundary work per iteration (0.2 ms).
+const BOUNDARY_ITERS: u64 = 50_000;
+
+const LEFT_TAG: Tag = Tag(10);
+const RIGHT_TAG: Tag = Tag(11);
+
+fn stencil_rank(ctx: &ProcCtx, mpi: MpiProc, cpu: Cpu, overlap: bool) -> (u64, SimDuration) {
+    let me = mpi.rank().0;
+    let left = if me > 0 { Some(Rank(me - 1)) } else { None };
+    let right = if me + 1 < RANKS { Some(Rank(me + 1)) } else { None };
+
+    mpi.barrier(ctx);
+    let t0 = ctx.now();
+    for _ in 0..ITERATIONS {
+        // 1. Halo posts: receives first, then sends.
+        let mut reqs = Vec::with_capacity(4);
+        if let Some(l) = left {
+            reqs.push(mpi.irecv(ctx, l, RIGHT_TAG));
+        }
+        if let Some(r) = right {
+            reqs.push(mpi.irecv(ctx, r, LEFT_TAG));
+        }
+        if let Some(l) = left {
+            reqs.push(mpi.isend(ctx, l, LEFT_TAG, Payload::synthetic(HALO_BYTES)));
+        }
+        if let Some(r) = right {
+            reqs.push(mpi.isend(ctx, r, RIGHT_TAG, Payload::synthetic(HALO_BYTES)));
+        }
+
+        if overlap {
+            // 2. Interior while the halos (hopefully) fly.
+            cpu.compute_iters(ctx, INTERIOR_ITERS);
+            // 3. Halo completion.
+            mpi.waitall(ctx, &reqs);
+        } else {
+            // No-overlap baseline: wait first, then compute everything.
+            mpi.waitall(ctx, &reqs);
+            cpu.compute_iters(ctx, INTERIOR_ITERS);
+        }
+        // 4. Boundary cells need the halos.
+        cpu.compute_iters(ctx, BOUNDARY_ITERS);
+    }
+    let elapsed = ctx.now().since(t0);
+
+    // Agree on the global elapsed time (max across ranks).
+    let global_ns = mpi.allreduce(ctx, ReduceOp::Max, elapsed.as_nanos());
+    (global_ns, elapsed)
+}
+
+fn run(hw: &HwConfig, overlap: bool) -> f64 {
+    let mut sim = Simulation::new();
+    let cluster = Cluster::build(&sim.handle(), hw, RANKS);
+    let world = MpiWorld::attach(&sim.handle(), &cluster);
+    let probe: Probe<u64> = Probe::new();
+    for r in 0..RANKS {
+        let mpi = world.proc(Rank(r));
+        let cpu = cluster.nodes[r].cpu.clone();
+        let p = probe.clone();
+        sim.spawn(&format!("rank{r}"), move |ctx| {
+            let (global_ns, _) = stencil_rank(ctx, mpi, cpu, overlap);
+            if r == 0 {
+                p.set(global_ns);
+            }
+        });
+    }
+    sim.run().expect("halo exchange run");
+    probe.get().expect("rank 0 result") as f64 / 1e6 // ms
+}
+
+fn main() {
+    println!(
+        "1-D halo exchange, {RANKS} ranks, {ITERATIONS} iterations, {} KB halos\n",
+        HALO_BYTES / 1024
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "platform", "no overlap", "overlapped", "speedup"
+    );
+    println!("{}", "-".repeat(52));
+    for hw in [
+        HwConfig::gm_myrinet(),
+        HwConfig::portals_myrinet(),
+        HwConfig::emp_ethernet(),
+    ] {
+        let base = run(&hw, false);
+        let over = run(&hw, true);
+        println!(
+            "{:<10} {:>11.1} ms {:>11.1} ms {:>9.2}x",
+            hw.name,
+            base,
+            over,
+            base / over
+        );
+    }
+    println!();
+    println!("COMB's findings, seen from the application:");
+    println!(" * On GM overlapping buys NOTHING (1.00x): without application");
+    println!("   offload the rendezvous halos stall until waitall, exactly what");
+    println!("   the PWW method predicts (Fig 11). Inserting MPI_Test calls into");
+    println!("   the interior loop would close the gap (Fig 17).");
+    println!(" * On offloaded transports the halos complete inside the interior");
+    println!("   computation, so overlap converts wait time into free time —");
+    println!("   minus the interrupt overhead on Portals (Fig 12).");
+}

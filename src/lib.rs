@@ -1,0 +1,37 @@
+//! # comb — facade crate for the COMB reproduction
+//!
+//! COMB (the *Communication Offload MPI-based Benchmark*, Lawry, Wilson,
+//! Maccabe & Brightwell, CLUSTER 2002) measures the ability of a cluster
+//! messaging stack to overlap MPI communication with computation. This
+//! workspace reproduces the full system in Rust on a deterministic simulated
+//! cluster; see `DESIGN.md` for the system inventory and `EXPERIMENTS.md`
+//! for paper-vs-measured results.
+//!
+//! This crate re-exports the workspace's public API under one roof:
+//!
+//! * [`sim`] — deterministic discrete-event simulation kernel.
+//! * [`hw`] — simulated cluster hardware (CPUs, NICs, links, interrupts)
+//!   with GM-like (OS-bypass) and Portals-like (kernel/interrupt) presets.
+//! * [`mpi`] — the from-scratch MPI-subset message-passing library.
+//! * [`core`] — the COMB benchmark suite itself: the Polling and
+//!   Post-Work-Wait methods.
+//! * [`report`] — figure definitions, CSV output, and ASCII plots.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use comb::core::{MethodConfig, Transport, run_polling_point};
+//!
+//! // One polling-method sample: 100 KB messages on the GM-like transport
+//! // at a poll interval of 100_000 loop iterations.
+//! let cfg = MethodConfig::new(Transport::Gm, 100 * 1024);
+//! let sample = run_polling_point(&cfg, 100_000).unwrap();
+//! assert!(sample.bandwidth_mbs > 0.0);
+//! assert!(sample.availability > 0.0 && sample.availability <= 1.0);
+//! ```
+
+pub use comb_core as core;
+pub use comb_hw as hw;
+pub use comb_mpi as mpi;
+pub use comb_report as report;
+pub use comb_sim as sim;

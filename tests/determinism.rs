@@ -1,0 +1,62 @@
+//! Cross-crate determinism: the whole pipeline — simulation, hardware,
+//! MPI, benchmark methods, figure generation, CSV bytes — must be
+//! bit-for-bit reproducible run to run.
+
+use comb::core::{run_polling_point, run_pww_point, MethodConfig, Transport};
+use comb::report::{generate, Campaigns, Fidelity, FigureId};
+
+fn cfg(t: Transport) -> MethodConfig {
+    let mut c = MethodConfig::new(t, 50 * 1024);
+    c.cycles = 4;
+    c.target_iters = 1_000_000;
+    c.max_intervals = 1_500;
+    c
+}
+
+#[test]
+fn polling_points_are_bitwise_reproducible() {
+    for t in [Transport::Gm, Transport::Portals, Transport::Emp] {
+        let c = cfg(t);
+        let a = run_polling_point(&c, 50_000).unwrap();
+        let b = run_polling_point(&c, 50_000).unwrap();
+        assert_eq!(a, b, "polling divergence on {}", c.transport.name());
+    }
+}
+
+#[test]
+fn pww_points_are_bitwise_reproducible() {
+    for t in [Transport::Gm, Transport::Portals] {
+        let c = cfg(t);
+        for test_in_work in [false, true] {
+            let a = run_pww_point(&c, 500_000, test_in_work).unwrap();
+            let b = run_pww_point(&c, 500_000, test_in_work).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+}
+
+#[test]
+fn figure_csv_bytes_are_stable() {
+    let fidelity = Fidelity {
+        per_decade: 1,
+        cycles: 3,
+        target_iters: 500_000,
+        max_intervals: 800,
+    };
+    let make = || {
+        let mut campaigns = Campaigns::new(fidelity);
+        generate(FigureId::Fig13, &mut campaigns).unwrap().to_csv()
+    };
+    assert_eq!(make(), make());
+}
+
+#[test]
+fn distinct_configs_give_distinct_results() {
+    // A sanity guard against accidentally caching across configurations.
+    let a = run_polling_point(&cfg(Transport::Gm), 50_000).unwrap();
+    let mut c2 = cfg(Transport::Gm);
+    c2.msg_bytes = 100 * 1024;
+    let b = run_polling_point(&c2, 50_000).unwrap();
+    assert_ne!(a.msg_bytes, b.msg_bytes);
+    assert_ne!(a.bandwidth_mbs, b.bandwidth_mbs);
+}

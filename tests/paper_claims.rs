@@ -1,0 +1,141 @@
+//! End-to-end tests of the paper's headline claims, exercised through the
+//! full stack (sim kernel → hardware → MPI → COMB methods → figures).
+
+use comb::core::{run_polling_point, run_pww_point, MethodConfig, Transport};
+use comb::report::{check_figure, generate, Campaigns, Fidelity, FigureId};
+
+fn quick(transport: Transport, size: u64) -> MethodConfig {
+    let mut cfg = MethodConfig::new(transport, size);
+    cfg.cycles = 6;
+    cfg.target_iters = 2_000_000;
+    cfg.max_intervals = 4_000;
+    cfg
+}
+
+#[test]
+fn claim_gm_outperforms_portals_on_bandwidth() {
+    // Section 4.1, Fig 8: "the performance of GM is significantly better
+    // than Portals on identical hardware".
+    let gm = run_polling_point(&quick(Transport::Gm, 100 * 1024), 10_000).unwrap();
+    let portals = run_polling_point(&quick(Transport::Portals, 100 * 1024), 10_000).unwrap();
+    assert!(
+        gm.bandwidth_mbs > 1.5 * portals.bandwidth_mbs,
+        "GM {} vs Portals {}",
+        gm.bandwidth_mbs,
+        portals.bandwidth_mbs
+    );
+}
+
+#[test]
+fn claim_portals_has_offload_gm_does_not() {
+    // Section 4.1, Fig 11: "GM does not provide application offload while
+    // Portals does".
+    let work = 6_000_000; // 24 ms — plenty for a 100 KB transfer
+    let gm = run_pww_point(&quick(Transport::Gm, 100 * 1024), work, false).unwrap();
+    let portals = run_pww_point(&quick(Transport::Portals, 100 * 1024), work, false).unwrap();
+    assert!(
+        gm.wait_per_msg.as_micros() > 900,
+        "GM wait {}",
+        gm.wait_per_msg
+    );
+    assert!(
+        portals.wait_per_msg.as_micros() < 250,
+        "Portals wait {}",
+        portals.wait_per_msg
+    );
+}
+
+#[test]
+fn claim_portals_pays_cpu_overhead_gm_does_not() {
+    // Section 4.2, Figs 12/13: work-with-message-handling exceeds work-only
+    // on Portals; the curves coincide on GM.
+    let work = 4_000_000;
+    let gm = run_pww_point(&quick(Transport::Gm, 100 * 1024), work, false).unwrap();
+    let portals = run_pww_point(&quick(Transport::Portals, 100 * 1024), work, false).unwrap();
+    assert_eq!(gm.work_with_mh, gm.work_only, "GM must show no dilation");
+    let dilation = portals.work_with_mh.saturating_sub(portals.work_only);
+    assert!(
+        dilation.as_micros() > 500,
+        "Portals dilation {dilation} too small"
+    );
+}
+
+#[test]
+fn claim_mpi_test_progresses_gm_communication() {
+    // Section 4.3, Fig 17: "the added library call has aided the underlying
+    // system in progressing communication" — and this is a Progress Rule
+    // violation by MPICH/GM.
+    let work = 4_000_000;
+    let plain = run_pww_point(&quick(Transport::Gm, 100 * 1024), work, false).unwrap();
+    let tested = run_pww_point(&quick(Transport::Gm, 100 * 1024), work, true).unwrap();
+    assert!(tested.wait_per_msg < plain.wait_per_msg / 2);
+    assert!(tested.bandwidth_mbs > plain.bandwidth_mbs);
+}
+
+#[test]
+fn claim_small_messages_drag_gm_availability() {
+    // Section 4.2, Fig 14: the 10 KB eager path (45 us per send) costs
+    // availability that the rendezvous path does not.
+    let small = run_polling_point(&quick(Transport::Gm, 10 * 1024), 3_000).unwrap();
+    let large = run_polling_point(&quick(Transport::Gm, 100 * 1024), 3_000).unwrap();
+    assert!(
+        small.availability + 0.15 < large.availability,
+        "10 KB availability {} must sit clearly below 100 KB {}",
+        small.availability,
+        large.availability
+    );
+}
+
+#[test]
+fn figures_08_11_13_shape_checks_pass_at_quick_fidelity() {
+    let mut campaigns = Campaigns::new(Fidelity::quick());
+    for id in [FigureId::Fig08, FigureId::Fig11, FigureId::Fig13] {
+        let ds = generate(id, &mut campaigns).unwrap();
+        let checks = check_figure(id, &ds);
+        assert!(
+            checks.iter().all(|c| c.pass),
+            "{id} failed: {:#?}",
+            checks.iter().filter(|c| !c.pass).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn polling_method_never_blocks_so_availability_reflects_polling_only() {
+    // The polling method reports availability ~1 when messaging stops
+    // (paper Section 2.1): at an enormous poll interval all transfers
+    // complete inside one interval.
+    let s = run_polling_point(&quick(Transport::Portals, 10 * 1024), 20_000_000).unwrap();
+    assert!(s.availability > 0.9, "got {}", s.availability);
+}
+
+#[test]
+fn future_work_smp_interrupt_steering_recovers_availability() {
+    // The paper's Section 7 future work, implemented: on a dual-CPU node
+    // with NIC interrupts steered to the spare processor, Portals keeps its
+    // application offload AND stops stealing the application's cycles.
+    use comb::hw::HwConfig;
+    let up = run_polling_point(&quick(Transport::Portals, 100 * 1024), 10_000).unwrap();
+    let smp_cfg = quick(
+        Transport::from(HwConfig::portals_myrinet_smp()),
+        100 * 1024,
+    );
+    let smp = run_polling_point(&smp_cfg, 10_000).unwrap();
+    assert!(
+        smp.availability > up.availability + 0.3,
+        "steered ISRs must free the application CPU: {} vs {}",
+        smp.availability,
+        up.availability
+    );
+    assert!(
+        smp.bandwidth_mbs >= up.bandwidth_mbs * 0.9,
+        "bandwidth must not regress: {} vs {}",
+        smp.bandwidth_mbs,
+        up.bandwidth_mbs
+    );
+    // Offload is preserved (wait still vanishes under PWW).
+    let pww = run_pww_point(&smp_cfg, 6_000_000, false).unwrap();
+    assert!(pww.wait_per_msg.as_micros() < 250);
+    // And the worker CPU is no longer stolen from.
+    assert_eq!(smp.stolen, comb::sim::SimDuration::ZERO);
+}

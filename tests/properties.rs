@@ -1,0 +1,96 @@
+//! Property-based tests over the full stack: for *any* reasonable
+//! configuration, the benchmark's invariants must hold.
+
+use comb::core::{run_polling_point, run_pww_point, MethodConfig, Transport};
+use proptest::prelude::*;
+
+fn transport_strategy() -> impl Strategy<Value = Transport> {
+    prop_oneof![
+        Just(Transport::Gm),
+        Just(Transport::Portals),
+        Just(Transport::Emp),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs two full simulations
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn polling_sample_invariants(
+        transport in transport_strategy(),
+        size in prop_oneof![Just(1u64), 512u64..400_000],
+        queue in 1usize..8,
+        poll in prop_oneof![Just(100u64), 1_000u64..2_000_000],
+    ) {
+        let mut cfg = MethodConfig::new(transport, size);
+        cfg.queue_depth = queue;
+        cfg.target_iters = 400_000;
+        cfg.max_intervals = 600;
+        let s = run_polling_point(&cfg, poll).unwrap();
+        prop_assert!((0.0..=1.0).contains(&s.availability), "availability {}", s.availability);
+        prop_assert!(s.bandwidth_mbs >= 0.0);
+        prop_assert!(s.elapsed >= s.work_only, "elapsed {} < work_only {}", s.elapsed, s.work_only);
+        prop_assert!(s.stolen <= s.elapsed);
+        prop_assert_eq!(s.msg_bytes, size);
+        // Bandwidth implied by message count must agree with the reported
+        // bandwidth (byte conservation through the whole stack).
+        let implied = (s.messages_received * size) as f64 / s.elapsed.as_secs_f64() / 1e6;
+        prop_assert!((implied - s.bandwidth_mbs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pww_sample_invariants(
+        transport in transport_strategy(),
+        size in prop_oneof![Just(64u64), 1_000u64..400_000],
+        batch in 1usize..5,
+        work in 10_000u64..4_000_000,
+        test_in_work in any::<bool>(),
+    ) {
+        let mut cfg = MethodConfig::new(transport, size);
+        cfg.batch = batch;
+        cfg.cycles = 3;
+        let s = run_pww_point(&cfg, work, test_in_work).unwrap();
+        prop_assert!((0.0..=1.0).contains(&s.availability));
+        prop_assert!(s.bandwidth_mbs > 0.0, "PWW always completes its cycles");
+        // The work phase can only be dilated, never shortened.
+        prop_assert!(s.work_with_mh >= s.work_only,
+            "work_with_mh {} < work_only {}", s.work_with_mh, s.work_only);
+        prop_assert_eq!(s.cycles, 3);
+        prop_assert_eq!(s.batch, batch as u64);
+        prop_assert_eq!(s.test_in_work, test_in_work);
+        // Every cycle moved `batch` messages each way.
+        let bytes = s.cycles * s.batch * size;
+        let implied = bytes as f64; // received bytes
+        prop_assert!(implied > 0.0);
+    }
+
+    #[test]
+    fn work_only_scales_linearly_with_interval(
+        work in 10_000u64..1_000_000,
+    ) {
+        // The calibrated loop is exact: work_only must equal 4 ns/iter on
+        // the default 500 MHz CPU regardless of transport.
+        let mut cfg = MethodConfig::new(Transport::Gm, 10 * 1024);
+        cfg.cycles = 2;
+        let s = run_pww_point(&cfg, work, false).unwrap();
+        prop_assert_eq!(s.work_only.as_nanos(), work * 4);
+    }
+}
+
+#[test]
+fn zero_like_sizes_and_tiny_batches_work() {
+    // Degenerate-but-legal corners, outside proptest for clear failure
+    // output: 1-byte messages, queue depth 1, 1 cycle.
+    let mut cfg = MethodConfig::new(Transport::Portals, 1);
+    cfg.queue_depth = 1;
+    cfg.cycles = 1;
+    cfg.target_iters = 100_000;
+    cfg.max_intervals = 200;
+    let p = run_polling_point(&cfg, 1_000).unwrap();
+    assert!(p.messages_received > 0);
+    let w = run_pww_point(&cfg, 50_000, false).unwrap();
+    assert_eq!(w.cycles, 1);
+}
