@@ -44,11 +44,9 @@ fn bench_eager_threshold(c: &mut Criterion) {
         let mut hw = HwConfig::gm_myrinet();
         hw.mpi.eager_threshold = threshold_kb * 1024;
         let cfg = bench_config(Transport::from(hw), 32 * 1024);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threshold_kb),
-            &cfg,
-            |b, cfg| b.iter(|| black_box(run_polling_point(cfg, 10_000).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threshold_kb), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_polling_point(cfg, 10_000).unwrap()))
+        });
     }
     group.finish();
 }

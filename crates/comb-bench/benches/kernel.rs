@@ -3,7 +3,7 @@
 //! interrupt-stealing — the costs that bound how fast COMB sweeps run.
 
 use comb_hw::{Cpu, CpuConfig};
-use comb_sim::{SimDuration, Signal, Simulation};
+use comb_sim::{Signal, SimDuration, Simulation};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 

@@ -29,6 +29,7 @@ pub fn bench_fidelity() -> Fidelity {
         cycles: 2,
         target_iters: 200_000,
         max_intervals: 300,
+        jobs: 1,
     }
 }
 

@@ -4,9 +4,7 @@
 //! GM and Portals platforms, prints ASCII plots, writes CSVs, runs the
 //! qualitative shape checks, and exposes raw sweeps for ad-hoc experiments.
 
-use comb_core::{
-    log_spaced, polling_sweep, pww_sweep, MethodConfig, Transport,
-};
+use comb_core::{log_spaced, polling_sweep, pww_sweep, MethodConfig, Transport};
 use comb_report::{run_figures, Fidelity, FigureId};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,8 +36,13 @@ USAGE:
     comb netperf [--transport T] [--size N] compare COMB vs netperf methodology
     comb latency [--transport T]           classic ping-pong latency table
 
-OPTIONS (figure/all):
-    --paper            paper-density sweeps (default: quick)
+OPTIONS (figure/all/report):
+    --fidelity <f>     sweep density: smoke | quick | paper (default: quick)
+    --paper            shorthand for --fidelity paper
+    --smoke            shorthand for --fidelity smoke
+    --jobs <n>         worker threads for campaign execution (default: auto —
+                       COMB_JOBS if set, else all cores; results are
+                       byte-identical for any value)
     --out <dir>        write CSVs into <dir> (default: results/)
     --no-csv           do not write CSVs
     --plot <WxH>       ASCII plot size (default 72x20; 0x0 disables plots)
@@ -51,9 +54,27 @@ OPTIONS (sweep):
     --queue <n>                    polling queue depth (default 4)
     --batch <n>                    PWW batch size (default 1)
     --cycles <n>                   PWW cycles per point (default 12)
+    --jobs <n>                     worker threads (default: auto)
     --test-in-work                 PWW: insert one MPI_Test in the work phase
     --range <lo:hi[:per_decade]>   x range in loop iterations
 ";
+
+fn parse_fidelity(name: &str) -> Result<Fidelity, String> {
+    match name.to_lowercase().as_str() {
+        "smoke" => Ok(Fidelity::smoke()),
+        "quick" => Ok(Fidelity::quick()),
+        "paper" => Ok(Fidelity::paper()),
+        other => Err(format!(
+            "unknown fidelity '{other}' (expected smoke, quick or paper)"
+        )),
+    }
+}
+
+fn parse_jobs(arg: Option<String>) -> Result<usize, String> {
+    arg.ok_or("--jobs needs a worker count")?
+        .parse()
+        .map_err(|_| "bad --jobs (expected a non-negative integer, 0 = auto)".to_string())
+}
 
 fn run(args: Vec<String>) -> Result<(), String> {
     let mut it = args.into_iter();
@@ -134,16 +155,18 @@ fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String>
         plot: (72, 20),
         show_checks: false,
     };
+    let mut jobs: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--paper" => opts.fidelity = Fidelity::paper(),
             "--quick" => opts.fidelity = Fidelity::quick(),
-            "--out" => {
-                opts.out = Some(PathBuf::from(
-                    it.next().ok_or("--out needs a directory")?,
-                ))
+            "--smoke" => opts.fidelity = Fidelity::smoke(),
+            "--fidelity" => {
+                opts.fidelity = parse_fidelity(&it.next().ok_or("--fidelity needs a name")?)?
             }
+            "--jobs" => jobs = Some(parse_jobs(it.next())?),
+            "--out" => opts.out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?)),
             "--no-csv" => opts.out = None,
             "--checks" => opts.show_checks = true,
             "--plot" => {
@@ -161,6 +184,9 @@ fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String>
             }
             other => return Err(format!("unknown option '{other}'")),
         }
+    }
+    if let Some(jobs) = jobs {
+        opts.fidelity.jobs = jobs;
     }
     if opts.ids.is_empty() {
         return Err("no figure ids given (try `comb list`)".into());
@@ -223,6 +249,11 @@ fn cmd_report(args: Vec<String>) -> Result<(), String> {
         match a.as_str() {
             "--paper" => fidelity = Fidelity::paper(),
             "--quick" => fidelity = Fidelity::quick(),
+            "--smoke" => fidelity = Fidelity::smoke(),
+            "--fidelity" => {
+                fidelity = parse_fidelity(&it.next().ok_or("--fidelity needs a name")?)?
+            }
+            "--jobs" => fidelity.jobs = parse_jobs(it.next())?,
             "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a file")?)),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -280,7 +311,11 @@ fn cmd_netperf(args: Vec<String>) -> Result<(), String> {
     let busy = comb_core::run_netperf_point(&cfg, 4_000_000, true).map_err(|e| e.to_string())?;
     let sleepy = comb_core::run_netperf_point(&cfg, 4_000_000, false).map_err(|e| e.to_string())?;
     let comb = polling_sweep(&cfg, &[10_000]).map_err(|e| e.to_string())?;
-    println!("methodology comparison on {} ({} B messages):", cfg.transport.name(), size);
+    println!(
+        "methodology comparison on {} ({} B messages):",
+        cfg.transport.name(),
+        size
+    );
     println!(
         "  netperf, busy-wait driver : availability {:.3} at {:>6.1} MB/s",
         busy.availability, busy.bandwidth_mbs
@@ -308,9 +343,20 @@ fn cmd_latency(args: Vec<String>) -> Result<(), String> {
         }
     }
     let cfg = comb_core::MethodConfig::new(transport, 0);
-    let sizes = [0u64, 1024, 4096, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024];
+    let sizes = [
+        0u64,
+        1024,
+        4096,
+        16 * 1024,
+        64 * 1024,
+        256 * 1024,
+        1024 * 1024,
+    ];
     let rows = comb_core::run_pingpong(&cfg, &sizes, 50).map_err(|e| e.to_string())?;
-    println!("ping-pong on {} (50 round trips per size):", cfg.transport.name());
+    println!(
+        "ping-pong on {} (50 round trips per size):",
+        cfg.transport.name()
+    );
     println!("{:>10} {:>14} {:>12}", "bytes", "half-RTT", "bandwidth");
     for r in rows {
         println!(
@@ -334,15 +380,43 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
     let mut queue: usize = 4;
     let mut batch: usize = 1;
     let mut cycles: u64 = 12;
+    let mut jobs: usize = 0;
     let mut test_in_work = false;
     let mut range = (1_000u64, 100_000_000u64, 2u32);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--transport" => transport = parse_transport(&it.next().ok_or("--transport needs a value")?)?,
-            "--size" => size = it.next().ok_or("--size needs bytes")?.parse().map_err(|_| "bad size")?,
-            "--queue" => queue = it.next().ok_or("--queue needs n")?.parse().map_err(|_| "bad queue")?,
-            "--batch" => batch = it.next().ok_or("--batch needs n")?.parse().map_err(|_| "bad batch")?,
-            "--cycles" => cycles = it.next().ok_or("--cycles needs n")?.parse().map_err(|_| "bad cycles")?,
+            "--transport" => {
+                transport = parse_transport(&it.next().ok_or("--transport needs a value")?)?
+            }
+            "--size" => {
+                size = it
+                    .next()
+                    .ok_or("--size needs bytes")?
+                    .parse()
+                    .map_err(|_| "bad size")?
+            }
+            "--queue" => {
+                queue = it
+                    .next()
+                    .ok_or("--queue needs n")?
+                    .parse()
+                    .map_err(|_| "bad queue")?
+            }
+            "--batch" => {
+                batch = it
+                    .next()
+                    .ok_or("--batch needs n")?
+                    .parse()
+                    .map_err(|_| "bad batch")?
+            }
+            "--cycles" => {
+                cycles = it
+                    .next()
+                    .ok_or("--cycles needs n")?
+                    .parse()
+                    .map_err(|_| "bad cycles")?
+            }
+            "--jobs" => jobs = parse_jobs(it.next())?,
             "--test-in-work" => test_in_work = true,
             "--range" => {
                 let spec = it.next().ok_or("--range needs lo:hi[:per_decade]")?;
@@ -363,6 +437,7 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
     cfg.queue_depth = queue;
     cfg.batch = batch;
     cfg.cycles = cycles;
+    cfg.jobs = jobs;
     let xs = log_spaced(range.0, range.1, range.2);
     match method.as_str() {
         "polling" => {
@@ -430,6 +505,26 @@ mod tests {
         let opts = parse_figure_opts(vec!["--plot".into(), "100x30".into()], true).unwrap();
         assert_eq!(opts.ids.len(), 14);
         assert_eq!(opts.plot, (100, 30));
+    }
+
+    #[test]
+    fn jobs_and_fidelity_flags_parse() {
+        let opts = parse_figure_opts(
+            vec![
+                "--fidelity".into(),
+                "smoke".into(),
+                "--jobs".into(),
+                "3".into(),
+            ],
+            true,
+        )
+        .unwrap();
+        assert_eq!(opts.fidelity, Fidelity::smoke().with_jobs(3));
+        let opts = parse_figure_opts(vec!["fig08".into(), "--smoke".into()], false).unwrap();
+        assert_eq!(opts.fidelity, Fidelity::smoke());
+        assert_eq!(opts.fidelity.jobs, 0, "default is auto");
+        assert!(parse_figure_opts(vec!["--jobs".into(), "-1".into()], true).is_err());
+        assert!(parse_figure_opts(vec!["--fidelity".into(), "warp".into()], true).is_err());
     }
 
     #[test]

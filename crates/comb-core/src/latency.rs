@@ -13,10 +13,9 @@ use crate::sweep::MethodConfig;
 use comb_hw::{Cluster, NodeId};
 use comb_mpi::{MpiWorld, Payload, Rank};
 use comb_sim::{SimDuration, Simulation};
-use serde::{Deserialize, Serialize};
 
 /// One row of the classic ping-pong table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencySample {
     /// Message payload size in bytes.
     pub msg_bytes: u64,

@@ -40,5 +40,9 @@ pub use metrics::{availability, bandwidth_mbs, PollingSample, PwwSample};
 pub use netperf::{run_netperf_point, NetperfSample};
 pub use polling::{PollingParams, DATA_TAG, STOP_TAG};
 pub use pww::{InterleavedParams, PwwParams};
-pub use runner::{polling_sweep, pww_sweep, run_polling_point, run_pww_interleaved, run_pww_point, RunError};
+pub use runner::pool::{available_jobs, effective_jobs, run_ordered};
+pub use runner::{
+    polling_sweep, polling_sweep_parallel, pww_sweep, pww_sweep_parallel, run_polling_point,
+    run_polling_point_on, run_pww_interleaved, run_pww_point, run_pww_point_on, RunError,
+};
 pub use sweep::{lin_spaced, log_spaced, ConfigSummary, MethodConfig, Transport, PAPER_SIZES};

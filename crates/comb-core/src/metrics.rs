@@ -2,7 +2,6 @@
 
 use comb_sim::stats::DurationHistogram;
 use comb_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Compute CPU availability exactly as the paper defines it:
 /// `time(work without messaging) / time(work plus MPI calls while messaging)`.
@@ -22,7 +21,7 @@ pub fn bandwidth_mbs(bytes: u64, elapsed: SimDuration) -> f64 {
 }
 
 /// One point of the Polling method (paper Figures 4, 5, 8, 14, 15).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PollingSample {
     /// Poll interval in loop iterations (the x-axis).
     pub poll_interval: u64,
@@ -48,7 +47,7 @@ pub struct PollingSample {
 
 /// One point of the Post-Work-Wait method (paper Figures 6, 7, 9–13, 16,
 /// 17). All per-phase durations are means over the cycles of the point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PwwSample {
     /// Work interval in loop iterations (the x-axis).
     pub work_interval: u64,

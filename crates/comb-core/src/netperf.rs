@@ -18,17 +18,16 @@
 
 use crate::metrics::{availability, bandwidth_mbs};
 use crate::polling::{DATA_TAG, STOP_TAG};
-use crate::sweep::MethodConfig;
 use crate::runner::RunError;
+use crate::sweep::MethodConfig;
 use comb_hw::{Cluster, NodeId};
 use comb_mpi::{MpiEngine, MpiProc, Payload, Rank, RequestHandle};
-use comb_sim::{SimDuration, Signal, Simulation};
-use serde::{Deserialize, Serialize};
+use comb_sim::{Signal, SimDuration, Simulation};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Result of one netperf-style measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetperfSample {
     /// Message payload size in bytes.
     pub msg_bytes: u64,

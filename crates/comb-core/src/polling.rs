@@ -80,8 +80,7 @@ pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PollingParams) -> Pol
         for slot in recvs.iter_mut() {
             if let Some(st) = mpi.test(ctx, *slot) {
                 warm_msgs += 1;
-                pending_sends
-                    .push_back(mpi.isend(ctx, peer, DATA_TAG, Payload::synthetic(st.len)));
+                pending_sends.push_back(mpi.isend(ctx, peer, DATA_TAG, Payload::synthetic(st.len)));
                 *slot = mpi.irecv(ctx, peer, DATA_TAG);
             }
         }
@@ -108,8 +107,12 @@ pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PollingParams) -> Pol
                 bytes_received += st.len;
                 messages_received += 1;
                 // Propagate the replacement message and repost the receive.
-                pending_sends
-                    .push_back(mpi.isend(ctx, peer, DATA_TAG, Payload::synthetic(p.msg_bytes)));
+                pending_sends.push_back(mpi.isend(
+                    ctx,
+                    peer,
+                    DATA_TAG,
+                    Payload::synthetic(p.msg_bytes),
+                ));
                 *slot = mpi.irecv(ctx, peer, DATA_TAG);
             }
         }
@@ -179,7 +182,11 @@ mod tests {
             "GM overlap keeps the CPU available, got {}",
             s.availability
         );
-        assert_eq!(s.stolen, comb_sim::SimDuration::ZERO, "bypass NIC never interrupts");
+        assert_eq!(
+            s.stolen,
+            comb_sim::SimDuration::ZERO,
+            "bypass NIC never interrupts"
+        );
     }
 
     #[test]

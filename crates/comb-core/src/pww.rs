@@ -240,8 +240,16 @@ mod tests {
         let hi = run_pww_point(&cfg, 20_000_000, false).unwrap();
         assert!(lo.availability < mid.availability);
         assert!(mid.availability < hi.availability);
-        assert!(lo.availability < 0.2, "short work is wait-dominated: {}", lo.availability);
-        assert!(hi.availability > 0.8, "long work dominates: {}", hi.availability);
+        assert!(
+            lo.availability < 0.2,
+            "short work is wait-dominated: {}",
+            lo.availability
+        );
+        assert!(
+            hi.availability > 0.8,
+            "long work dominates: {}",
+            hi.availability
+        );
     }
 
     #[test]

@@ -3,13 +3,18 @@
 //!
 //! Every point runs in a fresh simulation (fresh cluster, fresh MPI world),
 //! exactly as the paper restarts the benchmark per configuration; points are
-//! therefore independent and individually deterministic.
+//! therefore independent and individually deterministic. That independence
+//! is what [`pool`] exploits: sweeps fan their points out over a bounded
+//! worker pool and reassemble the samples in input order, so a parallel
+//! sweep is byte-identical to a serial one.
+
+pub mod pool;
 
 use crate::metrics::{PollingSample, PwwSample};
 use crate::polling::{self, PollingParams};
 use crate::pww::{self, InterleavedParams, PwwParams};
 use crate::sweep::MethodConfig;
-use comb_hw::{Cluster, NodeId};
+use comb_hw::{Cluster, HwConfig, NodeId};
 use comb_mpi::{MpiWorld, Rank};
 use comb_sim::{SimError, Simulation};
 use std::fmt;
@@ -21,6 +26,11 @@ pub enum RunError {
     Sim(SimError),
     /// The worker finished without producing a sample (a harness bug).
     NoResult,
+    /// A sweep worker thread panicked outside the simulation.
+    WorkerPanic {
+        /// The panic message.
+        message: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -28,6 +38,9 @@ impl fmt::Display for RunError {
         match self {
             RunError::Sim(e) => write!(f, "simulation error: {e}"),
             RunError::NoResult => write!(f, "worker produced no sample"),
+            RunError::WorkerPanic { message } => {
+                write!(f, "sweep worker panicked: {message}")
+            }
         }
     }
 }
@@ -42,16 +55,28 @@ impl From<SimError> for RunError {
 
 /// Run one polling-method point at the given poll interval (in loop
 /// iterations).
-pub fn run_polling_point(cfg: &MethodConfig, poll_interval: u64) -> Result<PollingSample, RunError> {
+pub fn run_polling_point(
+    cfg: &MethodConfig,
+    poll_interval: u64,
+) -> Result<PollingSample, RunError> {
+    run_polling_point_on(&cfg.transport.config(), cfg, poll_interval)
+}
+
+/// [`run_polling_point`] with the transport already resolved; sweeps use
+/// this so the hardware description is built once, not per point.
+pub fn run_polling_point_on(
+    hw: &HwConfig,
+    cfg: &MethodConfig,
+    poll_interval: u64,
+) -> Result<PollingSample, RunError> {
     let params = PollingParams {
         msg_bytes: cfg.msg_bytes,
         queue_depth: cfg.queue_depth,
         poll_interval: poll_interval.max(1),
         intervals: cfg.intervals_for(poll_interval),
     };
-    let hw = cfg.transport.config();
     let mut sim = Simulation::new();
-    let cluster = Cluster::build(&sim.handle(), &hw, 2);
+    let cluster = Cluster::build(&sim.handle(), hw, 2);
     let world = MpiWorld::attach(&sim.handle(), &cluster);
     let probe = sim.probe::<PollingSample>();
 
@@ -81,6 +106,17 @@ pub fn run_pww_point(
     work_interval: u64,
     test_in_work: bool,
 ) -> Result<PwwSample, RunError> {
+    run_pww_point_on(&cfg.transport.config(), cfg, work_interval, test_in_work)
+}
+
+/// [`run_pww_point`] with the transport already resolved; sweeps use this
+/// so the hardware description is built once, not per point.
+pub fn run_pww_point_on(
+    hw: &HwConfig,
+    cfg: &MethodConfig,
+    work_interval: u64,
+    test_in_work: bool,
+) -> Result<PwwSample, RunError> {
     let params = PwwParams {
         msg_bytes: cfg.msg_bytes,
         batch: cfg.batch,
@@ -88,9 +124,8 @@ pub fn run_pww_point(
         work_interval: work_interval.max(1),
         test_in_work,
     };
-    let hw = cfg.transport.config();
     let mut sim = Simulation::new();
-    let cluster = Cluster::build(&sim.handle(), &hw, 2);
+    let cluster = Cluster::build(&sim.handle(), hw, 2);
     let world = MpiWorld::attach(&sim.handle(), &cluster);
     let probe = sim.probe::<PwwSample>();
 
@@ -153,24 +188,50 @@ pub fn run_pww_interleaved(
     probe.take().ok_or(RunError::NoResult)
 }
 
-/// Run a polling sweep over the given poll intervals.
-pub fn polling_sweep(cfg: &MethodConfig, intervals: &[u64]) -> Result<Vec<PollingSample>, RunError> {
-    intervals
-        .iter()
-        .map(|&p| run_polling_point(cfg, p))
-        .collect()
+/// Run a polling sweep over the given poll intervals, on
+/// [`MethodConfig::jobs`] workers (`0` = auto). Results are in input
+/// order and byte-identical to a serial sweep.
+pub fn polling_sweep(
+    cfg: &MethodConfig,
+    intervals: &[u64],
+) -> Result<Vec<PollingSample>, RunError> {
+    polling_sweep_parallel(cfg, intervals, cfg.jobs)
 }
 
-/// Run a PWW sweep over the given work intervals.
+/// [`polling_sweep`] with an explicit worker count overriding
+/// [`MethodConfig::jobs`].
+pub fn polling_sweep_parallel(
+    cfg: &MethodConfig,
+    intervals: &[u64],
+    jobs: usize,
+) -> Result<Vec<PollingSample>, RunError> {
+    let hw = cfg.transport.config();
+    pool::run_ordered(jobs, intervals, |&p| run_polling_point_on(&hw, cfg, p))
+}
+
+/// Run a PWW sweep over the given work intervals, on
+/// [`MethodConfig::jobs`] workers (`0` = auto). Results are in input
+/// order and byte-identical to a serial sweep.
 pub fn pww_sweep(
     cfg: &MethodConfig,
     intervals: &[u64],
     test_in_work: bool,
 ) -> Result<Vec<PwwSample>, RunError> {
-    intervals
-        .iter()
-        .map(|&w| run_pww_point(cfg, w, test_in_work))
-        .collect()
+    pww_sweep_parallel(cfg, intervals, test_in_work, cfg.jobs)
+}
+
+/// [`pww_sweep`] with an explicit worker count overriding
+/// [`MethodConfig::jobs`].
+pub fn pww_sweep_parallel(
+    cfg: &MethodConfig,
+    intervals: &[u64],
+    test_in_work: bool,
+    jobs: usize,
+) -> Result<Vec<PwwSample>, RunError> {
+    let hw = cfg.transport.config();
+    pool::run_ordered(jobs, intervals, |&w| {
+        run_pww_point_on(&hw, cfg, w, test_in_work)
+    })
 }
 
 #[cfg(test)]
@@ -205,5 +266,41 @@ mod tests {
         }
         let ws = pww_sweep(&cfg, &intervals, false).unwrap();
         assert_eq!(ws.len(), 3);
+    }
+
+    #[test]
+    fn parallel_sweeps_equal_serial_sweeps() {
+        let mut cfg = MethodConfig::new(Transport::Portals, 30 * 1024);
+        cfg.target_iters = 200_000;
+        cfg.max_intervals = 300;
+        cfg.cycles = 2;
+        cfg.jobs = 1;
+        let intervals = [500u64, 5_000, 50_000, 500_000, 5_000_000];
+        let serial_poll = polling_sweep(&cfg, &intervals).unwrap();
+        let serial_pww = pww_sweep(&cfg, &intervals, false).unwrap();
+        for jobs in [1, 4, pool::available_jobs()] {
+            assert_eq!(
+                polling_sweep_parallel(&cfg, &intervals, jobs).unwrap(),
+                serial_poll,
+                "polling sweep differs at jobs={jobs}"
+            );
+            assert_eq!(
+                pww_sweep_parallel(&cfg, &intervals, false, jobs).unwrap(),
+                serial_pww,
+                "pww sweep differs at jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn resolved_config_matches_per_point_resolution() {
+        let mut cfg = MethodConfig::new(Transport::Gm, 10 * 1024);
+        cfg.target_iters = 200_000;
+        cfg.max_intervals = 300;
+        let hw = cfg.transport.config();
+        assert_eq!(
+            run_polling_point_on(&hw, &cfg, 10_000).unwrap(),
+            run_polling_point(&cfg, 10_000).unwrap()
+        );
     }
 }

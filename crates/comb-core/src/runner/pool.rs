@@ -1,0 +1,185 @@
+//! Bounded worker pool executing independent sweep points in parallel
+//! while preserving input order.
+//!
+//! Every COMB data point is an independent, bit-for-bit deterministic
+//! simulation (a fresh cluster per point, exactly as the paper restarts
+//! the benchmark per configuration), so points can run on any thread in
+//! any order — the only requirement for byte-identical output is that
+//! results are reassembled **in input order**, which this pool
+//! guarantees by writing each result into its item's slot.
+//!
+//! Scheduling is a shared atomic cursor: idle workers steal the next
+//! unclaimed item, so long points (small poll intervals simulate many
+//! more events) do not leave the other workers idle behind a static
+//! partition. A worker panic or point error aborts the remaining work
+//! and is reported as a [`RunError`] instead of hanging the pool.
+
+use crate::runner::RunError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers the platform supports (`available_parallelism`,
+/// falling back to 1 when unknown).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolve a requested job count to an actual worker count.
+///
+/// `0` means *auto*: the `COMB_JOBS` environment variable if set to a
+/// positive integer, otherwise [`available_jobs`]. Any positive request
+/// is used as given.
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("COMB_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    available_jobs()
+}
+
+/// Run `f` over every item on up to `jobs` workers (`0` = auto, see
+/// [`effective_jobs`]) and return the results **in input order**.
+///
+/// The first failing item's error is returned (lowest index wins, so
+/// the error is deterministic too); a panicking worker is converted
+/// into [`RunError::WorkerPanic`]. After any failure the remaining
+/// unstarted items are skipped.
+pub fn run_ordered<I, T>(
+    jobs: usize,
+    items: &[I],
+    f: impl Fn(&I) -> Result<T, RunError> + Sync,
+) -> Result<Vec<T>, RunError>
+where
+    I: Sync,
+    T: Send,
+{
+    let jobs = effective_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<T, RunError>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(r) => r,
+                    Err(payload) => Err(RunError::WorkerPanic {
+                        message: panic_message(payload.as_ref()),
+                    }),
+                };
+                if result.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        match slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            // Skipped after an abort; the error lives in an earlier or
+            // later slot. Keep scanning for it.
+            None => {}
+        }
+    }
+    if out.len() == items.len() {
+        Ok(out)
+    } else {
+        // Every missing slot means some slot held an error; if we get
+        // here without having returned one, a later-indexed worker
+        // failed first. Scan order above guarantees we returned the
+        // lowest-indexed error, so reaching this point with no error is
+        // a harness bug.
+        Err(RunError::NoResult)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_job_count() {
+        let items: Vec<u64> = (0..57).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let out = run_ordered(jobs, &items, |&i| Ok::<_, RunError>(i * 10)).unwrap();
+            assert_eq!(out, items.iter().map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out = run_ordered(4, &[] as &[u64], |&i| Ok::<_, RunError>(i)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn error_is_lowest_index_and_aborts() {
+        let items: Vec<u64> = (0..100).collect();
+        let err = run_ordered(4, &items, |&i| {
+            if i >= 40 {
+                Err(RunError::NoResult)
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, RunError::NoResult));
+    }
+
+    #[test]
+    fn worker_panic_becomes_error_not_hang() {
+        let items: Vec<u64> = (0..32).collect();
+        let err = run_ordered(4, &items, |&i| {
+            if i == 7 {
+                panic!("point {i} exploded");
+            }
+            Ok(i)
+        })
+        .unwrap_err();
+        match err {
+            RunError::WorkerPanic { message } => assert!(message.contains("exploded")),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn effective_jobs_resolution() {
+        assert_eq!(effective_jobs(3), 3);
+        assert!(effective_jobs(0) >= 1);
+    }
+}

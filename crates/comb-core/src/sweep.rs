@@ -1,7 +1,6 @@
 //! Method configuration and sweep helpers.
 
 use comb_hw::HwConfig;
-use serde::{Deserialize, Serialize};
 
 /// Which simulated platform a run uses.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +63,11 @@ pub struct MethodConfig {
     /// Polling method: maximum poll intervals per point (bounds simulation
     /// cost at tiny poll intervals).
     pub max_intervals: u64,
+    /// Worker threads used by sweeps over this configuration. `0` means
+    /// auto: the `COMB_JOBS` environment variable if set, otherwise the
+    /// platform's available parallelism. Any value produces byte-identical
+    /// results; only wall-clock time changes.
+    pub jobs: usize,
 }
 
 impl MethodConfig {
@@ -79,6 +83,7 @@ impl MethodConfig {
             target_iters: 8_000_000, // 32 ms of work at 4 ns/iter
             min_intervals: 8,
             max_intervals: 20_000,
+            jobs: 0,
         }
     }
 
@@ -89,20 +94,29 @@ impl MethodConfig {
 }
 
 /// Log-spaced integer points from `lo` to `hi` inclusive, `per_decade`
-/// points per factor of ten, deduplicated after rounding. This is how the
-/// paper's x-axes (poll/work interval in loop iterations) are swept.
+/// points per factor of ten. This is how the paper's x-axes (poll/work
+/// interval in loop iterations) are swept.
+///
+/// The result is strictly increasing *by construction*: a candidate that
+/// rounds onto (or below) the previous point is skipped, so collapsing
+/// decades at the small end can never yield duplicates or inversions.
+/// Both endpoints are always present.
 pub fn log_spaced(lo: u64, hi: u64, per_decade: u32) -> Vec<u64> {
     assert!(lo >= 1 && hi >= lo && per_decade >= 1);
-    let mut points = Vec::new();
     let lg_lo = (lo as f64).log10();
     let lg_hi = (hi as f64).log10();
     let steps = ((lg_hi - lg_lo) * per_decade as f64).ceil() as usize;
-    for i in 0..=steps {
+    let mut points = vec![lo];
+    for i in 1..=steps {
         let lg = lg_lo + (lg_hi - lg_lo) * i as f64 / steps.max(1) as f64;
-        let v = 10f64.powf(lg).round() as u64;
-        points.push(v.clamp(lo, hi));
+        let v = (10f64.powf(lg).round() as u64).clamp(lo, hi);
+        if v > *points.last().unwrap() {
+            points.push(v);
+        }
     }
-    points.dedup();
+    if *points.last().unwrap() < hi {
+        points.push(hi);
+    }
     points
 }
 
@@ -118,7 +132,7 @@ pub fn lin_spaced(lo: u64, hi: u64, n: usize) -> Vec<u64> {
 pub const PAPER_SIZES: [u64; 4] = [10 * 1024, 50 * 1024, 100 * 1024, 300 * 1024];
 
 /// Serializable summary of a method configuration (for CSV headers).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ConfigSummary {
     /// Platform name.
     pub platform: String,
@@ -150,9 +164,16 @@ mod tests {
         let pts = log_spaced(10, 100_000_000, 4);
         assert_eq!(*pts.first().unwrap(), 10);
         assert_eq!(*pts.last().unwrap(), 100_000_000);
-        assert!(pts.windows(2).all(|w| w[0] < w[1]), "must be strictly increasing");
+        assert!(
+            pts.windows(2).all(|w| w[0] < w[1]),
+            "must be strictly increasing"
+        );
         // 7 decades x 4 points, plus the endpoint.
-        assert!(pts.len() >= 25 && pts.len() <= 30, "got {} points", pts.len());
+        assert!(
+            pts.len() >= 25 && pts.len() <= 30,
+            "got {} points",
+            pts.len()
+        );
     }
 
     #[test]

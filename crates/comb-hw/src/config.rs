@@ -6,10 +6,9 @@
 //! who-wins relations); see `EXPERIMENTS.md` for the calibration notes.
 
 use comb_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Host CPU model parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuConfig {
     /// Clock frequency in Hz. The paper's nodes: 500 MHz Pentium III.
     pub freq_hz: u64,
@@ -21,7 +20,8 @@ impl CpuConfig {
     /// Virtual time for `iters` loop iterations.
     pub fn iters_to_duration(&self, iters: u64) -> SimDuration {
         // ps precision avoids rounding drift for small iteration counts.
-        let ps_per_iter = self.cycles_per_iter as u128 * 1_000_000_000_000u128 / self.freq_hz as u128;
+        let ps_per_iter =
+            self.cycles_per_iter as u128 * 1_000_000_000_000u128 / self.freq_hz as u128;
         SimDuration::from_nanos(((iters as u128 * ps_per_iter) / 1000) as u64)
     }
 }
@@ -36,7 +36,7 @@ impl Default for CpuConfig {
 }
 
 /// Wire / switch parameters shared by all NIC models.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkConfig {
     /// Maximum transfer unit: messages are cut into packets of at most this
     /// many payload bytes.
@@ -66,7 +66,7 @@ impl Default for LinkConfig {
 }
 
 /// Which transport personality a NIC has.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NicKind {
     /// GM-like OS-bypass NIC: user-level DMA, no interrupts, receive ring
     /// drained by the MPI library.
@@ -87,7 +87,7 @@ impl std::fmt::Display for NicKind {
 
 /// NIC timing parameters. A single struct covers both personalities; the
 /// fields that do not apply to a personality are simply unused by it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NicConfig {
     /// Personality.
     pub kind: NicKind,
@@ -152,7 +152,7 @@ impl NicConfig {
 
 /// How the MPI library makes communication progress — the property at the
 /// heart of the paper (its "application offload", Section 4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProgressModel {
     /// Progress happens only inside MPI library calls (MPICH/GM): protocol
     /// messages park in the NIC ring until the application re-enters the
@@ -166,7 +166,7 @@ pub enum ProgressModel {
 /// MPI library cost model. Lives in the hardware config because the paper's
 /// observed per-call costs are platform properties (GM's 45 µs small-message
 /// send, Portals' expensive kernel-crossing posts).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MpiCostConfig {
     /// Who drives protocol progress.
     pub progress: ProgressModel,
@@ -232,7 +232,7 @@ impl MpiCostConfig {
 
 /// Multi-processor node layout — the paper's stated future work
 /// (Section 7: "we plan to address multi-processor nodes").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SmpConfig {
     /// Processors per node. The application (and the MPI library it calls)
     /// runs on CPU 0.
@@ -252,7 +252,7 @@ impl Default for SmpConfig {
 }
 
 /// Complete description of one simulated platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HwConfig {
     /// Human-readable platform name ("GM", "Portals", …).
     pub name: String,
@@ -355,7 +355,10 @@ mod tests {
         assert_eq!(cpu.iters_to_duration(1_000), SimDuration::from_micros(4));
         assert_eq!(cpu.iters_to_duration(0), SimDuration::ZERO);
         // 10^8 iterations = 0.4 s: the top of the paper's x-axis.
-        assert_eq!(cpu.iters_to_duration(100_000_000), SimDuration::from_millis(400));
+        assert_eq!(
+            cpu.iters_to_duration(100_000_000),
+            SimDuration::from_millis(400)
+        );
     }
 
     #[test]
@@ -383,7 +386,10 @@ mod tests {
         let nic = NicConfig::portals_kernel();
         let svc = nic.rx_per_packet + SimDuration::for_bytes(4096, nic.rx_bandwidth);
         let mbs = 4096.0 / svc.as_secs_f64() / 1e6;
-        assert!((70.0..95.0).contains(&mbs), "Portals raw ISR rate {mbs} MB/s");
+        assert!(
+            (70.0..95.0).contains(&mbs),
+            "Portals raw ISR rate {mbs} MB/s"
+        );
     }
 
     #[test]

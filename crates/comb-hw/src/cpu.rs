@@ -11,7 +11,7 @@
 //! by the stolen time and re-arms it — O(1) per interrupt.
 
 use crate::config::CpuConfig;
-use comb_sim::{EventId, ProcCtx, SimDuration, SimHandle, SimTime, Signal};
+use comb_sim::{EventId, ProcCtx, Signal, SimDuration, SimHandle, SimTime};
 use parking_lot::Mutex;
 use std::sync::Arc;
 

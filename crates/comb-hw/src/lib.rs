@@ -20,7 +20,9 @@ pub mod node;
 pub mod packet;
 pub mod switch;
 
-pub use config::{CpuConfig, HwConfig, LinkConfig, MpiCostConfig, NicConfig, NicKind, ProgressModel, SmpConfig};
+pub use config::{
+    CpuConfig, HwConfig, LinkConfig, MpiCostConfig, NicConfig, NicKind, ProgressModel, SmpConfig,
+};
 pub use cpu::{ComputeSample, Cpu, CpuStats};
 pub use nic::{DeliveryClass, Nic, NicStats, NodeId, RxHandler, TxDone, WireMsg};
 pub use node::{Cluster, Node};

@@ -10,8 +10,33 @@
 //! the message-assembly and matching layers rely on.
 
 use comb_sim::SimDuration;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+
+/// Minimal deterministic generator (splitmix64) for loss decisions; the
+/// stream is a pure function of the seed, independent of any external
+/// crate's algorithm choices.
+#[derive(Debug, Clone)]
+struct LossRng {
+    state: u64,
+}
+
+impl LossRng {
+    fn new(seed: u64) -> LossRng {
+        LossRng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1) with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// Per-NIC loss state. Deterministic: the sequence of loss decisions is a
 /// pure function of `(seed, salt)`.
@@ -19,7 +44,7 @@ pub struct LossModel {
     loss_rate: f64,
     recovery: SimDuration,
     max_retries: u32,
-    rng: Option<SmallRng>,
+    rng: Option<LossRng>,
     stats: LossStats,
 }
 
@@ -46,7 +71,7 @@ impl LossModel {
             recovery,
             max_retries: 32,
             rng: if loss_rate > 0.0 {
-                Some(SmallRng::seed_from_u64(seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15)))
+                Some(LossRng::new(seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15)))
             } else {
                 None
             },
@@ -67,7 +92,7 @@ impl LossModel {
             return SimDuration::ZERO;
         };
         let mut retries: u32 = 0;
-        while retries < self.max_retries && rng.gen::<f64>() < self.loss_rate {
+        while retries < self.max_retries && rng.next_f64() < self.loss_rate {
             retries += 1;
         }
         if retries == 0 {
@@ -136,7 +161,10 @@ mod tests {
         let service = SimDuration::from_micros(10);
         let p = m.packet_penalty(service);
         assert!(!p.is_zero());
-        assert_eq!(p.as_nanos() % (service + SimDuration::from_micros(100)).as_nanos(), 0);
+        assert_eq!(
+            p.as_nanos() % (service + SimDuration::from_micros(100)).as_nanos(),
+            0
+        );
     }
 
     #[test]

@@ -164,22 +164,20 @@ impl Nic for BypassNic {
             let handler = inner.handler.clone();
             drop(inner);
             let ring_ref = Arc::clone(&self.inner);
-            self.handle.schedule_at(end, move || {
-                match msg.class {
-                    DeliveryClass::Ring => {
-                        let notify = {
-                            let mut inner = ring_ref.lock();
-                            inner.ring.push_back((src, msg));
-                            inner.ring_notify.clone()
-                        };
-                        if let Some(notify) = notify {
-                            notify();
-                        }
+            self.handle.schedule_at(end, move || match msg.class {
+                DeliveryClass::Ring => {
+                    let notify = {
+                        let mut inner = ring_ref.lock();
+                        inner.ring.push_back((src, msg));
+                        inner.ring_notify.clone()
+                    };
+                    if let Some(notify) = notify {
+                        notify();
                     }
-                    DeliveryClass::Direct => {
-                        let handler = handler.expect("no rx handler installed");
-                        handler(src, msg);
-                    }
+                }
+                DeliveryClass::Direct => {
+                    let handler = handler.expect("no rx handler installed");
+                    handler(src, msg);
                 }
             });
         }
@@ -275,7 +273,10 @@ mod tests {
         sim.run().unwrap();
         let ns = probe.get().unwrap();
         let mbs = 1_000_000.0 / (ns as f64 / 1e9) / 1e6;
-        assert!((80.0..95.0).contains(&mbs), "bypass transfer rate {mbs} MB/s");
+        assert!(
+            (80.0..95.0).contains(&mbs),
+            "bypass transfer rate {mbs} MB/s"
+        );
     }
 
     #[test]
@@ -299,7 +300,10 @@ mod tests {
         let tx = tx_done_at.get().unwrap();
         let rx = delivered_at.get().unwrap();
         assert!(tx > 0);
-        assert!(rx > tx, "delivery ({rx}) must trail local completion ({tx})");
+        assert!(
+            rx > tx,
+            "delivery ({rx}) must trail local completion ({tx})"
+        );
     }
 
     #[test]

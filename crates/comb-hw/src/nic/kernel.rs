@@ -166,8 +166,8 @@ impl Nic for KernelNic {
         let mut inner = self.inner.lock();
         inner.stats.packets_rx += 1;
         inner.stats.bytes_rx += pkt.bytes;
-        let mut cost =
-            self.cfg.rx_per_packet + comb_sim::SimDuration::for_bytes(pkt.bytes, self.cfg.rx_bandwidth);
+        let mut cost = self.cfg.rx_per_packet
+            + comb_sim::SimDuration::for_bytes(pkt.bytes, self.cfg.rx_bandwidth);
         if pkt.first {
             // Kernel-side matching for the message happens in the first
             // packet's ISR.
@@ -225,7 +225,8 @@ mod tests {
         let rig = setup(&sim);
         let probe = sim.probe::<u64>();
         let p = probe.clone();
-        rig.b.set_rx_handler(Arc::new(move |_, msg| p.set(msg.bytes)));
+        rig.b
+            .set_rx_handler(Arc::new(move |_, msg| p.set(msg.bytes)));
         let a = Arc::clone(&rig.a);
         sim.handle().schedule_in(SimDuration::ZERO, move || {
             a.submit(NodeId(1), wire(100_000), Box::new(|| {}));
@@ -257,7 +258,10 @@ mod tests {
         });
         sim.run().unwrap();
         let mbs = 1_000_000.0 / (probe.get().unwrap() as f64 / 1e9) / 1e6;
-        assert!((70.0..95.0).contains(&mbs), "kernel delivery rate {mbs} MB/s");
+        assert!(
+            (70.0..95.0).contains(&mbs),
+            "kernel delivery rate {mbs} MB/s"
+        );
     }
 
     #[test]
@@ -282,12 +286,18 @@ mod tests {
         });
         sim.run().unwrap();
         let s = work.get().unwrap();
-        let delivered_at = delivered.get().expect("message must complete with no MPI calls");
+        let delivered_at = delivered
+            .get()
+            .expect("message must complete with no MPI calls");
         assert!(
             delivered_at < (SimDuration::from_millis(20) + s.stolen).as_nanos(),
             "transfer must finish inside the work phase"
         );
-        assert!(s.stolen > SimDuration::from_millis(2), "stolen = {}", s.stolen);
+        assert!(
+            s.stolen > SimDuration::from_millis(2),
+            "stolen = {}",
+            s.stolen
+        );
         assert_eq!(s.wall, SimDuration::from_millis(20) + s.stolen);
     }
 

@@ -49,9 +49,17 @@ impl Cluster {
 
     /// Like [`Cluster::build`] with a tracer receiving per-packet fabric
     /// records (and available to higher layers via [`Cluster::tracer`]).
-    pub fn build_traced(handle: &SimHandle, config: &HwConfig, n: usize, tracer: Tracer) -> Cluster {
+    pub fn build_traced(
+        handle: &SimHandle,
+        config: &HwConfig,
+        n: usize,
+        tracer: Tracer,
+    ) -> Cluster {
         assert!(n >= 1, "a cluster needs at least one node");
-        assert!(config.smp.cpus_per_node >= 1, "a node needs at least one CPU");
+        assert!(
+            config.smp.cpus_per_node >= 1,
+            "a node needs at least one CPU"
+        );
         let fabric = Fabric::new_traced(handle, config.link.clone(), tracer);
         let mut nodes = Vec::with_capacity(n);
         for i in 0..n {
@@ -146,7 +154,10 @@ mod smp_tests {
         let node = c.node(NodeId(0));
         assert_eq!(node.extra_cpus.len(), 1);
         // The ISR CPU is the spare, not the application CPU.
-        assert!(!std::ptr::eq(node.isr_cpu() as *const _, &node.cpu as *const _));
+        assert!(!std::ptr::eq(
+            node.isr_cpu() as *const _,
+            &node.cpu as *const _
+        ));
     }
 
     #[test]
@@ -155,6 +166,9 @@ mod smp_tests {
         let c = Cluster::build(&sim.handle(), &HwConfig::portals_myrinet(), 2);
         let node = c.node(NodeId(0));
         assert!(node.extra_cpus.is_empty());
-        assert!(std::ptr::eq(node.isr_cpu() as *const _, &node.cpu as *const _));
+        assert!(std::ptr::eq(
+            node.isr_cpu() as *const _,
+            &node.cpu as *const _
+        ));
     }
 }

@@ -206,7 +206,11 @@ impl MpiProc {
     }
 
     /// `MPI_Wait` that also returns a receive's payload.
-    pub fn wait_with_payload(&self, ctx: &ProcCtx, req: RequestHandle) -> (Status, Option<Payload>) {
+    pub fn wait_with_payload(
+        &self,
+        ctx: &ProcCtx,
+        req: RequestHandle,
+    ) -> (Status, Option<Payload>) {
         loop {
             self.engine.progress(ctx);
             if let Some(r) = self.engine.try_consume(req) {
@@ -249,8 +253,10 @@ impl MpiProc {
             self.engine.progress(ctx);
             for (i, &r) in reqs.iter().enumerate() {
                 if self.engine.is_complete(r) {
-                    let (st, payload) =
-                        self.engine.try_consume(r).expect("request vanished during waitany");
+                    let (st, payload) = self
+                        .engine
+                        .try_consume(r)
+                        .expect("request vanished during waitany");
                     return (i, st, payload);
                 }
             }

@@ -95,7 +95,11 @@ impl MpiProc {
         let root = Rank(0);
         let reduced = self.reduce(ctx, root, op, value);
         let out = if self.rank() == root {
-            self.bcast(ctx, root, Some(encode(reduced.expect("root holds the reduction"))))
+            self.bcast(
+                ctx,
+                root,
+                Some(encode(reduced.expect("root holds the reduction"))),
+            )
         } else {
             self.bcast(ctx, root, None)
         };
@@ -145,7 +149,10 @@ mod tests {
             sim.spawn(&format!("rank{r}"), move |ctx| p.set(f(ctx, m)));
         }
         sim.run().expect("collective run");
-        probes.iter().map(|p| p.get().expect("rank result")).collect()
+        probes
+            .iter()
+            .map(|p| p.get().expect("rank result"))
+            .collect()
     }
 
     #[test]

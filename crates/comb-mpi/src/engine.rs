@@ -12,7 +12,7 @@ use crate::request::{Request, RequestHandle, RequestKind, RequestTable};
 use crate::types::{Envelope, Payload, Rank, RankSel, Status, TagSel};
 use comb_hw::{Cpu, DeliveryClass, MpiCostConfig, Nic, NodeId, ProgressModel, WireMsg};
 use comb_sim::trace::Tracer;
-use comb_sim::{Condition, ProcCtx, SimDuration, SimHandle, Signal};
+use comb_sim::{Condition, ProcCtx, Signal, SimDuration, SimHandle};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -163,7 +163,13 @@ impl MpiEngine {
 
     /// Post a non-blocking send. Charges the host-side post cost and hands
     /// the message to the transport.
-    pub fn isend(&self, ctx: &ProcCtx, dst: Rank, tag: crate::types::Tag, payload: Payload) -> RequestHandle {
+    pub fn isend(
+        &self,
+        ctx: &ProcCtx,
+        dst: Rank,
+        tag: crate::types::Tag,
+        payload: Payload,
+    ) -> RequestHandle {
         let len = payload.len();
         let eager_wire = match self.cfg.progress {
             ProgressModel::Offload => true,
@@ -190,7 +196,9 @@ impl MpiEngine {
         });
         let signal = Signal::new(&self.handle);
         let mut inner = self.inner.lock();
-        let req = inner.requests.insert(Request::new(RequestKind::Send, signal));
+        let req = inner
+            .requests
+            .insert(Request::new(RequestKind::Send, signal));
         inner.stats.isends += 1;
         let seq = {
             let c = inner.send_seq.entry(dst).or_insert(0);
@@ -258,7 +266,9 @@ impl MpiEngine {
         self.cpu.compute(ctx, self.cfg.irecv);
         let signal = Signal::new(&self.handle);
         let mut inner = self.inner.lock();
-        let req = inner.requests.insert(Request::new(RequestKind::Recv, signal));
+        let req = inner
+            .requests
+            .insert(Request::new(RequestKind::Recv, signal));
         inner.stats.irecvs += 1;
         let hit = inner.matcher.post_recv(PostedRecv { req, src, tag });
         match hit {
@@ -272,8 +282,10 @@ impl MpiEngine {
                 // library-progress transports (kernel already copied on
                 // offload ones, but it must copy again out of its bounce
                 // buffer — charge the same rate).
-                self.cpu
-                    .compute(ctx, SimDuration::for_bytes(env.len, self.cfg.eager_copy_bandwidth));
+                self.cpu.compute(
+                    ctx,
+                    SimDuration::for_bytes(env.len, self.cfg.eager_copy_bandwidth),
+                );
                 self.complete_recv(req, env, payload);
             }
             Some(Unexpected {
@@ -324,7 +336,10 @@ impl MpiEngine {
 
     fn complete_recv(&self, req: RequestHandle, env: Envelope, payload: Payload) {
         self.tracer.emit(self.handle.now(), "mpi", || {
-            format!("{} recv complete from {} len={}", self.rank, env.src, env.len)
+            format!(
+                "{} recv complete from {} len={}",
+                self.rank, env.src, env.len
+            )
         });
         let mut inner = self.inner.lock();
         inner.stats.bytes_received += env.len;
@@ -390,7 +405,11 @@ impl MpiEngine {
             let expected = *inner.recv_seq.entry(src_rank).or_insert(0);
             if seq != expected {
                 debug_assert!(seq > expected, "duplicate envelope sequence");
-                inner.reorder.entry(src_rank).or_default().insert(seq, proto);
+                inner
+                    .reorder
+                    .entry(src_rank)
+                    .or_default()
+                    .insert(seq, proto);
                 return;
             }
             drop(inner);

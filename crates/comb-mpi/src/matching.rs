@@ -158,7 +158,9 @@ mod tests {
             env: env(0, 1, 200),
             body: UnexpectedBody::Eager(Payload::synthetic(200)),
         });
-        let hit = m.post_recv(recv(9, RankSel::Any, TagSel::Is(Tag(1)))).unwrap();
+        let hit = m
+            .post_recv(recv(9, RankSel::Any, TagSel::Is(Tag(1))))
+            .unwrap();
         assert_eq!(hit.env.len, 100, "earliest arrival wins");
         let hit = m.post_recv(recv(10, RankSel::Any, TagSel::Any)).unwrap();
         assert_eq!(hit.env.len, 200);

@@ -37,10 +37,7 @@ pub(crate) enum ProtoMsg {
     },
     /// Clear-to-send: the receiver matched the RTS and exposes a landing
     /// token for the payload.
-    Cts {
-        sender_token: u64,
-        recv_token: u64,
-    },
+    Cts { sender_token: u64, recv_token: u64 },
     /// Rendezvous payload, DMA'd into the buffer identified by the CTS.
     Data {
         recv_token: u64,

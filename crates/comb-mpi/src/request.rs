@@ -81,7 +81,10 @@ impl RequestTable {
     pub fn remove(&mut self, h: RequestHandle) -> Option<(Status, Option<Payload>)> {
         let req = self.entries.remove(&h.0)?;
         debug_assert!(req.complete, "removing an incomplete request");
-        Some((req.status.expect("complete request has status"), req.payload))
+        Some((
+            req.status.expect("complete request has status"),
+            req.payload,
+        ))
     }
 
     /// Number of live (not yet removed) requests.
@@ -108,10 +111,7 @@ mod tests {
     fn insert_complete_remove_lifecycle() {
         let sim = Simulation::new();
         let mut table = RequestTable::default();
-        let h = table.insert(Request::new(
-            RequestKind::Recv,
-            Signal::new(&sim.handle()),
-        ));
+        let h = table.insert(Request::new(RequestKind::Recv, Signal::new(&sim.handle())));
         assert!(!table.get(h).unwrap().complete);
         assert_eq!(table.live(), 1);
         table.complete(h, status(), Some(Payload::synthetic(10)));

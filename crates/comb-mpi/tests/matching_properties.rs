@@ -22,7 +22,12 @@ fn run_schedule(cfg: &HwConfig, msgs: &[(u8, u32)]) -> Vec<Vec<u64>> {
     sim.spawn("sender", move |ctx| {
         let mut reqs = Vec::new();
         for &(tag, len) in &sent {
-            reqs.push(m0.isend(ctx, Rank(1), Tag(tag as u32), Payload::synthetic(len as u64)));
+            reqs.push(m0.isend(
+                ctx,
+                Rank(1),
+                Tag(tag as u32),
+                Payload::synthetic(len as u64),
+            ));
         }
         m0.waitall(ctx, &reqs);
     });

@@ -172,7 +172,10 @@ fn mpi_test_unsticks_gm_rendezvous() {
             cpu.compute(ctx, SimDuration::from_millis(2));
             // One test call: drains the RTS, replies CTS; the DATA then
             // flows while the remaining work happens.
-            assert!(mpi.test(ctx, req).is_none(), "cannot be complete this early");
+            assert!(
+                mpi.test(ctx, req).is_none(),
+                "cannot be complete this early"
+            );
             cpu.compute(ctx, SimDuration::from_millis(18));
             c.set(mpi.is_complete(req));
             mpi.wait(ctx, req);
@@ -249,7 +252,12 @@ fn same_tag_messages_do_not_overtake() {
                     // Alternate sizes across the eager/rendezvous threshold:
                     // matching order must still be send order.
                     let len = if i % 2 == 0 { 1024 } else { 100 * 1024 };
-                    let _ = mpi.isend(ctx, Rank(1), Tag(5), Payload::Data(Bytes::from(vec![i as u8; len])));
+                    let _ = mpi.isend(
+                        ctx,
+                        Rank(1),
+                        Tag(5),
+                        Payload::Data(Bytes::from(vec![i as u8; len])),
+                    );
                 }
                 // Blocking on a final handshake keeps the library pumping
                 // until every send has drained.
@@ -349,7 +357,10 @@ fn barrier_synchronizes_ranks() {
     );
     let (a, b) = (t0.get().unwrap(), t1.get().unwrap());
     assert!(a >= 3_000_000);
-    assert!(b >= 3_000_000, "rank1 must not pass the barrier early (got {b})");
+    assert!(
+        b >= 3_000_000,
+        "rank1 must not pass the barrier early (got {b})"
+    );
 }
 
 #[test]
@@ -423,7 +434,12 @@ fn large_data_integrity_both_transports() {
                 g.set(payload);
             },
         );
-        assert_eq!(got.get(), Some(Payload::Data(expect)), "corruption on {}", cfg.name);
+        assert_eq!(
+            got.get(),
+            Some(Payload::Data(expect)),
+            "corruption on {}",
+            cfg.name
+        );
     }
 }
 
@@ -469,7 +485,8 @@ fn testall_and_testany_consume_only_when_ready() {
             let r1 = mpi.irecv(ctx, Rank(0), Tag(1));
             let r2 = mpi.irecv(ctx, Rank(0), Tag(2));
             // Nothing has arrived yet.
-            let early = mpi.testall(ctx, &[r1, r2]).is_none() && mpi.testany(ctx, &[r1, r2]).is_none();
+            let early =
+                mpi.testall(ctx, &[r1, r2]).is_none() && mpi.testany(ctx, &[r1, r2]).is_none();
             cpu.compute(ctx, SimDuration::from_millis(10));
             // Both arrived (offload transport): testany consumes one...
             let (idx, st) = mpi.testany(ctx, &[r1, r2]).expect("one must be ready");
@@ -585,12 +602,8 @@ fn four_rank_all_to_all_traffic_over_shared_fabric() {
 fn tracer_records_mpi_calls_and_fabric_packets() {
     let tracer = comb_sim::trace::Tracer::enabled();
     let mut sim = Simulation::new();
-    let cluster = comb_hw::Cluster::build_traced(
-        &sim.handle(),
-        &HwConfig::gm_myrinet(),
-        2,
-        tracer.clone(),
-    );
+    let cluster =
+        comb_hw::Cluster::build_traced(&sim.handle(), &HwConfig::gm_myrinet(), 2, tracer.clone());
     let world = comb_mpi::MpiWorld::attach(&sim.handle(), &cluster);
     let (m0, m1) = (world.proc(Rank(0)), world.proc(Rank(1)));
     sim.spawn("a", move |ctx| {
@@ -603,10 +616,14 @@ fn tracer_records_mpi_calls_and_fabric_packets() {
     let records = tracer.records();
     assert!(!records.is_empty());
     let text: Vec<String> = records.iter().map(|r| format!("{r}")).collect();
-    assert!(text.iter().any(|t| t.contains("isend") && t.contains("len=10000")));
+    assert!(text
+        .iter()
+        .any(|t| t.contains("isend") && t.contains("len=10000")));
     assert!(text.iter().any(|t| t.contains("irecv")));
     assert!(text.iter().any(|t| t.contains("recv complete")));
-    assert!(text.iter().any(|t| t.contains("fabric") && t.contains("[last]")));
+    assert!(text
+        .iter()
+        .any(|t| t.contains("fabric") && t.contains("[last]")));
     // Records are in non-decreasing time order.
     assert!(records.windows(2).all(|w| w[0].time <= w[1].time));
     // Disabled tracers collect nothing (no cost in the default path).

@@ -187,6 +187,9 @@ mod tests {
         let plot = render(&one, 30, 10);
         let rows: Vec<&str> = plot.lines().collect();
         // Row 1 is the first grid row (row 0 is the title).
-        assert!(rows[1].contains('o') || rows[2].contains('o'), "top point visible");
+        assert!(
+            rows[1].contains('o') || rows[2].contains('o'),
+            "top point visible"
+        );
     }
 }

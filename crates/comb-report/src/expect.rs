@@ -150,7 +150,10 @@ pub fn check_figure(id: FigureId, ds: &Dataset) -> Vec<Check> {
         FigureId::Fig12 => {
             let with_mh = ds.series_by_label("Work with MH");
             let only = ds.series_by_label("Work Only");
-            let gap = match (with_mh.and_then(Series::last_y), only.and_then(Series::last_y)) {
+            let gap = match (
+                with_mh.and_then(Series::last_y),
+                only.and_then(Series::last_y),
+            ) {
                 (Some(a), Some(b)) => a - b,
                 _ => 0.0,
             };
@@ -383,12 +386,20 @@ mod synthetic_tests {
     #[test]
     fn fig05_plateau_then_decline() {
         let plateau: Vec<(f64, f64)> = (0..10)
-            .map(|i| (10f64.powf(1.0 + i as f64 * 0.5), if i < 7 { 50.0 } else { 5.0 }))
+            .map(|i| {
+                (
+                    10f64.powf(1.0 + i as f64 * 0.5),
+                    if i < 7 { 50.0 } else { 5.0 },
+                )
+            })
             .collect();
         let good = ds(vec![Series::new("100 KB", plateau)]);
         assert!(check_figure(FigureId::Fig05, &good).iter().all(|c| c.pass));
         let flat = ds(vec![Series::new("100 KB", vec![(10.0, 50.0), (1e8, 49.0)])]);
-        assert!(!check_figure(FigureId::Fig05, &flat)[0].pass, "no decline must fail");
+        assert!(
+            !check_figure(FigureId::Fig05, &flat)[0].pass,
+            "no decline must fail"
+        );
     }
 
     #[test]
@@ -399,7 +410,12 @@ mod synthetic_tests {
         let good = ds(vec![Series::new("100 KB", climb)]);
         assert!(check_figure(FigureId::Fig06, &good).iter().all(|c| c.pass));
         let sagging: Vec<(f64, f64)> = (0..10)
-            .map(|i| (1e4 * 2f64.powi(i), if i == 5 { 0.1 } else { 0.05 + 0.1 * i as f64 }))
+            .map(|i| {
+                (
+                    1e4 * 2f64.powi(i),
+                    if i == 5 { 0.1 } else { 0.05 + 0.1 * i as f64 },
+                )
+            })
             .collect();
         let bad = ds(vec![Series::new("100 KB", sagging)]);
         assert!(check_figure(FigureId::Fig06, &bad).iter().any(|c| !c.pass));

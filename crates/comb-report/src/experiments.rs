@@ -46,13 +46,16 @@ impl FigureReport {
 }
 
 /// Regenerate the given figures at the given fidelity, optionally writing
-/// CSVs to `out_dir`. Sweeps are shared across figures.
+/// CSVs to `out_dir`. Sweeps are shared across figures and all their
+/// points are executed up front through the shared worker pool
+/// ([`Fidelity::jobs`], `0` = auto).
 pub fn run_figures(
     ids: &[FigureId],
     fidelity: Fidelity,
     out_dir: Option<&Path>,
 ) -> Result<Vec<FigureReport>, RunError> {
     let mut campaigns = Campaigns::new(fidelity);
+    campaigns.prepare(ids)?;
     let mut reports = Vec::with_capacity(ids.len());
     for &id in ids {
         let dataset = generate(id, &mut campaigns)?;
@@ -146,8 +149,7 @@ mod markdown_tests {
 
     #[test]
     fn markdown_report_includes_all_sections() {
-        let reports =
-            run_figures(&[FigureId::Fig13], Fidelity::quick(), None).expect("fig13 runs");
+        let reports = run_figures(&[FigureId::Fig13], Fidelity::quick(), None).expect("fig13 runs");
         let md = markdown_report(&reports);
         assert!(md.contains("# COMB evaluation record"));
         assert!(md.contains("## fig13"));

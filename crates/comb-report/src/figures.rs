@@ -4,10 +4,10 @@
 
 use crate::series::{Dataset, Series};
 use comb_core::{
-    lin_spaced, log_spaced, polling_sweep, pww_sweep, MethodConfig, PollingSample, PwwSample,
-    RunError, Transport, PAPER_SIZES,
+    lin_spaced, log_spaced, polling_sweep, pww_sweep, run_ordered, run_polling_point_on,
+    run_pww_point_on, MethodConfig, PollingSample, PwwSample, RunError, Transport, PAPER_SIZES,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::str::FromStr;
 
@@ -88,7 +88,9 @@ impl FigureId {
             FigureId::Fig07 => "Bandwidth declines more gradually with work interval than polling.",
             FigureId::Fig08 => "GM's OS-bypass beats interrupt-driven Portals on raw bandwidth.",
             FigureId::Fig09 => "GM also wins under PWW at small work intervals.",
-            FigureId::Fig10 => "Posting is far cheaper on GM than through Portals' kernel crossing.",
+            FigureId::Fig10 => {
+                "Posting is far cheaper on GM than through Portals' kernel crossing."
+            }
             FigureId::Fig11 => {
                 "The application-offload detector: Portals' wait vanishes for long work \
                  intervals; GM's wait stays at the transfer time."
@@ -171,9 +173,25 @@ pub struct Fidelity {
     pub target_iters: u64,
     /// Polling: cap on poll intervals per point.
     pub max_intervals: u64,
+    /// Worker threads for campaign execution (`0` = auto: `COMB_JOBS`,
+    /// else available parallelism). Does not affect results, only wall
+    /// time.
+    pub jobs: usize,
 }
 
 impl Fidelity {
+    /// Minimal preset for CI and byte-identity checks (coarsest sweeps
+    /// that still exercise every figure's code path).
+    pub fn smoke() -> Fidelity {
+        Fidelity {
+            per_decade: 1,
+            cycles: 2,
+            target_iters: 500_000,
+            max_intervals: 1_000,
+            jobs: 0,
+        }
+    }
+
     /// Fast preset for tests and smoke runs (a full evaluation in seconds).
     pub fn quick() -> Fidelity {
         Fidelity {
@@ -181,6 +199,7 @@ impl Fidelity {
             cycles: 6,
             target_iters: 2_000_000,
             max_intervals: 4_000,
+            jobs: 0,
         }
     }
 
@@ -191,7 +210,14 @@ impl Fidelity {
             cycles: 12,
             target_iters: 8_000_000,
             max_intervals: 20_000,
+            jobs: 0,
         }
+    }
+
+    /// This fidelity with a specific worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Fidelity {
+        self.jobs = jobs;
+        self
     }
 
     fn method_config(&self, transport: Transport, size: u64) -> MethodConfig {
@@ -199,6 +225,7 @@ impl Fidelity {
         cfg.cycles = self.cycles;
         cfg.target_iters = self.target_iters;
         cfg.max_intervals = self.max_intervals;
+        cfg.jobs = self.jobs;
         cfg
     }
 }
@@ -210,8 +237,124 @@ const PWW_RANGE: (u64, u64) = (10_000, 10_000_000);
 const OVERHEAD_RANGE: (u64, u64) = (25_000, 500_000);
 const OVERHEAD_POINTS: usize = 8;
 
-/// Caches sweep results so figures sharing a campaign (e.g. 4, 5 and 15 all
-/// use the Portals polling sweep) run it once.
+/// One sweep campaign a figure depends on. Several figures share a
+/// campaign (e.g. Figures 4, 5 and 15 all need the Portals polling sweep),
+/// so planning dedups on this key before any simulation runs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CampaignKey {
+    /// Polling-method sweep over the poll interval.
+    Polling {
+        /// Platform name (campaigns are keyed by resolved platform).
+        platform: String,
+        /// Message size in bytes.
+        msg_bytes: u64,
+    },
+    /// PWW-method sweep over the work interval.
+    Pww {
+        /// Platform name.
+        platform: String,
+        /// Message size in bytes.
+        msg_bytes: u64,
+        /// Section 4.3 modified variant (one `MPI_Test` in the work phase).
+        test_in_work: bool,
+    },
+    /// Figures 12/13 linear-axis overhead sweep (PWW at 100 KB).
+    Overhead {
+        /// Platform name.
+        platform: String,
+    },
+}
+
+/// The campaigns a figure's data comes from.
+pub fn required_campaigns(id: FigureId) -> Vec<CampaignKey> {
+    let kb100 = 100 * 1024;
+    let polling = |t: &Transport, size| CampaignKey::Polling {
+        platform: t.name(),
+        msg_bytes: size,
+    };
+    let pww = |t: &Transport, size, test| CampaignKey::Pww {
+        platform: t.name(),
+        msg_bytes: size,
+        test_in_work: test,
+    };
+    match id {
+        FigureId::Fig04 | FigureId::Fig05 => PAPER_SIZES
+            .iter()
+            .map(|&s| polling(&Transport::Portals, s))
+            .collect(),
+        FigureId::Fig06 | FigureId::Fig07 => PAPER_SIZES
+            .iter()
+            .map(|&s| pww(&Transport::Portals, s, false))
+            .collect(),
+        FigureId::Fig08 => vec![
+            polling(&Transport::Gm, kb100),
+            polling(&Transport::Portals, kb100),
+        ],
+        FigureId::Fig09 | FigureId::Fig10 | FigureId::Fig11 => vec![
+            pww(&Transport::Gm, kb100, false),
+            pww(&Transport::Portals, kb100, false),
+        ],
+        FigureId::Fig12 => vec![CampaignKey::Overhead {
+            platform: Transport::Portals.name(),
+        }],
+        FigureId::Fig13 => vec![CampaignKey::Overhead {
+            platform: Transport::Gm.name(),
+        }],
+        FigureId::Fig14 => PAPER_SIZES
+            .iter()
+            .map(|&s| polling(&Transport::Gm, s))
+            .collect(),
+        FigureId::Fig15 => PAPER_SIZES
+            .iter()
+            .map(|&s| polling(&Transport::Portals, s))
+            .collect(),
+        FigureId::Fig16 => vec![
+            polling(&Transport::Gm, kb100),
+            pww(&Transport::Gm, kb100, false),
+        ],
+        FigureId::Fig17 => vec![
+            polling(&Transport::Gm, kb100),
+            pww(&Transport::Gm, kb100, true),
+            pww(&Transport::Gm, kb100, false),
+        ],
+    }
+}
+
+/// Resolve a campaign key's platform name back to a preset transport.
+/// Custom transports never appear in figure campaigns, so presets suffice.
+fn preset_transport(platform: &str) -> Transport {
+    match platform {
+        "GM" => Transport::Gm,
+        "Portals" => Transport::Portals,
+        "EMP" => Transport::Emp,
+        other => unreachable!("figure campaigns only use preset platforms, got {other}"),
+    }
+}
+
+/// A planned campaign: its config resolved once, its x axis materialized.
+struct PlannedCampaign {
+    key: CampaignKey,
+    cfg: MethodConfig,
+    hw: comb_hw::HwConfig,
+    xs: Vec<u64>,
+}
+
+/// One point's worth of result, tagged by method.
+enum PointResult {
+    Polling(PollingSample),
+    Pww(PwwSample),
+}
+
+/// Caches sweep results so figures sharing a campaign run it once.
+///
+/// Two ways to fill the cache:
+/// * [`Campaigns::prepare`] — the plan → execute path: collect every
+///   campaign the requested figures need, dedup, flatten all their points
+///   into one work list and run it through the shared worker pool. This
+///   keeps all cores busy across campaign boundaries instead of
+///   parallelizing (or serializing) one sweep at a time.
+/// * the lazy accessors used by [`generate`] — any campaign not prepared
+///   is swept on first use, so `generate` works standalone too.
 pub struct Campaigns {
     fidelity: Fidelity,
     polling: HashMap<(String, u64), Vec<PollingSample>>,
@@ -228,6 +371,153 @@ impl Campaigns {
             pww: HashMap::new(),
             overhead: HashMap::new(),
         }
+    }
+
+    /// The campaigns `ids` need that are not in the cache yet, deduped,
+    /// in first-need order.
+    pub fn plan(&self, ids: &[FigureId]) -> Vec<CampaignKey> {
+        let mut seen = HashSet::new();
+        let mut ordered = Vec::new();
+        for &id in ids {
+            for key in required_campaigns(id) {
+                if self.is_cached(&key) || !seen.insert(key.clone()) {
+                    continue;
+                }
+                ordered.push(key);
+            }
+        }
+        ordered
+    }
+
+    fn is_cached(&self, key: &CampaignKey) -> bool {
+        match key {
+            CampaignKey::Polling {
+                platform,
+                msg_bytes,
+            } => self.polling.contains_key(&(platform.clone(), *msg_bytes)),
+            CampaignKey::Pww {
+                platform,
+                msg_bytes,
+                test_in_work,
+            } => self
+                .pww
+                .contains_key(&(platform.clone(), *msg_bytes, *test_in_work)),
+            CampaignKey::Overhead { platform } => self.overhead.contains_key(platform),
+        }
+    }
+
+    fn plan_campaign(&self, key: CampaignKey) -> PlannedCampaign {
+        let f = &self.fidelity;
+        let (cfg, xs) = match &key {
+            CampaignKey::Polling {
+                platform,
+                msg_bytes,
+            } => (
+                f.method_config(preset_transport(platform), *msg_bytes),
+                log_spaced(POLL_RANGE.0, POLL_RANGE.1, f.per_decade),
+            ),
+            CampaignKey::Pww {
+                platform,
+                msg_bytes,
+                ..
+            } => (
+                f.method_config(preset_transport(platform), *msg_bytes),
+                log_spaced(PWW_RANGE.0, PWW_RANGE.1, f.per_decade),
+            ),
+            CampaignKey::Overhead { platform } => (
+                f.method_config(preset_transport(platform), 100 * 1024),
+                lin_spaced(OVERHEAD_RANGE.0, OVERHEAD_RANGE.1, OVERHEAD_POINTS),
+            ),
+        };
+        let hw = cfg.transport.config();
+        PlannedCampaign { key, cfg, hw, xs }
+    }
+
+    /// Plan → execute: sweep every campaign the given figures need that is
+    /// not already cached, running *all* of their points through one
+    /// shared worker pool ([`Fidelity::jobs`] workers, `0` = auto).
+    ///
+    /// Results land in the same cache the lazy accessors fill, in the same
+    /// per-campaign input order, so a prepared [`generate`] emits datasets
+    /// byte-identical to unprepared serial generation.
+    pub fn prepare(&mut self, ids: &[FigureId]) -> Result<(), RunError> {
+        let plan: Vec<PlannedCampaign> = self
+            .plan(ids)
+            .into_iter()
+            .map(|key| self.plan_campaign(key))
+            .collect();
+
+        // Flatten every campaign's points into one work list so stealing
+        // crosses campaign boundaries: without this, each sweep's tail
+        // (one long-running small-interval point) would idle the pool.
+        let points: Vec<(usize, u64)> = plan
+            .iter()
+            .enumerate()
+            .flat_map(|(c, pc)| pc.xs.iter().map(move |&x| (c, x)))
+            .collect();
+
+        let results = run_ordered(self.fidelity.jobs, &points, |&(c, x)| {
+            let pc = &plan[c];
+            match pc.key {
+                CampaignKey::Polling { .. } => {
+                    run_polling_point_on(&pc.hw, &pc.cfg, x).map(PointResult::Polling)
+                }
+                CampaignKey::Pww { test_in_work, .. } => {
+                    run_pww_point_on(&pc.hw, &pc.cfg, x, test_in_work).map(PointResult::Pww)
+                }
+                CampaignKey::Overhead { .. } => {
+                    run_pww_point_on(&pc.hw, &pc.cfg, x, false).map(PointResult::Pww)
+                }
+            }
+        })?;
+
+        // Points were emitted campaign-by-campaign and run_ordered keeps
+        // input order, so slicing the flat results reassembles each sweep.
+        let mut rest = results;
+        for pc in plan {
+            let tail = rest.split_off(pc.xs.len());
+            let samples = std::mem::replace(&mut rest, tail);
+            match pc.key {
+                CampaignKey::Polling {
+                    platform,
+                    msg_bytes,
+                } => {
+                    let v = samples
+                        .into_iter()
+                        .map(|r| match r {
+                            PointResult::Polling(s) => s,
+                            PointResult::Pww(_) => unreachable!("polling campaign"),
+                        })
+                        .collect();
+                    self.polling.insert((platform, msg_bytes), v);
+                }
+                CampaignKey::Pww {
+                    platform,
+                    msg_bytes,
+                    test_in_work,
+                } => {
+                    let v = samples
+                        .into_iter()
+                        .map(|r| match r {
+                            PointResult::Pww(s) => s,
+                            PointResult::Polling(_) => unreachable!("pww campaign"),
+                        })
+                        .collect();
+                    self.pww.insert((platform, msg_bytes, test_in_work), v);
+                }
+                CampaignKey::Overhead { platform } => {
+                    let v = samples
+                        .into_iter()
+                        .map(|r| match r {
+                            PointResult::Pww(s) => s,
+                            PointResult::Polling(_) => unreachable!("overhead campaign"),
+                        })
+                        .collect();
+                    self.overhead.insert(platform, v);
+                }
+            }
+        }
+        Ok(())
     }
 
     fn polling(&mut self, t: &Transport, size: u64) -> Result<&[PollingSample], RunError> {
@@ -332,7 +622,8 @@ pub fn generate(id: FigureId, campaigns: &mut Campaigns) -> Result<Dataset, RunE
             for t in [Transport::Gm, Transport::Portals] {
                 let name = t.name();
                 let s = campaigns.polling(&t, kb100)?;
-                ds.series.push(polling_series(&name, s, |p| p.bandwidth_mbs));
+                ds.series
+                    .push(polling_series(&name, s, |p| p.bandwidth_mbs));
             }
         }
         FigureId::Fig09 | FigureId::Fig10 | FigureId::Fig11 => {
@@ -362,8 +653,9 @@ pub fn generate(id: FigureId, campaigns: &mut Campaigns) -> Result<Dataset, RunE
                 Transport::Gm
             };
             let s = campaigns.overhead(&t)?;
-            ds.series
-                .push(pww_series("Work with MH", s, |p| p.work_with_mh.as_micros_f64()));
+            ds.series.push(pww_series("Work with MH", s, |p| {
+                p.work_with_mh.as_micros_f64()
+            }));
             ds.series
                 .push(pww_series("Work Only", s, |p| p.work_only.as_micros_f64()));
         }
@@ -398,9 +690,12 @@ pub fn generate(id: FigureId, campaigns: &mut Campaigns) -> Result<Dataset, RunE
     Ok(ds)
 }
 
-/// Regenerate every data figure, sharing sweeps across figures.
+/// Regenerate every data figure, sharing sweeps across figures. All
+/// campaigns are planned up front and executed through the shared worker
+/// pool ([`Fidelity::jobs`], `0` = auto).
 pub fn generate_all(fidelity: Fidelity) -> Result<Vec<Dataset>, RunError> {
     let mut campaigns = Campaigns::new(fidelity);
+    campaigns.prepare(&FigureId::ALL)?;
     FigureId::ALL
         .iter()
         .map(|&id| generate(id, &mut campaigns))
@@ -450,5 +745,54 @@ mod tests {
         assert_eq!(c.overhead.len(), 1);
         let before = c.polling.len();
         assert_eq!(before, 0);
+    }
+
+    #[test]
+    fn plan_dedups_campaigns_across_figures() {
+        let c = Campaigns::new(Fidelity::smoke());
+        // Figures 4 and 5 share all four Portals polling campaigns; 15
+        // shares them too.
+        let plan = c.plan(&[FigureId::Fig04, FigureId::Fig05, FigureId::Fig15]);
+        assert_eq!(plan.len(), PAPER_SIZES.len());
+        // The whole paper needs exactly these campaigns:
+        // polling: Portals x4 sizes + GM x4 sizes (figs 8/16/17 reuse 100 KB)
+        // pww: Portals x4 sizes + GM 100 KB plain + GM 100 KB test-in-work
+        //      (fig 9-11's Portals 100 KB is one of the four sizes)
+        // overhead: Portals, GM
+        let full = c.plan(&FigureId::ALL);
+        assert_eq!(full.len(), 8 + 6 + 2, "campaign plan: {full:?}");
+    }
+
+    #[test]
+    fn prepare_fills_cache_and_generate_uses_it() {
+        let mut c = Campaigns::new(Fidelity::smoke());
+        c.prepare(&[FigureId::Fig12]).unwrap();
+        assert_eq!(c.overhead.len(), 1);
+        // Generating now must not add campaigns — the data is cached.
+        let ds = generate(FigureId::Fig12, &mut c).unwrap();
+        assert_eq!(ds.series.len(), 2);
+        assert_eq!(c.overhead.len(), 1);
+        assert!(c.polling.is_empty() && c.pww.is_empty());
+        // Re-planning the same figure is now a no-op.
+        assert!(c.plan(&[FigureId::Fig12]).is_empty());
+    }
+
+    #[test]
+    fn prepared_generation_matches_lazy_generation() {
+        let ids = [FigureId::Fig16, FigureId::Fig17];
+        let mut lazy = Campaigns::new(Fidelity::smoke().with_jobs(1));
+        let lazy_ds: Vec<_> = ids
+            .iter()
+            .map(|&i| generate(i, &mut lazy).unwrap())
+            .collect();
+        let mut prepped = Campaigns::new(Fidelity::smoke());
+        prepped.prepare(&ids).unwrap();
+        let prep_ds: Vec<_> = ids
+            .iter()
+            .map(|&i| generate(i, &mut prepped).unwrap())
+            .collect();
+        for (a, b) in lazy_ds.iter().zip(&prep_ds) {
+            assert_eq!(a.to_csv(), b.to_csv(), "datasets diverge for {}", a.id);
+        }
     }
 }

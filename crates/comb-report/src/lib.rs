@@ -24,5 +24,7 @@ pub mod series;
 
 pub use expect::{check_figure, Check};
 pub use experiments::{markdown_report, run_all, run_figures, FigureReport};
-pub use figures::{generate, generate_all, Campaigns, Fidelity, FigureId};
+pub use figures::{
+    generate, generate_all, required_campaigns, CampaignKey, Campaigns, Fidelity, FigureId,
+};
 pub use series::{Dataset, Point, Series};

@@ -1,13 +1,12 @@
 //! Data series and datasets: the in-memory form of a paper figure, with
 //! CSV output.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// One (x, y) point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// X coordinate.
     pub x: f64,
@@ -16,7 +15,7 @@ pub struct Point {
 }
 
 /// A labelled series of points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label (e.g. "100 KB", "GM", "Portals").
     pub label: String,
@@ -50,7 +49,7 @@ impl Series {
 }
 
 /// A complete figure: titled, axis-labelled collection of series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Stable identifier (e.g. "fig05"); used as the CSV file stem.
     pub id: String,

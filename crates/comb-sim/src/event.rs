@@ -81,7 +81,12 @@ impl EventQueue {
         self.next_id += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time, seq, id, kind });
+        self.heap.push(ScheduledEvent {
+            time,
+            seq,
+            id,
+            kind,
+        });
         id
     }
 
@@ -141,7 +146,11 @@ mod tests {
         let b = q.schedule(t0, call());
         let c = q.schedule(t1, call());
         assert_eq!(q.pop().unwrap().id, b);
-        assert_eq!(q.pop().unwrap().id, a, "same-time events fire in schedule order");
+        assert_eq!(
+            q.pop().unwrap().id,
+            a,
+            "same-time events fire in schedule order"
+        );
         assert_eq!(q.pop().unwrap().id, c);
         assert!(q.pop().is_none());
     }

@@ -336,7 +336,9 @@ impl Simulation {
             if deadline != SimTime::MAX {
                 let now = self.shared.clock.load(Ordering::Relaxed);
                 if deadline.as_nanos() > now {
-                    self.shared.clock.store(deadline.as_nanos(), Ordering::Relaxed);
+                    self.shared
+                        .clock
+                        .store(deadline.as_nanos(), Ordering::Relaxed);
                 }
             }
             return Ok(self.handle().now());
@@ -632,7 +634,9 @@ mod run_until_tests {
             h.schedule_in(SimDuration::from_micros(i), move || *c.lock() += 1);
         }
         for deadline_us in [3u64, 3, 7, 20] {
-            let t = sim.run_until(SimTime::from_nanos(deadline_us * 1000)).unwrap();
+            let t = sim
+                .run_until(SimTime::from_nanos(deadline_us * 1000))
+                .unwrap();
             assert_eq!(t.as_nanos(), deadline_us * 1000);
         }
         assert_eq!(*count.lock(), 10);

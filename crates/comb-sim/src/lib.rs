@@ -43,8 +43,8 @@ mod kernel;
 mod process;
 mod signal;
 pub mod stats;
-pub mod trace;
 mod time;
+pub mod trace;
 
 pub use event::EventId;
 pub use kernel::{Probe, SimError, SimHandle, Simulation};

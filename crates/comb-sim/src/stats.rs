@@ -3,11 +3,10 @@
 //! logarithmic histogram.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Online mean/min/max over a stream of `f64` samples (Welford-free; we only
 /// need mean and extrema, so a plain sum is exact enough and deterministic).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     count: u64,
     sum: f64,
@@ -138,7 +137,7 @@ impl BusyTracker {
 /// Histogram over durations with power-of-two microsecond buckets
 /// (`<1us, <2us, <4us, …`). Cheap, deterministic, good enough for
 /// diagnosing phase-time distributions.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DurationHistogram {
     buckets: Vec<u64>,
     count: u64,

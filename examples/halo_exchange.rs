@@ -31,7 +31,11 @@ const RIGHT_TAG: Tag = Tag(11);
 fn stencil_rank(ctx: &ProcCtx, mpi: MpiProc, cpu: Cpu, overlap: bool) -> (u64, SimDuration) {
     let me = mpi.rank().0;
     let left = if me > 0 { Some(Rank(me - 1)) } else { None };
-    let right = if me + 1 < RANKS { Some(Rank(me + 1)) } else { None };
+    let right = if me + 1 < RANKS {
+        Some(Rank(me + 1))
+    } else {
+        None
+    };
 
     mpi.barrier(ctx);
     let t0 = ctx.now();

@@ -3,7 +3,7 @@
 //! bit-for-bit reproducible run to run.
 
 use comb::core::{run_polling_point, run_pww_point, MethodConfig, Transport};
-use comb::report::{generate, Campaigns, Fidelity, FigureId};
+use comb::report::{generate, generate_all, Campaigns, Fidelity, FigureId};
 
 fn cfg(t: Transport) -> MethodConfig {
     let mut c = MethodConfig::new(t, 50 * 1024);
@@ -42,12 +42,31 @@ fn figure_csv_bytes_are_stable() {
         cycles: 3,
         target_iters: 500_000,
         max_intervals: 800,
+        jobs: 0,
     };
     let make = || {
         let mut campaigns = Campaigns::new(fidelity);
         generate(FigureId::Fig13, &mut campaigns).unwrap().to_csv()
     };
     assert_eq!(make(), make());
+}
+
+#[test]
+fn parallel_campaigns_are_byte_identical_to_serial() {
+    // The acceptance bar for the worker pool: the full evaluation's CSV
+    // bytes must not depend on the worker count.
+    let csvs = |jobs: usize| -> Vec<String> {
+        generate_all(Fidelity::smoke().with_jobs(jobs))
+            .unwrap()
+            .iter()
+            .map(|ds| ds.to_csv())
+            .collect()
+    };
+    let serial = csvs(1);
+    assert_eq!(serial.len(), 14);
+    for jobs in [4, comb::core::available_jobs()] {
+        assert_eq!(serial, csvs(jobs), "CSV bytes diverge at jobs={jobs}");
+    }
 }
 
 #[test]

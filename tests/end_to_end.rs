@@ -9,6 +9,7 @@ fn tiny_fidelity() -> Fidelity {
         cycles: 3,
         target_iters: 500_000,
         max_intervals: 800,
+        jobs: 0,
     }
 }
 

@@ -116,10 +116,7 @@ fn future_work_smp_interrupt_steering_recovers_availability() {
     // application offload AND stops stealing the application's cycles.
     use comb::hw::HwConfig;
     let up = run_polling_point(&quick(Transport::Portals, 100 * 1024), 10_000).unwrap();
-    let smp_cfg = quick(
-        Transport::from(HwConfig::portals_myrinet_smp()),
-        100 * 1024,
-    );
+    let smp_cfg = quick(Transport::from(HwConfig::portals_myrinet_smp()), 100 * 1024);
     let smp = run_polling_point(&smp_cfg, 10_000).unwrap();
     assert!(
         smp.availability > up.availability + 0.3,

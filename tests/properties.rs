@@ -1,7 +1,7 @@
 //! Property-based tests over the full stack: for *any* reasonable
 //! configuration, the benchmark's invariants must hold.
 
-use comb::core::{run_polling_point, run_pww_point, MethodConfig, Transport};
+use comb::core::{log_spaced, run_polling_point, run_pww_point, MethodConfig, Transport};
 use proptest::prelude::*;
 
 fn transport_strategy() -> impl Strategy<Value = Transport> {
@@ -77,6 +77,30 @@ proptest! {
         cfg.cycles = 2;
         let s = run_pww_point(&cfg, work, false).unwrap();
         prop_assert_eq!(s.work_only.as_nanos(), work * 4);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256, // pure arithmetic, no simulation — cheap
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn log_spaced_is_strictly_increasing_with_exact_endpoints(
+        lo in 1u64..1_000_000,
+        span in 0u64..100_000_000,
+        per_decade in 1u32..12,
+    ) {
+        let hi = lo + span;
+        let pts = log_spaced(lo, hi, per_decade);
+        prop_assert_eq!(*pts.first().unwrap(), lo, "must start at lo");
+        prop_assert_eq!(*pts.last().unwrap(), hi, "must end at hi");
+        prop_assert!(
+            pts.windows(2).all(|w| w[0] < w[1]),
+            "not strictly increasing: {:?}", pts
+        );
+        prop_assert!(pts.iter().all(|&p| (lo..=hi).contains(&p)));
     }
 }
 

@@ -123,7 +123,11 @@ fn extreme_method_parameters_do_not_wedge_the_harness() {
     cfg.target_iters = 10_000;
     cfg.max_intervals = 200;
     let s = run_polling_point(&cfg, 1).unwrap();
-    assert!(s.availability < 0.05, "work is negligible: {}", s.availability);
+    assert!(
+        s.availability < 0.05,
+        "work is negligible: {}",
+        s.availability
+    );
     // Enormous messages still flow.
     let mut big = MethodConfig::new(Transport::Gm, 4 * 1024 * 1024);
     big.target_iters = 100_000;
