@@ -5,7 +5,8 @@
 //! qualitative shape checks, and exposes raw sweeps for ad-hoc experiments.
 
 use comb_core::{log_spaced, polling_sweep, pww_sweep, MethodConfig, Transport};
-use comb_report::{run_figures, Fidelity, FigureId};
+use comb_hw::FaultPlan;
+use comb_report::{generate_degradation, run_figures, Fidelity, FigureId};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -32,7 +33,10 @@ USAGE:
     comb figure <id>... [options]          regenerate figures (e.g. fig08, 11)
     comb all [options]                     regenerate all 14 data figures
     comb report [--paper] [--out <file>]   full run + markdown evaluation record
-    comb sweep <polling|pww> [options]     run a raw sweep and print a table
+    comb sweep [polling|pww] [options]     run a raw sweep (default: polling);
+                                           prints a table, or CSV when faulted
+    comb degrade [options]                 bandwidth/availability degradation
+                                           figures vs loss rate and stall duty
     comb netperf [--transport T] [--size N] compare COMB vs netperf methodology
     comb latency [--transport T]           classic ping-pong latency table
 
@@ -57,6 +61,20 @@ OPTIONS (sweep):
     --jobs <n>                     worker threads (default: auto)
     --test-in-work                 PWW: insert one MPI_Test in the work phase
     --range <lo:hi[:per_decade]>   x range in loop iterations
+    --fault <spec>                 inject faults (repeatable); specs:
+                                     loss=uniform:R | loss=burst:R[:LEN]
+                                     stall=PERIOD_US:DUTY | storm=PERIOD_US:COST_US
+                                     degrade=PERIOD_US:DUTY:FACTOR | dropctl=R
+                                   faulted sweeps print CSV and stay
+                                   byte-deterministic for any --jobs value
+    --fault-seed <n>               seed for all fault randomness (default fixed)
+
+OPTIONS (degrade):
+    --fidelity <f> | --smoke | --paper     sweep density (default: quick)
+    --jobs <n>                             worker threads (default: auto)
+    --out <dir>                            write CSVs into <dir> (default: results/)
+    --no-csv                               do not write CSVs
+    --plot <WxH>                           ASCII plot size (default 72x20; 0x0 off)
 ";
 
 fn parse_fidelity(name: &str) -> Result<Fidelity, String> {
@@ -87,6 +105,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         Some("netperf") => cmd_netperf(it.collect()),
         Some("latency") => cmd_latency(it.collect()),
         Some("sweep") => cmd_sweep(it.collect()),
+        Some("degrade") => cmd_degrade(it.collect()),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             Ok(())
@@ -373,8 +392,13 @@ fn cmd_latency(args: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
+    // The method is optional: `comb sweep --fault ...` defaults to polling.
+    let mut args = args;
+    let method = match args.first() {
+        Some(a) if !a.starts_with('-') => args.remove(0),
+        _ => "polling".to_string(),
+    };
     let mut it = args.into_iter();
-    let method = it.next().ok_or("sweep needs a method: polling|pww")?;
     let mut transport = Transport::Gm;
     let mut size: u64 = 100 * 1024;
     let mut queue: usize = 4;
@@ -383,6 +407,8 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
     let mut jobs: usize = 0;
     let mut test_in_work = false;
     let mut range = (1_000u64, 100_000_000u64, 2u32);
+    let mut fault_specs: Vec<String> = Vec::new();
+    let mut fault_seed: Option<u64> = None;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--transport" => {
@@ -418,6 +444,15 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
             }
             "--jobs" => jobs = parse_jobs(it.next())?,
             "--test-in-work" => test_in_work = true,
+            "--fault" => fault_specs.push(it.next().ok_or("--fault needs a spec")?),
+            "--fault-seed" => {
+                fault_seed = Some(
+                    it.next()
+                        .ok_or("--fault-seed needs n")?
+                        .parse()
+                        .map_err(|_| "bad fault seed")?,
+                )
+            }
             "--range" => {
                 let spec = it.next().ok_or("--range needs lo:hi[:per_decade]")?;
                 let parts: Vec<&str> = spec.split(':').collect();
@@ -433,12 +468,70 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
             other => return Err(format!("unknown option '{other}'")),
         }
     }
+    let fault = FaultPlan::from_specs(&fault_specs, fault_seed)?;
     let mut cfg = MethodConfig::new(transport, size);
     cfg.queue_depth = queue;
     cfg.batch = batch;
     cfg.cycles = cycles;
     cfg.jobs = jobs;
+    cfg.fault = fault.clone();
     let xs = log_spaced(range.0, range.1, range.2);
+    // Faulted sweeps print CSV (with the plan in the header) so runs can be
+    // diffed byte-for-byte — the acceptance mode for fault determinism.
+    if !fault.is_none() {
+        println!(
+            "# comb sweep {} | platform: {} | msg_bytes: {}",
+            method,
+            cfg.transport.name(),
+            size
+        );
+        println!("# fault: {fault}");
+        match method.as_str() {
+            "polling" => {
+                println!(
+                    "poll_interval,bandwidth_mbs,availability,messages,\
+                     lost_packets,retransmissions,ctl_dropped,storm_interrupts,rndv_retries"
+                );
+                for s in polling_sweep(&cfg, &xs).map_err(|e| e.to_string())? {
+                    println!(
+                        "{},{},{},{},{},{},{},{},{}",
+                        s.poll_interval,
+                        s.bandwidth_mbs,
+                        s.availability,
+                        s.messages_received,
+                        s.faults.lost_packets,
+                        s.faults.retransmissions,
+                        s.faults.ctl_dropped,
+                        s.faults.storm_interrupts,
+                        s.faults.rndv_retries
+                    );
+                }
+            }
+            "pww" => {
+                println!(
+                    "work_interval,bandwidth_mbs,availability,post_per_msg_ns,wait_per_msg_ns,\
+                     lost_packets,retransmissions,ctl_dropped,storm_interrupts,rndv_retries"
+                );
+                for s in pww_sweep(&cfg, &xs, test_in_work).map_err(|e| e.to_string())? {
+                    println!(
+                        "{},{},{},{},{},{},{},{},{},{}",
+                        s.work_interval,
+                        s.bandwidth_mbs,
+                        s.availability,
+                        s.post_per_msg.as_nanos(),
+                        s.wait_per_msg.as_nanos(),
+                        s.faults.lost_packets,
+                        s.faults.retransmissions,
+                        s.faults.ctl_dropped,
+                        s.faults.storm_interrupts,
+                        s.faults.rndv_retries
+                    );
+                }
+            }
+            other => return Err(format!("unknown sweep method '{other}'")),
+        }
+        return Ok(());
+    }
     match method.as_str() {
         "polling" => {
             println!(
@@ -479,6 +572,54 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
         }
         other => return Err(format!("unknown sweep method '{other}'")),
     }
+    Ok(())
+}
+
+fn cmd_degrade(args: Vec<String>) -> Result<(), String> {
+    let mut fidelity = Fidelity::quick();
+    let mut out: Option<PathBuf> = Some(PathBuf::from("results"));
+    let mut plot = (72usize, 20usize);
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" => fidelity = Fidelity::paper(),
+            "--quick" => fidelity = Fidelity::quick(),
+            "--smoke" => fidelity = Fidelity::smoke(),
+            "--fidelity" => {
+                fidelity = parse_fidelity(&it.next().ok_or("--fidelity needs a name")?)?
+            }
+            "--jobs" => fidelity.jobs = parse_jobs(it.next())?,
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?)),
+            "--no-csv" => out = None,
+            "--plot" => {
+                let spec = it.next().ok_or("--plot needs WxH")?;
+                let (w, h) = spec
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad --plot '{spec}', expected WxH"))?;
+                plot = (
+                    w.parse().map_err(|_| "bad plot width")?,
+                    h.parse().map_err(|_| "bad plot height")?,
+                );
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let figs = generate_degradation(fidelity).map_err(|e| format!("benchmark failed: {e}"))?;
+    for ds in &figs {
+        println!("================================================================");
+        println!("{}: {}", ds.id, ds.title);
+        if plot.0 > 0 && plot.1 > 0 {
+            println!();
+            println!("{}", comb_report::ascii::render(ds, plot.0, plot.1));
+        }
+        if let Some(dir) = &out {
+            let path = ds
+                .write_csv(dir)
+                .map_err(|e| format!("writing {}: {e}", dir.display()))?;
+            println!("  csv: {}", path.display());
+        }
+    }
+    println!("================================================================");
     Ok(())
 }
 

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod degradation;
 pub mod latency;
 pub mod metrics;
 pub mod netperf;
@@ -35,8 +36,11 @@ pub mod pww;
 pub mod runner;
 pub mod sweep;
 
+pub use degradation::{
+    degradation_sweep, DegradationAxis, DegradationPoint, LOSS_RATES, STALL_DUTIES,
+};
 pub use latency::{run_pingpong, LatencySample};
-pub use metrics::{availability, bandwidth_mbs, PollingSample, PwwSample};
+pub use metrics::{availability, bandwidth_mbs, FaultCounters, PollingSample, PwwSample};
 pub use netperf::{run_netperf_point, NetperfSample};
 pub use polling::{PollingParams, DATA_TAG, STOP_TAG};
 pub use pww::{InterleavedParams, PwwParams};

@@ -3,6 +3,23 @@
 use comb_sim::stats::DurationHistogram;
 use comb_sim::SimDuration;
 
+/// Fault-injection activity observed during one benchmark point, summed
+/// over both nodes (NIC counters) and both ranks (protocol counters). All
+/// zero for unfaulted runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Packets that needed link-level retransmission.
+    pub lost_packets: u64,
+    /// Total link-level retransmission attempts.
+    pub retransmissions: u64,
+    /// Rendezvous control messages dropped on the wire.
+    pub ctl_dropped: u64,
+    /// Spurious interrupts injected by storms.
+    pub storm_interrupts: u64,
+    /// RTS retransmissions by the rendezvous retry protocol.
+    pub rndv_retries: u64,
+}
+
 /// Compute CPU availability exactly as the paper defines it:
 /// `time(work without messaging) / time(work plus MPI calls while messaging)`.
 pub fn availability(work_only: SimDuration, with_messaging: SimDuration) -> f64 {
@@ -43,6 +60,8 @@ pub struct PollingSample {
     pub messages_received: u64,
     /// Host time stolen from the worker by interrupts.
     pub stolen: SimDuration,
+    /// Fault-injection activity during the run (all zero when unfaulted).
+    pub faults: FaultCounters,
 }
 
 /// One point of the Post-Work-Wait method (paper Figures 6, 7, 9–13, 16,
@@ -85,6 +104,8 @@ pub struct PwwSample {
     /// Distribution of per-cycle wait-phase durations (log buckets) — the
     /// diagnostic the paper derives from per-phase timings.
     pub wait_histogram: DurationHistogram,
+    /// Fault-injection activity during the run (all zero when unfaulted).
+    pub faults: FaultCounters,
 }
 
 #[cfg(test)]

@@ -139,6 +139,7 @@ pub fn run_netperf_point(
             let mut roundtrips: u64 = 0;
             let mut bytes: u64 = 0;
             let mut first = true;
+            let mut leftover: Vec<RequestHandle> = Vec::new();
             while !stop.load(Ordering::Relaxed) {
                 let r_recv = mpi.irecv(ctx, peer, DATA_TAG);
                 let r_send = mpi.isend(ctx, peer, DATA_TAG, Payload::synthetic(msg_bytes));
@@ -154,6 +155,7 @@ pub fn run_netperf_point(
                             break;
                         }
                     }
+                    leftover = pending;
                 } else {
                     // TCP/select style: sleep until completion.
                     mpi.waitall(ctx, &[r_recv, r_send]);
@@ -166,8 +168,12 @@ pub fn run_netperf_point(
                     traffic_up.fire();
                 }
             }
-            // Release the echo process.
+            // Complete whatever the early stop abandoned (the stop message
+            // below is sequenced after the data messages, so they must all
+            // be delivered first), then release the echo process.
+            mpi.waitall(ctx, &leftover);
             let _ = mpi.isend(ctx, peer, STOP_TAG, Payload::synthetic(1));
+            mpi.finalize();
         });
     }
 
@@ -185,6 +191,7 @@ pub fn run_netperf_point(
             let _ = mpi.isend(ctx, peer, DATA_TAG, Payload::synthetic(st.len));
             let _ = st;
         }
+        mpi.finalize();
     });
 
     sim.run()?;

@@ -123,7 +123,15 @@ pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PollingParams) -> Pol
     let elapsed = ctx.now().since(start);
     let stolen = cpu.stats().stolen_total - stolen_before;
 
-    // Tell the support process to stop; fire and forget.
+    // Drain the in-flight sends before stopping: the stop message is
+    // sequenced after them, and an abandoned rendezvous handshake can only
+    // be recovered while this process still answers the retry protocol —
+    // leaving one behind would wedge the support process's ordering gate
+    // on the missing sequence number forever.
+    let outstanding: Vec<RequestHandle> = pending_sends.iter().copied().collect();
+    mpi.waitall(ctx, &outstanding);
+    // Tell the support process to stop; fire and forget (eager, so the
+    // link's reliability sublayer guarantees delivery).
     let _ = mpi.isend(ctx, peer, STOP_TAG, Payload::synthetic(1));
 
     PollingSample {
@@ -137,6 +145,7 @@ pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PollingParams) -> Pol
         bandwidth_mbs: bandwidth_mbs(bytes_received, elapsed),
         messages_received,
         stolen,
+        faults: crate::metrics::FaultCounters::default(),
     }
 }
 

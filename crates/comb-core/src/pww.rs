@@ -133,6 +133,7 @@ pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PwwParams) -> PwwSamp
         bandwidth_mbs: bandwidth_mbs(bytes_received, elapsed),
         stolen,
         wait_histogram,
+        faults: crate::metrics::FaultCounters::default(),
     }
 }
 
@@ -380,6 +381,7 @@ pub fn worker_interleaved(
         bandwidth_mbs: bandwidth_mbs(bytes_received, elapsed),
         stolen,
         wait_histogram,
+        faults: crate::metrics::FaultCounters::default(),
     }
 }
 

@@ -10,7 +10,7 @@
 
 pub mod pool;
 
-use crate::metrics::{PollingSample, PwwSample};
+use crate::metrics::{FaultCounters, PollingSample, PwwSample};
 use crate::polling::{self, PollingParams};
 use crate::pww::{self, InterleavedParams, PwwParams};
 use crate::sweep::MethodConfig;
@@ -53,13 +53,31 @@ impl From<SimError> for RunError {
     }
 }
 
+/// Sum the fault-injection activity of every NIC and every rank after a
+/// run; the sample carries it so faulted campaigns can report recovery
+/// behaviour alongside bandwidth and availability.
+fn collect_faults(cluster: &Cluster, world: &MpiWorld) -> FaultCounters {
+    let mut f = FaultCounters::default();
+    for node in &cluster.nodes {
+        let s = node.nic.stats();
+        f.lost_packets += s.lost_packets;
+        f.retransmissions += s.retransmissions;
+        f.ctl_dropped += s.ctl_dropped;
+        f.storm_interrupts += s.storm_interrupts;
+    }
+    for r in 0..world.size() {
+        f.rndv_retries += world.proc(Rank(r)).stats().rndv_retries;
+    }
+    f
+}
+
 /// Run one polling-method point at the given poll interval (in loop
 /// iterations).
 pub fn run_polling_point(
     cfg: &MethodConfig,
     poll_interval: u64,
 ) -> Result<PollingSample, RunError> {
-    run_polling_point_on(&cfg.transport.config(), cfg, poll_interval)
+    run_polling_point_on(&cfg.resolved_hw(), cfg, poll_interval)
 }
 
 /// [`run_polling_point`] with the transport already resolved; sweeps use
@@ -88,14 +106,18 @@ pub fn run_polling_point_on(
     );
     sim.spawn("worker", move |ctx| {
         pr.set(polling::worker(ctx, &m0, &cpu0, &p0));
+        m0.finalize();
     });
     let (m1, p1) = (world.proc(Rank(1)), params);
     sim.spawn("support", move |ctx| {
         polling::support(ctx, &m1, &p1);
+        m1.finalize();
     });
 
     sim.run()?;
-    probe.take().ok_or(RunError::NoResult)
+    let mut sample = probe.take().ok_or(RunError::NoResult)?;
+    sample.faults = collect_faults(&cluster, &world);
+    Ok(sample)
 }
 
 /// Run one PWW-method point at the given work interval (in loop
@@ -106,7 +128,7 @@ pub fn run_pww_point(
     work_interval: u64,
     test_in_work: bool,
 ) -> Result<PwwSample, RunError> {
-    run_pww_point_on(&cfg.transport.config(), cfg, work_interval, test_in_work)
+    run_pww_point_on(&cfg.resolved_hw(), cfg, work_interval, test_in_work)
 }
 
 /// [`run_pww_point`] with the transport already resolved; sweeps use this
@@ -137,14 +159,18 @@ pub fn run_pww_point_on(
     );
     sim.spawn("worker", move |ctx| {
         pr.set(pww::worker(ctx, &m0, &cpu0, &p0));
+        m0.finalize();
     });
     let (m1, p1) = (world.proc(Rank(1)), params);
     sim.spawn("support", move |ctx| {
         pww::support(ctx, &m1, &p1);
+        m1.finalize();
     });
 
     sim.run()?;
-    probe.take().ok_or(RunError::NoResult)
+    let mut sample = probe.take().ok_or(RunError::NoResult)?;
+    sample.faults = collect_faults(&cluster, &world);
+    Ok(sample)
 }
 
 /// Run one *interleaved* PWW point (paper Section 4.3's historical
@@ -164,7 +190,7 @@ pub fn run_pww_interleaved(
         },
         interleave,
     };
-    let hw = cfg.transport.config();
+    let hw = cfg.resolved_hw();
     let mut sim = Simulation::new();
     let cluster = Cluster::build(&sim.handle(), &hw, 2);
     let world = MpiWorld::attach(&sim.handle(), &cluster);
@@ -178,14 +204,18 @@ pub fn run_pww_interleaved(
     );
     sim.spawn("worker", move |ctx| {
         pr.set(pww::worker_interleaved(ctx, &m0, &cpu0, &p0));
+        m0.finalize();
     });
     let (m1, p1) = (world.proc(Rank(1)), params);
     sim.spawn("support", move |ctx| {
         pww::support_interleaved(ctx, &m1, &p1);
+        m1.finalize();
     });
 
     sim.run()?;
-    probe.take().ok_or(RunError::NoResult)
+    let mut sample = probe.take().ok_or(RunError::NoResult)?;
+    sample.faults = collect_faults(&cluster, &world);
+    Ok(sample)
 }
 
 /// Run a polling sweep over the given poll intervals, on
@@ -205,7 +235,7 @@ pub fn polling_sweep_parallel(
     intervals: &[u64],
     jobs: usize,
 ) -> Result<Vec<PollingSample>, RunError> {
-    let hw = cfg.transport.config();
+    let hw = cfg.resolved_hw();
     pool::run_ordered(jobs, intervals, |&p| run_polling_point_on(&hw, cfg, p))
 }
 
@@ -228,7 +258,7 @@ pub fn pww_sweep_parallel(
     test_in_work: bool,
     jobs: usize,
 ) -> Result<Vec<PwwSample>, RunError> {
-    let hw = cfg.transport.config();
+    let hw = cfg.resolved_hw();
     pool::run_ordered(jobs, intervals, |&w| {
         run_pww_point_on(&hw, cfg, w, test_in_work)
     })
@@ -290,6 +320,25 @@ mod tests {
                 "pww sweep differs at jobs={jobs}"
             );
         }
+    }
+
+    #[test]
+    fn faulted_polling_with_dropped_control_messages_terminates() {
+        // Regression: the polling worker fire-and-forgets its final sends,
+        // so rendezvous handshakes can be mid-flight when both processes
+        // exit. With `dropctl` arming the retry protocol, the abandoned
+        // RTS timers re-armed forever and the simulation never drained
+        // until the engines cancelled them at exit (`finalize`).
+        let mut cfg = MethodConfig::new(Transport::Gm, 100 * 1024);
+        cfg.target_iters = 200_000;
+        cfg.max_intervals = 300;
+        cfg.fault = comb_hw::FaultPlan::from_specs(&["dropctl=0.3"], Some(3)).unwrap();
+        let s = run_polling_point(&cfg, 1_000).unwrap();
+        assert!(s.messages_received > 0);
+        assert!(
+            s.faults.ctl_dropped > 0,
+            "the plan must actually drop control messages"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Method configuration and sweep helpers.
 
-use comb_hw::HwConfig;
+use comb_hw::{FaultPlan, HwConfig};
 
 /// Which simulated platform a run uses.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +68,10 @@ pub struct MethodConfig {
     /// platform's available parallelism. Any value produces byte-identical
     /// results; only wall-clock time changes.
     pub jobs: usize,
+    /// Fault-injection plan applied to the transport's hardware (the
+    /// default injects nothing). Faulted sweeps stay byte-deterministic:
+    /// the plan is seeded and every point resolves it identically.
+    pub fault: FaultPlan,
 }
 
 impl MethodConfig {
@@ -84,7 +88,19 @@ impl MethodConfig {
             min_intervals: 8,
             max_intervals: 20_000,
             jobs: 0,
+            fault: FaultPlan::none(),
         }
+    }
+
+    /// The transport's hardware description with this configuration's
+    /// fault plan installed (and, if the plan drops control messages, the
+    /// rendezvous retry protocol armed).
+    pub fn resolved_hw(&self) -> HwConfig {
+        let mut hw = self.transport.config();
+        if !self.fault.is_none() {
+            self.fault.apply_to(&mut hw);
+        }
+        hw
     }
 
     /// Number of poll intervals to run for a given poll interval length.

@@ -5,6 +5,7 @@
 //! calibrated so the *shapes* of the paper's figures hold (plateaus, knees,
 //! who-wins relations); see `EXPERIMENTS.md` for the calibration notes.
 
+use crate::fault::FaultPlan;
 use comb_sim::SimDuration;
 
 /// Host CPU model parameters.
@@ -51,6 +52,10 @@ pub struct LinkConfig {
     pub loss_recovery: SimDuration,
     /// Seed for the deterministic loss process.
     pub loss_seed: u64,
+    /// Structured fault-injection plan. The default plan injects nothing;
+    /// when it carries a loss spec, that spec supersedes the
+    /// `loss_rate`/`loss_seed` fields above.
+    pub fault: FaultPlan,
 }
 
 impl Default for LinkConfig {
@@ -61,6 +66,37 @@ impl Default for LinkConfig {
             loss_rate: 0.0,
             loss_recovery: SimDuration::from_micros(200),
             loss_seed: 0xC0B_5EED,
+            fault: FaultPlan::none(),
+        }
+    }
+}
+
+/// Retry/timeout parameters for the rendezvous control protocol: when a
+/// fault plan can drop RTS/CTS messages, the sender re-arms a timer after
+/// every RTS and retransmits with exponential backoff until the CTS
+/// arrives. Defaults are scaled to the paper-era hardware: the timeout
+/// covers a full control round-trip (two ~5 µs hops plus ISR/progress
+/// processing) with an order-of-magnitude margin, like the conservative
+/// firmware timeouts of GM's reliability sublayer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RndvRetryConfig {
+    /// Base RTS retransmission timeout (first retry fires this long after
+    /// the RTS leaves).
+    pub timeout: SimDuration,
+    /// Backoff multiplier applied per retry.
+    pub backoff: u32,
+    /// Cap on backoff doublings: the delay never exceeds
+    /// `timeout * backoff^max_exponent`. Retries continue at the capped
+    /// spacing until the CTS arrives, so no message is lost permanently.
+    pub max_exponent: u32,
+}
+
+impl Default for RndvRetryConfig {
+    fn default() -> Self {
+        RndvRetryConfig {
+            timeout: SimDuration::from_micros(500),
+            backoff: 2,
+            max_exponent: 6,
         }
     }
 }
@@ -191,6 +227,10 @@ pub struct MpiCostConfig {
     /// Spin granularity of blocking wait loops (busy waiting, as the paper
     /// notes OS-bypass MPIs do).
     pub wait_spin: SimDuration,
+    /// Rendezvous control retry protocol. `None` (all presets) assumes the
+    /// wire never drops control traffic — the pre-fault-injection
+    /// behaviour; [`FaultPlan::apply_to`] arms it when needed.
+    pub rndv_retry: Option<RndvRetryConfig>,
 }
 
 impl MpiCostConfig {
@@ -206,6 +246,7 @@ impl MpiCostConfig {
             progress_per_msg: SimDuration::from_micros(2),
             eager_copy_bandwidth: 400_000_000,
             wait_spin: SimDuration::from_micros(1),
+            rndv_retry: None,
         }
     }
 
@@ -226,6 +267,7 @@ impl MpiCostConfig {
             progress_per_msg: SimDuration::from_micros(1),
             eager_copy_bandwidth: 400_000_000,
             wait_spin: SimDuration::from_micros(1),
+            rndv_retry: None,
         }
     }
 }
@@ -339,6 +381,7 @@ impl HwConfig {
                 progress_per_msg: SimDuration::from_micros(1),
                 eager_copy_bandwidth: 400_000_000,
                 wait_spin: SimDuration::from_micros(1),
+                rndv_retry: None,
             },
         }
     }

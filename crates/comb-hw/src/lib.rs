@@ -12,6 +12,7 @@
 
 pub mod config;
 pub mod cpu;
+pub mod fault;
 pub mod interrupt;
 pub mod link;
 pub mod loss;
@@ -21,9 +22,11 @@ pub mod packet;
 pub mod switch;
 
 pub use config::{
-    CpuConfig, HwConfig, LinkConfig, MpiCostConfig, NicConfig, NicKind, ProgressModel, SmpConfig,
+    CpuConfig, HwConfig, LinkConfig, MpiCostConfig, NicConfig, NicKind, ProgressModel,
+    RndvRetryConfig, SmpConfig,
 };
 pub use cpu::{ComputeSample, Cpu, CpuStats};
+pub use fault::{DegradeSpec, FaultPlan, FaultStats, LossSpec, StallSpec, StormSpec};
 pub use nic::{DeliveryClass, Nic, NicStats, NodeId, RxHandler, TxDone, WireMsg};
 pub use node::{Cluster, Node};
 pub use switch::Fabric;

@@ -3,48 +3,41 @@
 //! Myrinet links are nearly lossless, but both stacks the paper studies run
 //! a reliability sublayer (GM's firmware; the Portals kernel module's
 //! "reliability and flow control"). This model makes that sublayer's cost
-//! visible: each packet is independently lost with probability `loss_rate`
-//! (deterministic, seeded), and every loss is recovered *at the sender* —
-//! the packet occupies its injection station again after a recovery timeout.
-//! Modelling recovery as sender-side delay keeps packet order intact, which
-//! the message-assembly and matching layers rely on.
+//! visible: packets are lost according to a uniform or Gilbert–Elliott
+//! process (deterministic, seeded), and every loss is recovered *at the
+//! sender* — the packet occupies its injection station again after a
+//! recovery timeout. Modelling recovery as sender-side delay keeps packet
+//! order intact, which the message-assembly and matching layers rely on.
+//!
+//! Determinism contract: the uniform process draws **exactly one** variate
+//! per packet (the retry count is recovered by inverting the geometric
+//! distribution from that single draw), and a zero-rate model draws
+//! nothing. Both properties keep unrelated seeded streams stable when loss
+//! parameters change, and make the total recovery delay of a fixed stream
+//! monotone in the loss rate.
 
+use crate::fault::DetRng;
 use comb_sim::SimDuration;
 
-/// Minimal deterministic generator (splitmix64) for loss decisions; the
-/// stream is a pure function of the seed, independent of any external
-/// crate's algorithm choices.
-#[derive(Debug, Clone)]
-struct LossRng {
-    state: u64,
+enum LossKind {
+    /// Independent per-packet loss.
+    Uniform { rate: f64 },
+    /// Gilbert–Elliott two-state chain: lossless good state, bad state
+    /// losing `LOSS_BAD` of its packets. The chain advances once per
+    /// transmission attempt.
+    Gilbert { p_g2b: f64, p_b2g: f64, bad: bool },
 }
 
-impl LossRng {
-    fn new(seed: u64) -> LossRng {
-        LossRng { state: seed }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform f64 in [0, 1) with 53 bits of precision.
-    fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-}
+/// Bad-state loss probability of the Gilbert–Elliott process.
+const LOSS_BAD: f64 = 0.5;
 
 /// Per-NIC loss state. Deterministic: the sequence of loss decisions is a
 /// pure function of `(seed, salt)`.
 pub struct LossModel {
-    loss_rate: f64,
+    kind: LossKind,
     recovery: SimDuration,
     max_retries: u32,
-    rng: Option<LossRng>,
+    rng: Option<DetRng>,
     stats: LossStats,
 }
 
@@ -57,24 +50,66 @@ pub struct LossStats {
     pub retransmissions: u64,
 }
 
+fn stream(seed: u64, salt: u64) -> DetRng {
+    DetRng::new(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 impl LossModel {
-    /// A model losing each packet with probability `loss_rate`, recovering
-    /// after `recovery` per attempt. `salt` decorrelates NICs sharing a
-    /// seed. A rate of zero costs nothing per packet.
+    /// A model losing each packet independently with probability
+    /// `loss_rate`, recovering after `recovery` per attempt. `salt`
+    /// decorrelates NICs sharing a seed. A rate of zero costs nothing per
+    /// packet and never draws.
     pub fn new(loss_rate: f64, recovery: SimDuration, seed: u64, salt: u64) -> LossModel {
         assert!(
             (0.0..1.0).contains(&loss_rate),
             "loss rate must be in [0, 1)"
         );
         LossModel {
-            loss_rate,
+            kind: LossKind::Uniform { rate: loss_rate },
             recovery,
             max_retries: 32,
             rng: if loss_rate > 0.0 {
-                Some(LossRng::new(seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15)))
+                Some(stream(seed, salt))
             } else {
                 None
             },
+            stats: LossStats::default(),
+        }
+    }
+
+    /// A Gilbert–Elliott burst-loss model with stationary loss probability
+    /// `loss_rate` (must be < 0.5, the bad-state loss probability) and mean
+    /// burst sojourn of `burst_len` packets. Starts in the good state.
+    pub fn burst(
+        loss_rate: f64,
+        burst_len: f64,
+        recovery: SimDuration,
+        seed: u64,
+        salt: u64,
+    ) -> LossModel {
+        assert!(
+            (0.0..LOSS_BAD).contains(&loss_rate),
+            "burst loss rate must be in [0, 0.5)"
+        );
+        assert!(burst_len >= 1.0, "burst length must be >= 1 packet");
+        if loss_rate == 0.0 {
+            return LossModel::new(0.0, recovery, seed, salt);
+        }
+        // Stationary bad-state occupancy pi_b satisfies pi_b * LOSS_BAD =
+        // loss_rate; the mean bad sojourn fixes p_b2g = 1 / burst_len and
+        // pi_b = p_g2b / (p_g2b + p_b2g) yields p_g2b.
+        let pi_b = loss_rate / LOSS_BAD;
+        let p_b2g = 1.0 / burst_len;
+        let p_g2b = pi_b * p_b2g / (1.0 - pi_b);
+        LossModel {
+            kind: LossKind::Gilbert {
+                p_g2b,
+                p_b2g,
+                bad: false,
+            },
+            recovery,
+            max_retries: 32,
+            rng: Some(stream(seed, salt)),
             stats: LossStats::default(),
         }
     }
@@ -91,10 +126,49 @@ impl LossModel {
         let Some(rng) = self.rng.as_mut() else {
             return SimDuration::ZERO;
         };
-        let mut retries: u32 = 0;
-        while retries < self.max_retries && rng.next_f64() < self.loss_rate {
-            retries += 1;
-        }
+        let max_retries = self.max_retries;
+        let retries: u32 = match &mut self.kind {
+            LossKind::Uniform { rate } => {
+                // One draw per packet; the run of consecutive losses is the
+                // largest k with u < rate^k (geometric inversion). For a
+                // fixed u this is monotone non-decreasing in the rate.
+                let u = rng.next_f64();
+                if u >= *rate {
+                    0
+                } else {
+                    let mut k = 1u32;
+                    let mut p = *rate * *rate;
+                    while k < max_retries && u < p {
+                        k += 1;
+                        p *= *rate;
+                    }
+                    k
+                }
+            }
+            LossKind::Gilbert { p_g2b, p_b2g, bad } => {
+                // Advance the chain exactly once per packet (keeps the
+                // stationary per-packet loss at the configured rate), then
+                // decide loss in the new state; the good state is lossless
+                // and costs no loss draw.
+                let t = rng.next_f64();
+                *bad = if *bad { t >= *p_b2g } else { t < *p_g2b };
+                if !*bad || rng.next_f64() >= LOSS_BAD {
+                    0
+                } else {
+                    // Inside a burst every retransmission keeps failing
+                    // with the bad-state probability; invert that
+                    // geometric tail from one draw.
+                    let u = rng.next_f64();
+                    let mut k = 1u32;
+                    let mut p = LOSS_BAD;
+                    while k < max_retries && u < p {
+                        k += 1;
+                        p *= LOSS_BAD;
+                    }
+                    k
+                }
+            }
+        };
         if retries == 0 {
             return SimDuration::ZERO;
         }
@@ -154,6 +228,83 @@ mod tests {
     }
 
     #[test]
+    fn burst_rate_matches_statistics_and_clusters() {
+        let mut m = LossModel::burst(0.1, 8.0, SimDuration::from_micros(50), 7, 0);
+        let n = 50_000u64;
+        let mut hits = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            hits.push(!m.packet_penalty(SimDuration::from_micros(10)).is_zero());
+        }
+        let observed = m.stats().lost_packets as f64 / n as f64;
+        assert!(
+            (0.07..0.13).contains(&observed),
+            "observed burst loss {observed}, expected ~0.1"
+        );
+        // Burstiness: the probability that a loss directly follows a loss
+        // must far exceed the stationary rate.
+        let pairs = hits.windows(2).filter(|w| w[0]).count();
+        let after_loss = hits.windows(2).filter(|w| w[0] && w[1]).count();
+        let cond = after_loss as f64 / pairs.max(1) as f64;
+        assert!(
+            cond > 2.0 * observed,
+            "P(loss | loss) = {cond} does not cluster vs rate {observed}"
+        );
+    }
+
+    #[test]
+    fn uniform_draws_once_per_packet() {
+        // Two models sharing a seed but different rates must agree on
+        // *which* packets are hit whenever the lower-rate model is hit:
+        // the single shared draw guarantees nested loss sets.
+        let service = SimDuration::from_micros(10);
+        let hits = |rate| {
+            let mut m = LossModel::new(rate, SimDuration::from_micros(100), 11, 0);
+            (0..5000)
+                .map(|_| !m.packet_penalty(service).is_zero())
+                .collect::<Vec<_>>()
+        };
+        let lo = hits(0.02);
+        let hi = hits(0.2);
+        for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            assert!(!l || h, "packet {i} lost at rate 0.02 but not at 0.2");
+        }
+    }
+
+    #[test]
+    fn recovery_delay_is_monotone_in_loss_rate() {
+        let service = SimDuration::from_micros(10);
+        let total = |rate| {
+            let mut m = LossModel::new(rate, SimDuration::from_micros(100), 23, 5);
+            (0..5000)
+                .map(|_| m.packet_penalty(service).as_nanos())
+                .sum::<u64>()
+        };
+        let mut prev = 0;
+        for rate in [0.0, 0.01, 0.05, 0.1, 0.3, 0.6] {
+            let t = total(rate);
+            assert!(
+                t >= prev,
+                "total recovery delay decreased from {prev} to {t} at rate {rate}"
+            );
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn zero_loss_path_never_draws() {
+        // Regression (fault-injection issue satellite): a disabled model
+        // must not advance any RNG state. Pin this by checking that the
+        // model holds no generator at all.
+        let m = LossModel::new(0.0, SimDuration::from_micros(100), 99, 3);
+        assert!(m.rng.is_none(), "zero-loss model must not own a generator");
+        let m = LossModel::burst(0.0, 8.0, SimDuration::from_micros(100), 99, 3);
+        assert!(
+            m.rng.is_none(),
+            "zero-rate burst model must not own a generator"
+        );
+    }
+
+    #[test]
     fn penalty_scales_with_retry_count() {
         // With an extreme loss rate every packet retries at least once and
         // the penalty is a positive multiple of (service + recovery).
@@ -171,6 +322,12 @@ mod tests {
     #[should_panic(expected = "loss rate")]
     fn rate_of_one_is_rejected() {
         let _ = LossModel::new(1.0, SimDuration::ZERO, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst loss rate")]
+    fn burst_rate_at_half_is_rejected() {
+        let _ = LossModel::burst(0.5, 8.0, SimDuration::ZERO, 0, 0);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! until the application re-enters the MPI library.
 
 use crate::config::{NicConfig, NicKind};
+use crate::fault::FaultModel;
 use crate::link::Station;
-use crate::loss::LossModel;
 use crate::nic::{DeliveryClass, Nic, NicStats, NodeId, Packet, RxHandler, TxDone, WireMsg};
 use crate::packet::packet_sizes;
 use crate::switch::Fabric;
@@ -26,7 +26,7 @@ use std::sync::Arc;
 struct BypassInner {
     tx: Station,
     rx: Station,
-    loss: LossModel,
+    fault: FaultModel,
     ring: VecDeque<(NodeId, WireMsg)>,
     handler: Option<RxHandler>,
     ring_notify: Option<Arc<dyn Fn() + Send + Sync>>,
@@ -56,12 +56,7 @@ impl BypassNic {
             inner: Arc::new(Mutex::new(BypassInner {
                 tx: Station::new(cfg.tx_per_packet, cfg.tx_bandwidth),
                 rx: Station::new(cfg.rx_per_packet, cfg.rx_bandwidth),
-                loss: LossModel::new(
-                    fabric.link_config().loss_rate,
-                    fabric.link_config().loss_recovery,
-                    fabric.link_config().loss_seed,
-                    fabric.port_count() as u64,
-                ),
+                fault: FaultModel::from_link(fabric.link_config(), fabric.port_count() as u64),
                 ring: VecDeque::new(),
                 handler: None,
                 ring_notify: None,
@@ -95,6 +90,15 @@ impl Nic for BypassNic {
         let expedited = msg.expedited;
         if expedited {
             assert!(n == 1, "expedited messages must fit one packet");
+            // Fault injection may drop a control message outright; the
+            // sender's protocol timer is then its only recovery path. The
+            // transmit still completes locally (the NIC does not know).
+            if inner.fault.drop_control() {
+                inner.stats.ctl_dropped += 1;
+                let service = inner.tx.service_time(msg.bytes);
+                self.handle.schedule_at(now + service, on_tx_done);
+                return;
+            }
         }
         let mut msg = Some(msg);
         for (i, bytes) in sizes.into_iter().enumerate() {
@@ -102,9 +106,15 @@ impl Nic for BypassNic {
             // Expedited control packets squeeze between bulk packets: they
             // pay their service time but do not wait for (or hold up) the
             // bulk queue. Lost packets are recovered by the reliability
-            // sublayer as extra sender-side delay.
+            // sublayer as extra sender-side delay; stall/degradation
+            // windows are judged at the packet's estimated start time.
             let service = inner.tx.service_time(bytes);
-            let penalty = inner.loss.packet_penalty(service);
+            let start_est = if expedited {
+                now
+            } else {
+                inner.tx.busy_until().max(now)
+            };
+            let penalty = inner.fault.tx_penalty(start_est, service);
             let end = if expedited {
                 now + service + penalty
             } else {
@@ -144,8 +154,8 @@ impl Nic for BypassNic {
     fn stats(&self) -> NicStats {
         let inner = self.inner.lock();
         let mut stats = inner.stats;
-        stats.lost_packets = inner.loss.stats().lost_packets;
-        stats.retransmissions = inner.loss.stats().retransmissions;
+        stats.lost_packets = inner.fault.loss_stats().lost_packets;
+        stats.retransmissions = inner.fault.loss_stats().retransmissions;
         stats
     }
 

@@ -15,9 +15,9 @@
 
 use crate::config::{NicConfig, NicKind};
 use crate::cpu::Cpu;
+use crate::fault::FaultModel;
 use crate::interrupt::InterruptController;
 use crate::link::Station;
-use crate::loss::LossModel;
 use crate::nic::{Nic, NicStats, NodeId, Packet, RxHandler, TxDone, WireMsg};
 use crate::packet::packet_sizes;
 use crate::switch::Fabric;
@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 struct KernelInner {
     tx: Station,
-    loss: LossModel,
+    fault: FaultModel,
     isr: InterruptController,
     handler: Option<RxHandler>,
     stats: NicStats,
@@ -64,12 +64,7 @@ impl KernelNic {
             cpu: cpu.clone(),
             inner: Arc::new(Mutex::new(KernelInner {
                 tx: Station::new(cfg.tx_per_packet, cfg.tx_bandwidth),
-                loss: LossModel::new(
-                    fabric.link_config().loss_rate,
-                    fabric.link_config().loss_recovery,
-                    fabric.link_config().loss_seed,
-                    fabric.port_count() as u64,
-                ),
+                fault: FaultModel::from_link(fabric.link_config(), fabric.port_count() as u64),
                 isr: InterruptController::new(cpu.clone()),
                 handler: None,
                 stats: NicStats::default(),
@@ -103,12 +98,25 @@ impl Nic for KernelNic {
         let expedited = msg.expedited;
         if expedited {
             assert!(n == 1, "expedited messages must fit one packet");
+            // Fault injection may drop a control message on the wire; the
+            // sender's protocol timer is its only recovery path.
+            if inner.fault.drop_control() {
+                inner.stats.ctl_dropped += 1;
+                let service = inner.tx.service_time(msg.bytes);
+                self.handle.schedule_at(now + service, on_tx_done);
+                return;
+            }
         }
         let mut msg = Some(msg);
         for (i, bytes) in sizes.into_iter().enumerate() {
             let last = i + 1 == n;
             let service = inner.tx.service_time(bytes);
-            let penalty = inner.loss.packet_penalty(service);
+            let start_est = if expedited {
+                now
+            } else {
+                inner.tx.busy_until().max(now)
+            };
+            let penalty = inner.fault.tx_penalty(start_est, service);
             let (start, end) = if expedited {
                 (now, now + service + penalty)
             } else {
@@ -156,8 +164,9 @@ impl Nic for KernelNic {
         let mut stats = inner.stats;
         stats.interrupts = inner.isr.stats().interrupts;
         stats.host_stolen = inner.stats.host_stolen + inner.isr.stats().total;
-        stats.lost_packets = inner.loss.stats().lost_packets;
-        stats.retransmissions = inner.loss.stats().retransmissions;
+        stats.lost_packets = inner.fault.loss_stats().lost_packets;
+        stats.retransmissions = inner.fault.loss_stats().retransmissions;
+        stats.storm_interrupts = inner.fault.stats().storm_interrupts;
         stats
     }
 
@@ -166,6 +175,14 @@ impl Nic for KernelNic {
         let mut inner = self.inner.lock();
         inner.stats.packets_rx += 1;
         inner.stats.bytes_rx += pkt.bytes;
+        // Spurious storm interrupts accrued since the last delivery fire
+        // ahead of the real packet's ISR, stealing host time and delaying
+        // it behind them on the interrupt chain.
+        if let Some((ticks, storm_cost)) = inner.fault.storm_ticks(now) {
+            for _ in 0..ticks {
+                inner.isr.raise(now, storm_cost);
+            }
+        }
         let mut cost = self.cfg.rx_per_packet
             + comb_sim::SimDuration::for_bytes(pkt.bytes, self.cfg.rx_bandwidth);
         if pkt.first {

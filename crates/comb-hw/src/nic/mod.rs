@@ -110,6 +110,11 @@ pub struct NicStats {
     pub lost_packets: u64,
     /// Total retransmission attempts.
     pub retransmissions: u64,
+    /// Rendezvous control messages dropped by fault injection.
+    pub ctl_dropped: u64,
+    /// Spurious interrupts raised by fault-injected storms (kernel NIC
+    /// only; included in `interrupts` as well).
+    pub storm_interrupts: u64,
 }
 
 /// A simulated network interface.

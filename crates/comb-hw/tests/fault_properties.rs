@@ -1,0 +1,132 @@
+//! Property-based tests of the fault-injection subsystem through its
+//! public API: any seeded plan must serialize round-trip, charge
+//! deterministic, finite penalties, and make recovery cost monotone in the
+//! loss rate.
+
+use comb_hw::fault::FaultModel;
+use comb_hw::loss::LossModel;
+use comb_hw::{FaultPlan, HwConfig};
+use comb_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Integer encoding of an arbitrary fault plan; specs are formatted in the
+/// test body (the harness generates plain values, not mapped strategies).
+/// Fields: (loss_kind, rate ‱, burst len), (stall duty ‱, stall period µs),
+/// (storm period µs, storm cost µs, degrade duty ‱, degrade factor ×10),
+/// (dropctl ‱, seed).
+type PlanInts = ((u8, u32, u32), (u32, u64), (u64, u64, u32, u32), (u32, u64));
+
+fn plan_ints() -> impl Strategy<Value = PlanInts> {
+    (
+        (0u8..3, 1u32..4000, 1u32..25),
+        (0u32..9000, 10u64..2000),
+        (20u64..2000, 1u64..50, 0u32..9000, 11u32..50),
+        (0u32..5000, any::<u64>()),
+    )
+}
+
+/// Build a plan from its integer encoding. Sources with a zero knob are
+/// omitted, so the generated population includes every subset of sources.
+fn build_plan(ints: &PlanInts) -> FaultPlan {
+    let ((loss_kind, rate_bp, burst_len), (stall_bp, stall_us), storm_deg, (drop_bp, seed)) = ints;
+    let (storm_us, storm_cost, deg_bp, deg_x10) = storm_deg;
+    let mut specs: Vec<String> = Vec::new();
+    match loss_kind {
+        1 => specs.push(format!("loss=uniform:{}", *rate_bp as f64 / 10_000.0)),
+        2 => specs.push(format!(
+            "loss=burst:{}:{}",
+            *rate_bp as f64 / 10_000.0,
+            burst_len
+        )),
+        _ => {}
+    }
+    if *stall_bp > 0 {
+        specs.push(format!(
+            "stall={}:{}",
+            stall_us,
+            *stall_bp as f64 / 10_000.0
+        ));
+    }
+    if *storm_cost > 0 {
+        specs.push(format!("storm={storm_us}:{storm_cost}"));
+    }
+    if *deg_bp > 0 {
+        specs.push(format!(
+            "degrade={}:{}:{}",
+            storm_us,
+            *deg_bp as f64 / 10_000.0,
+            *deg_x10 as f64 / 10.0
+        ));
+    }
+    if *drop_bp > 0 {
+        specs.push(format!("dropctl={}", *drop_bp as f64 / 10_000.0));
+    }
+    FaultPlan::from_specs(&specs, Some(*seed)).expect("generated specs must parse")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn any_plan_roundtrips_through_display(ints in plan_ints()) {
+        let plan = build_plan(&ints);
+        let rendered = plan.to_string();
+        let reparsed = if plan.is_none() {
+            prop_assert_eq!(rendered.as_str(), "none");
+            FaultPlan::none()
+        } else {
+            let tokens: Vec<&str> = rendered.split_whitespace().collect();
+            FaultPlan::from_specs(&tokens, None).expect("canonical form must parse")
+        };
+        // Rates round-trip through decimal text, so compare canonical forms.
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    #[test]
+    fn any_plan_charges_finite_deterministic_penalties(
+        ints in plan_ints(),
+        packets in proptest::collection::vec((0u64..2_000_000, 100u64..50_000), 1..40),
+    ) {
+        let plan = build_plan(&ints);
+        let mut hw = HwConfig::gm_myrinet();
+        plan.apply_to(&mut hw);
+        let mut a = FaultModel::from_link(&hw.link, 7);
+        let mut b = FaultModel::from_link(&hw.link, 7);
+        let mut clock = SimTime::ZERO;
+        for &(gap_ns, service_ns) in &packets {
+            clock += SimDuration::from_nanos(gap_ns);
+            let service = SimDuration::from_nanos(service_ns);
+            let pa = a.tx_penalty(clock, service);
+            let pb = b.tx_penalty(clock, service);
+            prop_assert_eq!(pa, pb, "same plan, salt and schedule must charge alike");
+            // A retry run is bounded, so the penalty is too: stall and
+            // degrade windows add at most one period plus the stretched
+            // service, loss at most max_retries attempts.
+            prop_assert!(pa < SimDuration::from_secs(1), "runaway penalty {pa}");
+            prop_assert_eq!(a.drop_control(), b.drop_control());
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn uniform_recovery_is_monotone_in_loss_rate(
+        seed in any::<u64>(),
+        lo_bp in 1u32..4000,
+        delta_bp in 1u32..4000,
+    ) {
+        let (lo, hi) = (lo_bp as f64 / 10_000.0, (lo_bp + delta_bp) as f64 / 10_000.0);
+        let recovery = SimDuration::from_micros(10);
+        let service = SimDuration::from_micros(2);
+        let total = |rate: f64| -> SimDuration {
+            let mut m = LossModel::new(rate, recovery, seed, 3);
+            (0..256).map(|_| m.packet_penalty(service)).sum()
+        };
+        // For a fixed stream, the set of lost packets at rate `lo` is a
+        // subset of the set at rate `hi` (single-draw inversion), so total
+        // recovery delay can only grow with the rate.
+        prop_assert!(
+            total(lo) <= total(hi),
+            "recovery delay must be monotone in loss rate ({lo} vs {hi})"
+        );
+    }
+}

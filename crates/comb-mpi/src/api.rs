@@ -282,6 +282,14 @@ impl MpiProc {
         (st, payload.expect("receive completed without payload"))
     }
 
+    /// `MPI_Finalize` analogue: call when the process is done making MPI
+    /// calls. Cancels any armed rendezvous retry timers so handshakes
+    /// abandoned at exit cannot keep the simulation alive (see
+    /// [`MpiEngine::finalize`]).
+    pub fn finalize(&self) {
+        self.engine.finalize();
+    }
+
     /// A linear barrier over all ranks (gather to rank 0, then release).
     /// Adequate for the small worlds COMB uses.
     pub fn barrier(&self, ctx: &ProcCtx) {

@@ -12,7 +12,7 @@ use crate::request::{Request, RequestHandle, RequestKind, RequestTable};
 use crate::types::{Envelope, Payload, Rank, RankSel, Status, TagSel};
 use comb_hw::{Cpu, DeliveryClass, MpiCostConfig, Nic, NodeId, ProgressModel, WireMsg};
 use comb_sim::trace::Tracer;
-use comb_sim::{Condition, ProcCtx, Signal, SimDuration, SimHandle};
+use comb_sim::{Condition, EventId, ProcCtx, Signal, SimDuration, SimHandle};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -40,6 +40,14 @@ pub struct MpiStats {
     pub bytes_received: u64,
     /// Receives completed.
     pub recvs_completed: u64,
+    /// RTS retransmissions sent after a retry timeout fired.
+    pub rndv_retries: u64,
+    /// Duplicate RTS messages received (a retransmission racing the
+    /// original or its CTS).
+    pub dup_rts: u64,
+    /// Duplicate CTS messages received (the receiver answered a
+    /// retransmitted RTS whose original CTS also arrived).
+    pub dup_cts: u64,
 }
 
 struct PendingRndvSend {
@@ -47,6 +55,32 @@ struct PendingRndvSend {
     env: Envelope,
     payload: Payload,
     dst: Rank,
+    /// Envelope sequence the RTS carried; retransmissions reuse it so the
+    /// receiver's ordering gate recognises duplicates.
+    seq: u64,
+    /// Retry attempts made so far (drives exponential backoff).
+    attempt: u32,
+    /// The armed retry timer, cancelled when the CTS arrives.
+    timer: Option<EventId>,
+}
+
+/// Receiver-side progress of one rendezvous handshake, for answering
+/// retransmitted RTS messages idempotently.
+enum RtsProgress {
+    /// RTS arrived before a matching receive was posted; no CTS sent yet.
+    Queued,
+    /// CTS sent with this landing token — a duplicate RTS means the CTS
+    /// may have been lost, so it is resent verbatim.
+    CtsSent(u64),
+}
+
+/// Receiver-side rendezvous landing zone awaiting DATA.
+struct RndvLanding {
+    req: RequestHandle,
+    /// Sender identity of the handshake, for cleaning up the duplicate
+    /// tracker once the payload lands.
+    src: Rank,
+    sender_token: u64,
 }
 
 struct EngineInner {
@@ -55,7 +89,10 @@ struct EngineInner {
     /// Sender-side rendezvous state awaiting CTS, by sender token.
     send_pending: HashMap<u64, PendingRndvSend>,
     /// Receiver-side rendezvous landing zones awaiting DATA, by recv token.
-    recv_tokens: HashMap<u64, RequestHandle>,
+    recv_tokens: HashMap<u64, RndvLanding>,
+    /// Handshake progress per (sender, sender token), consulted when a
+    /// retransmitted RTS arrives. Entries live from first RTS to DATA.
+    rts_seen: HashMap<(Rank, u64), RtsProgress>,
     /// Next envelope sequence number per destination rank.
     send_seq: HashMap<Rank, u64>,
     /// Next expected envelope sequence per source rank, plus a reorder
@@ -118,6 +155,7 @@ impl MpiEngine {
                 matcher: MatchEngine::default(),
                 send_pending: HashMap::new(),
                 recv_tokens: HashMap::new(),
+                rts_seen: HashMap::new(),
                 send_seq: HashMap::new(),
                 recv_seq: HashMap::new(),
                 reorder: HashMap::new(),
@@ -238,24 +276,81 @@ impl MpiEngine {
                     env,
                     payload,
                     dst,
+                    seq,
+                    attempt: 0,
+                    timer: None,
                 },
             );
             drop(inner);
-            let wire = WireMsg {
-                bytes: CTL_BYTES,
-                class: DeliveryClass::Ring,
-                expedited: true,
-                payload: Box::new(ProtoMsg::Rts {
-                    env,
-                    seq,
-                    sender_token: token,
-                }),
-            };
             // The RTS transmit completion is not the send completion; the
             // send completes when the DATA leaves (after CTS).
-            self.nic.submit(self.node_of(dst), wire, Box::new(|| {}));
+            self.send_rts(dst, env, seq, token);
+            self.arm_rts_timer(token);
         }
         req
+    }
+
+    fn send_rts(&self, dst: Rank, env: Envelope, seq: u64, sender_token: u64) {
+        let wire = WireMsg {
+            bytes: CTL_BYTES,
+            class: DeliveryClass::Ring,
+            expedited: true,
+            payload: Box::new(ProtoMsg::Rts {
+                env,
+                seq,
+                sender_token,
+            }),
+        };
+        self.nic.submit(self.node_of(dst), wire, Box::new(|| {}));
+    }
+
+    /// Arm (or re-arm) the retry timer for a pending rendezvous send. A
+    /// no-op unless the platform's rendezvous retry protocol is configured
+    /// — with reliable control wiring (every preset's default) no timer
+    /// events exist and behaviour is byte-identical to the pre-retry
+    /// engine.
+    fn arm_rts_timer(&self, token: u64) {
+        let Some(retry) = self.cfg.rndv_retry else {
+            return;
+        };
+        let mut inner = self.inner.lock();
+        let Some(pending) = inner.send_pending.get_mut(&token) else {
+            return;
+        };
+        let exp = pending.attempt.min(retry.max_exponent);
+        let delay = retry.timeout * (retry.backoff as u64).pow(exp);
+        let me = self.clone();
+        let id = self
+            .handle
+            .schedule_in(delay, move || me.rts_timeout(token));
+        pending.timer = Some(id);
+    }
+
+    /// Retry timeout: if the handshake is still awaiting its CTS, resend
+    /// the RTS (same token and sequence, so the receiver can recognise a
+    /// duplicate) and back off exponentially.
+    fn rts_timeout(&self, token: u64) {
+        let resend = {
+            let mut inner = self.inner.lock();
+            match inner.send_pending.get_mut(&token) {
+                None => None, // CTS arrived; the handshake moved on.
+                Some(pending) => {
+                    pending.attempt += 1;
+                    pending.timer = None;
+                    let r = (pending.dst, pending.env, pending.seq);
+                    inner.stats.rndv_retries += 1;
+                    Some(r)
+                }
+            }
+        };
+        let Some((dst, env, seq)) = resend else {
+            return;
+        };
+        self.tracer.emit(self.handle.now(), "mpi", || {
+            format!("{} rts retry -> {dst} seq={seq} token={token}", self.rank)
+        });
+        self.send_rts(dst, env, seq, token);
+        self.arm_rts_timer(token);
     }
 
     /// Post a non-blocking receive.
@@ -294,7 +389,17 @@ impl MpiEngine {
             }) => {
                 let recv_token = inner.next_token;
                 inner.next_token += 1;
-                inner.recv_tokens.insert(recv_token, req);
+                inner.recv_tokens.insert(
+                    recv_token,
+                    RndvLanding {
+                        req,
+                        src: env.src,
+                        sender_token,
+                    },
+                );
+                inner
+                    .rts_seen
+                    .insert((env.src, sender_token), RtsProgress::CtsSent(recv_token));
                 drop(inner);
                 self.send_cts(env.src, sender_token, recv_token);
             }
@@ -403,8 +508,15 @@ impl MpiEngine {
             let src_rank = Rank(src.0);
             let mut inner = self.inner.lock();
             let expected = *inner.recv_seq.entry(src_rank).or_insert(0);
+            if seq < expected {
+                // An already-sequenced envelope again: a retransmitted RTS
+                // whose original (or whose CTS) is racing it. Answer
+                // idempotently instead of re-dispatching.
+                drop(inner);
+                self.handle_duplicate(proto);
+                return;
+            }
             if seq != expected {
-                debug_assert!(seq > expected, "duplicate envelope sequence");
                 inner
                     .reorder
                     .entry(src_rank)
@@ -447,6 +559,32 @@ impl MpiEngine {
         self.dispatch_unordered(src, proto);
     }
 
+    /// Idempotent handling of an envelope message that was already
+    /// sequenced once. Only a retransmitted RTS can legitimately arrive
+    /// here (eager payloads and DATA are never retransmitted): if the CTS
+    /// already went out it is resent verbatim (it may have been dropped);
+    /// if the handshake is still queued unexpected, or already completed,
+    /// the duplicate is ignored.
+    fn handle_duplicate(&self, proto: ProtoMsg) {
+        let ProtoMsg::Rts {
+            env, sender_token, ..
+        } = proto
+        else {
+            return;
+        };
+        let resend = {
+            let mut inner = self.inner.lock();
+            inner.stats.dup_rts += 1;
+            match inner.rts_seen.get(&(env.src, sender_token)) {
+                Some(RtsProgress::CtsSent(recv_token)) => Some(*recv_token),
+                Some(RtsProgress::Queued) | None => None,
+            }
+        };
+        if let Some(recv_token) = resend {
+            self.send_cts(env.src, sender_token, recv_token);
+        }
+    }
+
     fn dispatch_unordered(&self, _src: NodeId, proto: ProtoMsg) {
         match proto {
             ProtoMsg::Eager { env, payload, .. } => {
@@ -473,12 +611,25 @@ impl MpiEngine {
                     Some(posted) => {
                         let recv_token = inner.next_token;
                         inner.next_token += 1;
-                        inner.recv_tokens.insert(recv_token, posted.req);
+                        inner.recv_tokens.insert(
+                            recv_token,
+                            RndvLanding {
+                                req: posted.req,
+                                src: env.src,
+                                sender_token,
+                            },
+                        );
+                        inner
+                            .rts_seen
+                            .insert((env.src, sender_token), RtsProgress::CtsSent(recv_token));
                         drop(inner);
                         self.send_cts(env.src, sender_token, recv_token);
                     }
                     None => {
                         inner.stats.unexpected += 1;
+                        inner
+                            .rts_seen
+                            .insert((env.src, sender_token), RtsProgress::Queued);
                         inner.matcher.add_unexpected(Unexpected {
                             env,
                             body: UnexpectedBody::Rndv { sender_token },
@@ -490,12 +641,22 @@ impl MpiEngine {
                 sender_token,
                 recv_token,
             } => {
-                let pending = self
-                    .inner
-                    .lock()
-                    .send_pending
-                    .remove(&sender_token)
-                    .expect("CTS for unknown sender token");
+                let pending = {
+                    let mut inner = self.inner.lock();
+                    match inner.send_pending.remove(&sender_token) {
+                        Some(p) => p,
+                        None => {
+                            // The receiver answered a retransmitted RTS
+                            // after the original CTS already got through;
+                            // the DATA is on its way. Ignore.
+                            inner.stats.dup_cts += 1;
+                            return;
+                        }
+                    }
+                };
+                if let Some(timer) = pending.timer {
+                    self.handle.cancel(timer);
+                }
                 let wire = WireMsg {
                     bytes: pending.env.len,
                     class: DeliveryClass::Direct,
@@ -519,13 +680,17 @@ impl MpiEngine {
                 env,
                 payload,
             } => {
-                let req = self
-                    .inner
-                    .lock()
-                    .recv_tokens
-                    .remove(&recv_token)
-                    .expect("DATA for unknown receive token");
-                self.complete_recv(req, env, payload);
+                let landing = {
+                    let mut inner = self.inner.lock();
+                    let landing = inner
+                        .recv_tokens
+                        .remove(&recv_token)
+                        .expect("DATA for unknown receive token");
+                    // The handshake is over; forget its duplicate tracker.
+                    inner.rts_seen.remove(&(landing.src, landing.sender_token));
+                    landing
+                };
+                self.complete_recv(landing.req, env, payload);
             }
         }
     }
@@ -586,5 +751,27 @@ impl MpiEngine {
     /// notified (arrival or completion).
     pub(crate) fn park_for_activity(&self, ctx: &ProcCtx) {
         self.completion_cond.wait(ctx);
+    }
+
+    /// `MPI_Finalize` analogue: abandon unfinished rendezvous handshakes
+    /// by cancelling their armed retry timers. A benchmark process calls
+    /// this when it exits. Without it, a retry-armed engine (dropped
+    /// control messages under fault injection) whose peer has stopped
+    /// making MPI calls would re-arm its RTS timer forever — a
+    /// self-perpetuating event stream that keeps the simulation's event
+    /// queue from ever draining. The abandoned sends stay incomplete;
+    /// nothing waits on them after the process is gone.
+    pub fn finalize(&self) {
+        let timers: Vec<EventId> = {
+            let mut inner = self.inner.lock();
+            inner
+                .send_pending
+                .values_mut()
+                .filter_map(|p| p.timer.take())
+                .collect()
+        };
+        for t in timers {
+            self.handle.cancel(t);
+        }
     }
 }

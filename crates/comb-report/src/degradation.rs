@@ -1,0 +1,154 @@
+//! Degradation figures: bandwidth and CPU availability as the network gets
+//! worse.
+//!
+//! These are extension figures, not reproductions — the paper's evaluation
+//! (Figures 4–17, [`crate::figures`]) assumes a healthy network. Each
+//! figure fixes the polling method at its plateau (100 KB messages, a
+//! 10 000-iteration poll interval) and sweeps one fault axis: stationary
+//! packet-loss rate, or NIC stall duty-cycle. One GM series and one
+//! Portals series per figure, so OS-bypass and interrupt-driven platforms
+//! can be compared under identical degradation.
+
+use crate::figures::Fidelity;
+use crate::series::{Dataset, Series};
+use comb_core::degradation::{
+    degradation_sweep, DegradationAxis, DegradationPoint, LOSS_RATES, STALL_DUTIES,
+};
+use comb_core::{MethodConfig, RunError, Transport};
+
+/// Message size degradation figures run at (the paper's 100 KB plateau).
+pub const DEG_MSG_BYTES: u64 = 100 * 1024;
+/// Poll interval degradation figures run at (plateau region on both
+/// platforms).
+pub const DEG_POLL_INTERVAL: u64 = 10_000;
+
+/// Stable ids of the degradation figures, in generation order.
+pub const DEGRADATION_IDS: [&str; 4] = [
+    "deg-bw-loss",
+    "deg-avail-loss",
+    "deg-bw-stall",
+    "deg-avail-stall",
+];
+
+fn method_config(fidelity: &Fidelity, transport: Transport) -> MethodConfig {
+    let mut cfg = MethodConfig::new(transport, DEG_MSG_BYTES);
+    cfg.cycles = fidelity.cycles;
+    cfg.target_iters = fidelity.target_iters;
+    cfg.max_intervals = fidelity.max_intervals;
+    cfg.jobs = fidelity.jobs;
+    cfg
+}
+
+fn series(label: &str, pts: &[DegradationPoint], y: impl Fn(&DegradationPoint) -> f64) -> Series {
+    Series::new(label, pts.iter().map(|p| (p.x, y(p))))
+}
+
+fn dataset(id: &str, title: &str, axis: DegradationAxis, y_label: &str) -> Dataset {
+    Dataset {
+        id: id.to_string(),
+        title: title.to_string(),
+        x_label: match axis {
+            DegradationAxis::LossRate => "Packet Loss Rate (fraction)".into(),
+            DegradationAxis::StallDuty => "NIC Stall Duty-Cycle (fraction)".into(),
+        },
+        y_label: y_label.to_string(),
+        log_x: false,
+        series: Vec::new(),
+    }
+}
+
+/// Regenerate the four degradation figures (bandwidth and availability,
+/// each against loss rate and stall duty-cycle), one GM and one Portals
+/// series per figure. Each platform/axis sweep runs once and feeds both of
+/// its figures.
+pub fn generate_degradation(fidelity: Fidelity) -> Result<Vec<Dataset>, RunError> {
+    let mut bw_loss = dataset(
+        "deg-bw-loss",
+        "Degradation: Bandwidth vs Packet Loss Rate",
+        DegradationAxis::LossRate,
+        "Bandwidth (MB/s)",
+    );
+    let mut avail_loss = dataset(
+        "deg-avail-loss",
+        "Degradation: CPU Availability vs Packet Loss Rate",
+        DegradationAxis::LossRate,
+        "CPU Availability (fraction to user)",
+    );
+    let mut bw_stall = dataset(
+        "deg-bw-stall",
+        "Degradation: Bandwidth vs NIC Stall Duty-Cycle",
+        DegradationAxis::StallDuty,
+        "Bandwidth (MB/s)",
+    );
+    let mut avail_stall = dataset(
+        "deg-avail-stall",
+        "Degradation: CPU Availability vs NIC Stall Duty-Cycle",
+        DegradationAxis::StallDuty,
+        "CPU Availability (fraction to user)",
+    );
+
+    for transport in [Transport::Gm, Transport::Portals] {
+        let name = transport.name();
+        let cfg = method_config(&fidelity, transport);
+        let loss = degradation_sweep(
+            &cfg,
+            DegradationAxis::LossRate,
+            &LOSS_RATES,
+            DEG_POLL_INTERVAL,
+        )?;
+        bw_loss
+            .series
+            .push(series(&name, &loss, |p| p.sample.bandwidth_mbs));
+        avail_loss
+            .series
+            .push(series(&name, &loss, |p| p.sample.availability));
+        let stall = degradation_sweep(
+            &cfg,
+            DegradationAxis::StallDuty,
+            &STALL_DUTIES,
+            DEG_POLL_INTERVAL,
+        )?;
+        bw_stall
+            .series
+            .push(series(&name, &stall, |p| p.sample.bandwidth_mbs));
+        avail_stall
+            .series
+            .push(series(&name, &stall, |p| p.sample.availability));
+    }
+
+    Ok(vec![bw_loss, avail_loss, bw_stall, avail_stall])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degradation_figures_have_expected_shape() {
+        let figs = generate_degradation(Fidelity::smoke()).unwrap();
+        assert_eq!(figs.len(), DEGRADATION_IDS.len());
+        for (fig, id) in figs.iter().zip(DEGRADATION_IDS) {
+            assert_eq!(fig.id, id);
+            assert_eq!(fig.series.len(), 2, "{id}: GM + Portals");
+            assert!(!fig.log_x);
+            for s in &fig.series {
+                assert_eq!(s.points.len(), LOSS_RATES.len());
+            }
+        }
+    }
+
+    #[test]
+    fn loss_figures_degrade_monotonically_at_the_endpoints() {
+        let figs = generate_degradation(Fidelity::smoke()).unwrap();
+        let bw_loss = &figs[0];
+        for s in &bw_loss.series {
+            let first = s.points.first().unwrap().y;
+            let last = s.points.last().unwrap().y;
+            assert!(
+                last < first,
+                "{}: 10% loss must cost bandwidth ({last} vs {first})",
+                s.label
+            );
+        }
+    }
+}

@@ -17,11 +17,13 @@
 #![warn(missing_docs)]
 
 pub mod ascii;
+pub mod degradation;
 pub mod expect;
 pub mod experiments;
 pub mod figures;
 pub mod series;
 
+pub use degradation::{generate_degradation, DEGRADATION_IDS};
 pub use expect::{check_figure, Check};
 pub use experiments::{markdown_report, run_all, run_figures, FigureReport};
 pub use figures::{

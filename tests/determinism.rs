@@ -2,7 +2,11 @@
 //! MPI, benchmark methods, figure generation, CSV bytes — must be
 //! bit-for-bit reproducible run to run.
 
-use comb::core::{run_polling_point, run_pww_point, MethodConfig, Transport};
+use comb::core::{
+    polling_sweep_parallel, pww_sweep_parallel, run_polling_point, run_pww_point, MethodConfig,
+    Transport,
+};
+use comb::hw::FaultPlan;
 use comb::report::{generate, generate_all, Campaigns, Fidelity, FigureId};
 
 fn cfg(t: Transport) -> MethodConfig {
@@ -67,6 +71,61 @@ fn parallel_campaigns_are_byte_identical_to_serial() {
     for jobs in [4, comb::core::available_jobs()] {
         assert_eq!(serial, csvs(jobs), "CSV bytes diverge at jobs={jobs}");
     }
+}
+
+#[test]
+fn faulted_sweeps_are_byte_identical_across_jobs_and_runs() {
+    // The fault subsystem's acceptance bar: every fault source active at
+    // once, and the sweep's samples (fault counters included) must not
+    // depend on the worker count or the run.
+    let mut c = cfg(Transport::Portals);
+    c.fault = FaultPlan::from_specs(
+        &[
+            "loss=burst:0.02",
+            "stall=300:0.2",
+            "storm=500:15",
+            "degrade=400:0.3:2.5",
+            "dropctl=0.2",
+        ],
+        Some(42),
+    )
+    .unwrap();
+    let intervals = [5_000u64, 50_000, 500_000];
+    let serial_poll = polling_sweep_parallel(&c, &intervals, 1).unwrap();
+    let serial_pww = pww_sweep_parallel(&c, &intervals, false, 1).unwrap();
+    assert!(
+        serial_poll.iter().any(|s| s.faults.lost_packets > 0),
+        "the plan must actually inject faults"
+    );
+    for jobs in [1, 4, comb::core::available_jobs()] {
+        assert_eq!(
+            polling_sweep_parallel(&c, &intervals, jobs).unwrap(),
+            serial_poll,
+            "faulted polling sweep diverges at jobs={jobs}"
+        );
+        assert_eq!(
+            pww_sweep_parallel(&c, &intervals, false, jobs).unwrap(),
+            serial_pww,
+            "faulted pww sweep diverges at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn same_seed_reruns_and_distinct_seeds_behave() {
+    let mut c = cfg(Transport::Gm);
+    c.fault = FaultPlan::from_specs(&["loss=uniform:0.05"], Some(7)).unwrap();
+    let a = run_polling_point(&c, 50_000).unwrap();
+    let b = run_polling_point(&c, 50_000).unwrap();
+    assert_eq!(a, b, "same seed must reproduce the faulted run exactly");
+    assert!(a.faults.lost_packets > 0);
+    let mut c2 = c.clone();
+    c2.fault = FaultPlan::from_specs(&["loss=uniform:0.05"], Some(8)).unwrap();
+    let d = run_polling_point(&c2, 50_000).unwrap();
+    assert_ne!(
+        a.faults, d.faults,
+        "a different fault seed must draw a different loss stream"
+    );
 }
 
 #[test]

@@ -1,0 +1,144 @@
+//! Golden-file regression tests for faulted campaigns.
+//!
+//! Each test runs a small-fidelity faulted sweep, renders it to CSV, and
+//! diffs the bytes against a checked-in snapshot under `tests/golden/`.
+//! Any change to the fault models, the retry protocol, the RNG streams or
+//! the sweep pipeline that shifts a single byte fails here — that is the
+//! point. To accept an intentional change, regenerate the snapshots with:
+//!
+//! ```text
+//! COMB_BLESS=1 cargo test --test golden
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use comb::core::{log_spaced, polling_sweep, pww_sweep, MethodConfig, Transport};
+use comb::hw::FaultPlan;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `rendered` against the named snapshot, or rewrite the snapshot
+/// when `COMB_BLESS=1`.
+fn assert_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var("COMB_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with COMB_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        expected == rendered,
+        "{name} drifted from its golden snapshot.\n\
+         If the change is intentional, regenerate with COMB_BLESS=1 and review.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{rendered}"
+    );
+}
+
+fn faulted_config(transport: Transport, msg_bytes: u64, specs: &[&str]) -> MethodConfig {
+    let mut cfg = MethodConfig::new(transport, msg_bytes);
+    cfg.cycles = 3;
+    cfg.target_iters = 500_000;
+    cfg.max_intervals = 800;
+    cfg.jobs = 0;
+    cfg.fault = FaultPlan::from_specs(specs, None).unwrap();
+    cfg
+}
+
+#[test]
+fn polling_portals_faulted_campaign_matches_golden() {
+    // Portals is the kernel NIC: bursty loss plus an interrupt storm
+    // exercises retransmission, stall-free ISR charging and the fault
+    // counters on the interrupt path.
+    let cfg = faulted_config(
+        Transport::Portals,
+        50 * 1024,
+        &["loss=burst:0.02", "storm=500:20"],
+    );
+    let xs = log_spaced(1_000, 10_000_000, 1);
+    let mut out = String::new();
+    let _ = writeln!(out, "# golden: polling faulted campaign");
+    let _ = writeln!(
+        out,
+        "# platform: {} | msg_bytes: {} | fault: {}",
+        cfg.transport.name(),
+        cfg.msg_bytes,
+        cfg.fault
+    );
+    let _ = writeln!(
+        out,
+        "poll_interval,bandwidth_mbs,availability,messages,\
+         lost_packets,retransmissions,ctl_dropped,storm_interrupts,rndv_retries"
+    );
+    for s in polling_sweep(&cfg, &xs).unwrap() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            s.poll_interval,
+            s.bandwidth_mbs,
+            s.availability,
+            s.messages_received,
+            s.faults.lost_packets,
+            s.faults.retransmissions,
+            s.faults.ctl_dropped,
+            s.faults.storm_interrupts,
+            s.faults.rndv_retries
+        );
+    }
+    assert_golden("polling_portals_faulted.csv", &out);
+}
+
+#[test]
+fn pww_gm_faulted_campaign_matches_golden() {
+    // GM rendezvous messages with dropped control packets: every sample
+    // exercises the RTS/CTS retry protocol, and uniform loss rides along.
+    let cfg = faulted_config(
+        Transport::Gm,
+        40 * 1024,
+        &["loss=uniform:0.01", "dropctl=0.3"],
+    );
+    let xs = log_spaced(10_000, 10_000_000, 1);
+    let mut out = String::new();
+    let _ = writeln!(out, "# golden: pww faulted campaign");
+    let _ = writeln!(
+        out,
+        "# platform: {} | msg_bytes: {} | fault: {}",
+        cfg.transport.name(),
+        cfg.msg_bytes,
+        cfg.fault
+    );
+    let _ = writeln!(
+        out,
+        "work_interval,bandwidth_mbs,availability,post_per_msg_ns,wait_per_msg_ns,\
+         lost_packets,retransmissions,ctl_dropped,storm_interrupts,rndv_retries"
+    );
+    for s in pww_sweep(&cfg, &xs, false).unwrap() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            s.work_interval,
+            s.bandwidth_mbs,
+            s.availability,
+            s.post_per_msg.as_nanos(),
+            s.wait_per_msg.as_nanos(),
+            s.faults.lost_packets,
+            s.faults.retransmissions,
+            s.faults.ctl_dropped,
+            s.faults.storm_interrupts,
+            s.faults.rndv_retries
+        );
+    }
+    assert_golden("pww_gm_faulted.csv", &out);
+}
