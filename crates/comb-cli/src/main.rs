@@ -39,6 +39,9 @@ USAGE:
                                            figures vs loss rate and stall duty
     comb netperf [--transport T] [--size N] compare COMB vs netperf methodology
     comb latency [--transport T]           classic ping-pong latency table
+    comb trace [options]                   run one traced point: overlap
+                                           analysis, ASCII timeline, and a
+                                           Chrome/Perfetto trace file
 
 OPTIONS (figure/all/report):
     --fidelity <f>     sweep density: smoke | quick | paper (default: quick)
@@ -68,6 +71,21 @@ OPTIONS (sweep):
                                    faulted sweeps print CSV and stay
                                    byte-deterministic for any --jobs value
     --fault-seed <n>               seed for all fault randomness (default fixed)
+    --trace <file>                 also capture every point with tracing on and
+                                   write one Chrome/Perfetto JSON (points get
+                                   separate pid groups; byte-identical for any
+                                   --jobs value)
+
+OPTIONS (trace):
+    --method <pww|polling>         traced method (default pww)
+    --transport <gm|portals|emp>   platform (default gm)
+    --size <bytes>                 message size (default 102400)
+    --work-interval <iters>        PWW work interval (default 1000000)
+    --poll-interval <iters>        polling poll interval (default 10000)
+    --batch / --cycles / --queue / --test-in-work   as for sweep
+    --out <file>                   write Chrome trace JSON (default run.trace.json)
+    --csv <file>                   also write the raw event CSV
+    --width <cols>                 ASCII timeline width (default 100)
 
 OPTIONS (degrade):
     --fidelity <f> | --smoke | --paper     sweep density (default: quick)
@@ -105,6 +123,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         Some("netperf") => cmd_netperf(it.collect()),
         Some("latency") => cmd_latency(it.collect()),
         Some("sweep") => cmd_sweep(it.collect()),
+        Some("trace") => cmd_trace(it.collect()),
         Some("degrade") => cmd_degrade(it.collect()),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
@@ -391,6 +410,141 @@ fn cmd_latency(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(args: Vec<String>) -> Result<(), String> {
+    let mut method = "pww".to_string();
+    let mut transport = Transport::Gm;
+    let mut size: u64 = 100 * 1024;
+    let mut work_interval: u64 = 1_000_000;
+    let mut poll_interval: u64 = 10_000;
+    let mut batch: usize = 1;
+    let mut cycles: u64 = 12;
+    let mut queue: usize = 4;
+    let mut test_in_work = false;
+    let mut out = PathBuf::from("run.trace.json");
+    let mut csv: Option<PathBuf> = None;
+    let mut width: usize = 100;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--method" => method = it.next().ok_or("--method needs pww or polling")?,
+            "--transport" => {
+                transport = parse_transport(&it.next().ok_or("--transport needs a value")?)?
+            }
+            "--size" => {
+                size = it
+                    .next()
+                    .ok_or("--size needs bytes")?
+                    .parse()
+                    .map_err(|_| "bad size")?
+            }
+            "--work-interval" => {
+                work_interval = it
+                    .next()
+                    .ok_or("--work-interval needs iters")?
+                    .parse()
+                    .map_err(|_| "bad work interval")?
+            }
+            "--poll-interval" => {
+                poll_interval = it
+                    .next()
+                    .ok_or("--poll-interval needs iters")?
+                    .parse()
+                    .map_err(|_| "bad poll interval")?
+            }
+            "--batch" => {
+                batch = it
+                    .next()
+                    .ok_or("--batch needs n")?
+                    .parse()
+                    .map_err(|_| "bad batch")?
+            }
+            "--cycles" => {
+                cycles = it
+                    .next()
+                    .ok_or("--cycles needs n")?
+                    .parse()
+                    .map_err(|_| "bad cycles")?
+            }
+            "--queue" => {
+                queue = it
+                    .next()
+                    .ok_or("--queue needs n")?
+                    .parse()
+                    .map_err(|_| "bad queue")?
+            }
+            "--test-in-work" => test_in_work = true,
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a file")?),
+            "--csv" => csv = Some(PathBuf::from(it.next().ok_or("--csv needs a file")?)),
+            "--width" => {
+                width = it
+                    .next()
+                    .ok_or("--width needs cols")?
+                    .parse()
+                    .map_err(|_| "bad width")?
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let mut cfg = MethodConfig::new(transport, size);
+    cfg.batch = batch;
+    cfg.cycles = cycles;
+    cfg.queue_depth = queue;
+    let records = match method.as_str() {
+        "pww" => {
+            let run = comb_core::run_pww_point_traced(&cfg, work_interval, test_in_work)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "pww on {} | {} B messages, work interval {} iters, {} cycles",
+                cfg.transport.name(),
+                size,
+                work_interval,
+                cycles
+            );
+            println!(
+                "  bandwidth {:.1} MB/s, availability {:.3}, wait/msg {}",
+                run.sample.bandwidth_mbs, run.sample.availability, run.sample.wait_per_msg
+            );
+            println!();
+            print!("{}", comb_report::render_pww_timeline(&run.records, width));
+            run.records
+        }
+        "polling" => {
+            let run = comb_core::run_polling_point_traced(&cfg, poll_interval)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "polling on {} | {} B messages, poll interval {} iters",
+                cfg.transport.name(),
+                size,
+                poll_interval
+            );
+            println!(
+                "  bandwidth {:.1} MB/s, availability {:.3}, {} messages",
+                run.sample.bandwidth_mbs, run.sample.availability, run.sample.messages_received
+            );
+            run.records
+        }
+        other => return Err(format!("unknown trace method '{other}'")),
+    };
+    println!();
+    print!(
+        "{}",
+        comb_trace::TraceAnalysis::from_records(&records).render()
+    );
+    std::fs::write(&out, comb_trace::chrome_trace_json(&records))
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!();
+    println!(
+        "trace: {} (load in ui.perfetto.dev or chrome://tracing)",
+        out.display()
+    );
+    if let Some(path) = csv {
+        std::fs::write(&path, comb_trace::csv_export(&records))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("csv:   {}", path.display());
+    }
+    Ok(())
+}
+
 fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
     // The method is optional: `comb sweep --fault ...` defaults to polling.
     let mut args = args;
@@ -409,6 +563,7 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
     let mut range = (1_000u64, 100_000_000u64, 2u32);
     let mut fault_specs: Vec<String> = Vec::new();
     let mut fault_seed: Option<u64> = None;
+    let mut trace_path: Option<PathBuf> = None;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--transport" => {
@@ -445,6 +600,7 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
             "--jobs" => jobs = parse_jobs(it.next())?,
             "--test-in-work" => test_in_work = true,
             "--fault" => fault_specs.push(it.next().ok_or("--fault needs a spec")?),
+            "--trace" => trace_path = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?)),
             "--fault-seed" => {
                 fault_seed = Some(
                     it.next()
@@ -476,6 +632,42 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
     cfg.jobs = jobs;
     cfg.fault = fault.clone();
     let xs = log_spaced(range.0, range.1, range.2);
+    // Run the sweep once. With --trace the traced variant is used — the
+    // samples it yields are identical to an untraced sweep's — and every
+    // point lands in its own pid group of one Chrome trace file.
+    let mut trace_json: Option<String> = None;
+    let mut poll_samples: Vec<comb_core::PollingSample> = Vec::new();
+    let mut pww_samples: Vec<comb_core::PwwSample> = Vec::new();
+    match method.as_str() {
+        "polling" => {
+            if trace_path.is_some() {
+                let runs = comb_core::polling_sweep_traced(&cfg, &xs).map_err(|e| e.to_string())?;
+                let mut ct = comb_trace::ChromeTrace::new();
+                for (i, (run, &x)) in runs.iter().zip(&xs).enumerate() {
+                    ct.add_run(&format!("poll={x}"), i as u32 * 2000, &run.records);
+                }
+                trace_json = Some(ct.finish());
+                poll_samples = runs.into_iter().map(|r| r.sample).collect();
+            } else {
+                poll_samples = polling_sweep(&cfg, &xs).map_err(|e| e.to_string())?;
+            }
+        }
+        "pww" => {
+            if trace_path.is_some() {
+                let runs = comb_core::pww_sweep_traced(&cfg, &xs, test_in_work)
+                    .map_err(|e| e.to_string())?;
+                let mut ct = comb_trace::ChromeTrace::new();
+                for (i, (run, &x)) in runs.iter().zip(&xs).enumerate() {
+                    ct.add_run(&format!("work={x}"), i as u32 * 2000, &run.records);
+                }
+                trace_json = Some(ct.finish());
+                pww_samples = runs.into_iter().map(|r| r.sample).collect();
+            } else {
+                pww_samples = pww_sweep(&cfg, &xs, test_in_work).map_err(|e| e.to_string())?;
+            }
+        }
+        other => return Err(format!("unknown sweep method '{other}'")),
+    }
     // Faulted sweeps print CSV (with the plan in the header) so runs can be
     // diffed byte-for-byte — the acceptance mode for fault determinism.
     if !fault.is_none() {
@@ -486,91 +678,83 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
             size
         );
         println!("# fault: {fault}");
-        match method.as_str() {
-            "polling" => {
-                println!(
-                    "poll_interval,bandwidth_mbs,availability,messages,\
-                     lost_packets,retransmissions,ctl_dropped,storm_interrupts,rndv_retries"
-                );
-                for s in polling_sweep(&cfg, &xs).map_err(|e| e.to_string())? {
-                    println!(
-                        "{},{},{},{},{},{},{},{},{}",
-                        s.poll_interval,
-                        s.bandwidth_mbs,
-                        s.availability,
-                        s.messages_received,
-                        s.faults.lost_packets,
-                        s.faults.retransmissions,
-                        s.faults.ctl_dropped,
-                        s.faults.storm_interrupts,
-                        s.faults.rndv_retries
-                    );
-                }
-            }
-            "pww" => {
-                println!(
-                    "work_interval,bandwidth_mbs,availability,post_per_msg_ns,wait_per_msg_ns,\
-                     lost_packets,retransmissions,ctl_dropped,storm_interrupts,rndv_retries"
-                );
-                for s in pww_sweep(&cfg, &xs, test_in_work).map_err(|e| e.to_string())? {
-                    println!(
-                        "{},{},{},{},{},{},{},{},{},{}",
-                        s.work_interval,
-                        s.bandwidth_mbs,
-                        s.availability,
-                        s.post_per_msg.as_nanos(),
-                        s.wait_per_msg.as_nanos(),
-                        s.faults.lost_packets,
-                        s.faults.retransmissions,
-                        s.faults.ctl_dropped,
-                        s.faults.storm_interrupts,
-                        s.faults.rndv_retries
-                    );
-                }
-            }
-            other => return Err(format!("unknown sweep method '{other}'")),
-        }
-        return Ok(());
-    }
-    match method.as_str() {
-        "polling" => {
+        if method == "polling" {
             println!(
-                "{:>12} {:>12} {:>10} {:>8} {:>12} {:>12}",
-                "poll_iters", "bw_MB/s", "avail", "msgs", "elapsed", "stolen"
+                "poll_interval,bandwidth_mbs,availability,messages,\
+                 lost_packets,retransmissions,ctl_dropped,storm_interrupts,rndv_retries"
             );
-            let samples = polling_sweep(&cfg, &xs).map_err(|e| e.to_string())?;
-            for s in samples {
+            for s in &poll_samples {
                 println!(
-                    "{:>12} {:>12.2} {:>10.4} {:>8} {:>12} {:>12}",
+                    "{},{},{},{},{},{},{},{},{}",
                     s.poll_interval,
                     s.bandwidth_mbs,
                     s.availability,
                     s.messages_received,
-                    s.elapsed.to_string(),
-                    s.stolen.to_string()
+                    s.faults.lost_packets,
+                    s.faults.retransmissions,
+                    s.faults.ctl_dropped,
+                    s.faults.storm_interrupts,
+                    s.faults.rndv_retries
                 );
             }
-        }
-        "pww" => {
+        } else {
             println!(
-                "{:>12} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
-                "work_iters", "bw_MB/s", "avail", "post/msg", "wait/msg", "work+MH", "work_only"
+                "work_interval,bandwidth_mbs,availability,post_per_msg_ns,wait_per_msg_ns,\
+                 lost_packets,retransmissions,ctl_dropped,storm_interrupts,rndv_retries"
             );
-            let samples = pww_sweep(&cfg, &xs, test_in_work).map_err(|e| e.to_string())?;
-            for s in samples {
+            for s in &pww_samples {
                 println!(
-                    "{:>12} {:>10.2} {:>8.4} {:>12} {:>12} {:>12} {:>12}",
+                    "{},{},{},{},{},{},{},{},{},{}",
                     s.work_interval,
                     s.bandwidth_mbs,
                     s.availability,
-                    s.post_per_msg.to_string(),
-                    s.wait_per_msg.to_string(),
-                    s.work_with_mh.to_string(),
-                    s.work_only.to_string()
+                    s.post_per_msg.as_nanos(),
+                    s.wait_per_msg.as_nanos(),
+                    s.faults.lost_packets,
+                    s.faults.retransmissions,
+                    s.faults.ctl_dropped,
+                    s.faults.storm_interrupts,
+                    s.faults.rndv_retries
                 );
             }
         }
-        other => return Err(format!("unknown sweep method '{other}'")),
+    } else if method == "polling" {
+        println!(
+            "{:>12} {:>12} {:>10} {:>8} {:>12} {:>12}",
+            "poll_iters", "bw_MB/s", "avail", "msgs", "elapsed", "stolen"
+        );
+        for s in &poll_samples {
+            println!(
+                "{:>12} {:>12.2} {:>10.4} {:>8} {:>12} {:>12}",
+                s.poll_interval,
+                s.bandwidth_mbs,
+                s.availability,
+                s.messages_received,
+                s.elapsed.to_string(),
+                s.stolen.to_string()
+            );
+        }
+    } else {
+        println!(
+            "{:>12} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "work_iters", "bw_MB/s", "avail", "post/msg", "wait/msg", "work+MH", "work_only"
+        );
+        for s in &pww_samples {
+            println!(
+                "{:>12} {:>10.2} {:>8.4} {:>12} {:>12} {:>12} {:>12}",
+                s.work_interval,
+                s.bandwidth_mbs,
+                s.availability,
+                s.post_per_msg.to_string(),
+                s.wait_per_msg.to_string(),
+                s.work_with_mh.to_string(),
+                s.work_only.to_string()
+            );
+        }
+    }
+    if let (Some(path), Some(json)) = (&trace_path, &trace_json) {
+        std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("trace: {}", path.display());
     }
     Ok(())
 }

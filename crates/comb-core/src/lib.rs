@@ -35,6 +35,7 @@ pub mod polling;
 pub mod pww;
 pub mod runner;
 pub mod sweep;
+pub mod traced;
 
 pub use degradation::{
     degradation_sweep, DegradationAxis, DegradationPoint, LOSS_RATES, STALL_DUTIES,
@@ -50,3 +51,7 @@ pub use runner::{
     run_polling_point_on, run_pww_interleaved, run_pww_point, run_pww_point_on, RunError,
 };
 pub use sweep::{lin_spaced, log_spaced, ConfigSummary, MethodConfig, Transport, PAPER_SIZES};
+pub use traced::{
+    polling_sweep_traced, pww_sweep_traced, run_polling_point_traced, run_pww_point_traced,
+    TracedRun,
+};

@@ -130,4 +130,31 @@ mod tests {
         assert_eq!(bandwidth_mbs(45_000, SimDuration::from_millis(1)), 45.0);
         assert_eq!(bandwidth_mbs(1, SimDuration::ZERO), 0.0);
     }
+
+    #[test]
+    fn availability_at_the_nanosecond_granularity_limit() {
+        let one = SimDuration::from_nanos(1);
+        // The smallest representable measurement still divides exactly.
+        assert_eq!(availability(one, one), 1.0);
+        assert_eq!(availability(one, SimDuration::from_nanos(2)), 0.5);
+        // One nanosecond past the denominator clamps instead of exceeding 1.
+        assert_eq!(availability(SimDuration::from_nanos(2), one), 1.0);
+        // Zero over zero takes the is_zero early-out, not NaN.
+        assert_eq!(availability(SimDuration::ZERO, SimDuration::ZERO), 1.0);
+        assert_eq!(availability(SimDuration::ZERO, one), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_survives_transfers_past_u32_bytes() {
+        // A sweep-length total can exceed u32::MAX bytes; the f64 path must
+        // not truncate. 2^32 * 10 bytes over 1 s = 42949.67296 MB/s.
+        let bytes = 10 * (1u64 << 32);
+        let bw = bandwidth_mbs(bytes, SimDuration::from_secs(1));
+        assert!((bw - 42_949.672_96).abs() < 1e-6, "got {bw}");
+        // Sub-microsecond elapsed with small byte counts stays finite:
+        // 1 byte / 1 ns = 1000 MB/s (up to f64 division rounding).
+        let tiny = bandwidth_mbs(1, SimDuration::from_nanos(1));
+        assert!((tiny - 1000.0).abs() < 1e-9, "got {tiny}");
+        assert_eq!(bandwidth_mbs(0, SimDuration::from_secs(1)), 0.0);
+    }
 }

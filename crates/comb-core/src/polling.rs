@@ -15,6 +15,7 @@ use crate::metrics::{availability, bandwidth_mbs, PollingSample};
 use comb_hw::Cpu;
 use comb_mpi::{MpiProc, Payload, Rank, RequestHandle, Tag};
 use comb_sim::ProcCtx;
+use comb_trace::{Comp, Phase, TraceEvent};
 use std::collections::VecDeque;
 
 /// Tag used for benchmark data messages.
@@ -51,12 +52,22 @@ pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PollingParams) -> Pol
     let peer = Rank(1);
     let q = p.queue_depth;
     let total_iters = p.intervals * p.poll_interval;
+    let trc = mpi.tracer().clone();
+    let app = Comp::App(mpi.rank().0 as u32);
 
     // Phase 1 — dry run: the same amount of work with no communication.
     // (In the simulator the dry run is exactly reproducible, so when the
     // measured phase runs extra intervals the baseline extends linearly.)
     let t0 = ctx.now();
+    trc.emit(t0, app, || TraceEvent::PhaseBegin {
+        phase: Phase::DryRun,
+        cycle: 0,
+    });
     cpu.compute_iters(ctx, total_iters);
+    trc.emit(ctx.now(), app, || TraceEvent::PhaseEnd {
+        phase: Phase::DryRun,
+        cycle: 0,
+    });
     let dry = ctx.now().since(t0);
     debug_assert_eq!(dry, cpu.iters_to_duration(total_iters));
 
@@ -100,7 +111,17 @@ pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PollingParams) -> Pol
     let min_msgs = 2 * q as u64;
     let mut done: u64 = 0;
     while done < p.intervals || (messages_received < min_msgs && done < p.intervals * 32) {
+        trc.emit(ctx.now(), app, || TraceEvent::PhaseBegin {
+            phase: Phase::PollInterval,
+            cycle: done,
+        });
+        trc.emit(ctx.now(), app, || TraceEvent::WorkStart {
+            iters: p.poll_interval,
+        });
         cpu.compute_iters(ctx, p.poll_interval);
+        trc.emit(ctx.now(), app, || TraceEvent::WorkEnd {
+            iters: p.poll_interval,
+        });
         done += 1;
         for slot in recvs.iter_mut() {
             if let Some(st) = mpi.test(ctx, *slot) {
@@ -117,6 +138,10 @@ pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PollingParams) -> Pol
             }
         }
         reap_sends(mpi, &mut pending_sends);
+        trc.emit(ctx.now(), app, || TraceEvent::PhaseEnd {
+            phase: Phase::PollInterval,
+            cycle: done - 1,
+        });
     }
     let total_iters = done * p.poll_interval;
     let work_only = cpu.iters_to_duration(total_iters);

@@ -22,6 +22,7 @@ use comb_hw::Cpu;
 use comb_mpi::{MpiProc, Payload, Rank, RequestHandle, Status};
 use comb_sim::stats::DurationHistogram;
 use comb_sim::{ProcCtx, SimDuration};
+use comb_trace::{Comp, Phase, TraceEvent};
 
 /// Resolved per-point parameters for the PWW method.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +42,8 @@ pub struct PwwParams {
 /// The worker process: post → work → wait, repeated; returns the sample.
 pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PwwParams) -> PwwSample {
     let peer = Rank(1);
+    let trc = mpi.tracer().clone();
+    let app = Comp::App(mpi.rank().0 as u32);
 
     // Dry run: one work interval with no communication. The support
     // process sends nothing until the worker's explicit release (a plain
@@ -49,8 +52,16 @@ pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PwwParams) -> PwwSamp
     // baseline on interrupt-driven transports).
     mpi.barrier(ctx);
     let t0 = ctx.now();
+    trc.emit(t0, app, || TraceEvent::PhaseBegin {
+        phase: Phase::DryRun,
+        cycle: 0,
+    });
     cpu.compute_iters(ctx, p.work_interval);
     let work_only = ctx.now().since(t0);
+    trc.emit(ctx.now(), app, || TraceEvent::PhaseEnd {
+        phase: Phase::DryRun,
+        cycle: 0,
+    });
     mpi.send(ctx, peer, GO_TAG, Payload::synthetic(1));
 
     let mut post_total = SimDuration::ZERO;
@@ -62,9 +73,13 @@ pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PwwParams) -> PwwSamp
     let run_start = ctx.now();
 
     let mut reqs: Vec<RequestHandle> = Vec::with_capacity(2 * p.batch);
-    for _ in 0..p.cycles {
+    for cycle in 0..p.cycles {
         // Post phase: receives before sends, all non-blocking.
         let t0 = ctx.now();
+        trc.emit(t0, app, || TraceEvent::PhaseBegin {
+            phase: Phase::Post,
+            cycle,
+        });
         reqs.clear();
         for _ in 0..p.batch {
             reqs.push(mpi.irecv(ctx, peer, DATA_TAG));
@@ -73,21 +88,48 @@ pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PwwParams) -> PwwSamp
             reqs.push(mpi.isend(ctx, peer, DATA_TAG, Payload::synthetic(p.msg_bytes)));
         }
         let t1 = ctx.now();
+        trc.emit(t1, app, || TraceEvent::PhaseEnd {
+            phase: Phase::Post,
+            cycle,
+        });
 
         // Work phase: no MPI calls — except the single probing test of the
         // modified variant, placed after the first tenth of the work.
+        trc.emit(t1, app, || TraceEvent::PhaseBegin {
+            phase: Phase::Work,
+            cycle,
+        });
         let mut early: Option<(usize, Status)> = None;
         if p.test_in_work {
             let head = p.work_interval / 10;
+            trc.emit(ctx.now(), app, || TraceEvent::WorkStart { iters: head });
             cpu.compute_iters(ctx, head);
+            trc.emit(ctx.now(), app, || TraceEvent::WorkEnd { iters: head });
             if let Some(st) = mpi.test(ctx, reqs[0]) {
                 early = Some((0, st));
             }
-            cpu.compute_iters(ctx, p.work_interval - head);
+            let rest = p.work_interval - head;
+            trc.emit(ctx.now(), app, || TraceEvent::WorkStart { iters: rest });
+            cpu.compute_iters(ctx, rest);
+            trc.emit(ctx.now(), app, || TraceEvent::WorkEnd { iters: rest });
         } else {
+            trc.emit(ctx.now(), app, || TraceEvent::WorkStart {
+                iters: p.work_interval,
+            });
             cpu.compute_iters(ctx, p.work_interval);
+            trc.emit(ctx.now(), app, || TraceEvent::WorkEnd {
+                iters: p.work_interval,
+            });
         }
         let t2 = ctx.now();
+        trc.emit(t2, app, || TraceEvent::PhaseEnd {
+            phase: Phase::Work,
+            cycle,
+        });
+        trc.emit(t2, app, || TraceEvent::PhaseBegin {
+            phase: Phase::Wait,
+            cycle,
+        });
 
         // Wait phase: block until the whole batch completes.
         let statuses: Vec<Status> = match early {
@@ -105,6 +147,10 @@ pub fn worker(ctx: &ProcCtx, mpi: &MpiProc, cpu: &Cpu, p: &PwwParams) -> PwwSamp
             }
         };
         let t3 = ctx.now();
+        trc.emit(t3, app, || TraceEvent::PhaseEnd {
+            phase: Phase::Wait,
+            cycle,
+        });
 
         // The first `batch` requests are the receives.
         bytes_received += statuses[..p.batch].iter().map(|s| s.len).sum::<u64>();

@@ -56,7 +56,7 @@ impl From<SimError> for RunError {
 /// Sum the fault-injection activity of every NIC and every rank after a
 /// run; the sample carries it so faulted campaigns can report recovery
 /// behaviour alongside bandwidth and availability.
-fn collect_faults(cluster: &Cluster, world: &MpiWorld) -> FaultCounters {
+pub(crate) fn collect_faults(cluster: &Cluster, world: &MpiWorld) -> FaultCounters {
     let mut f = FaultCounters::default();
     for node in &cluster.nodes {
         let s = node.nic.stats();

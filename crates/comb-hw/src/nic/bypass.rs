@@ -19,6 +19,7 @@ use crate::nic::{DeliveryClass, Nic, NicStats, NodeId, Packet, RxHandler, TxDone
 use crate::packet::packet_sizes;
 use crate::switch::Fabric;
 use comb_sim::SimHandle;
+use comb_trace::{Comp, TraceEvent, Tracer};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -39,6 +40,7 @@ pub struct BypassNic {
     handle: SimHandle,
     mtu: u64,
     fabric: Arc<Fabric>,
+    tracer: Tracer,
     inner: Arc<Mutex<BypassInner>>,
 }
 
@@ -53,6 +55,7 @@ impl BypassNic {
             handle: handle.clone(),
             mtu,
             fabric: Arc::clone(fabric),
+            tracer: fabric.tracer().clone(),
             inner: Arc::new(Mutex::new(BypassInner {
                 tx: Station::new(cfg.tx_per_packet, cfg.tx_bandwidth),
                 rx: Station::new(cfg.rx_per_packet, cfg.rx_bandwidth),
@@ -83,10 +86,16 @@ impl Nic for BypassNic {
         let now = self.handle.now();
         let sizes = packet_sizes(msg.bytes, self.mtu);
         let n = sizes.len();
+        let comp = Comp::Nic(self.id.0 as u32);
+        let msg_bytes = msg.bytes;
         let mut inner = self.inner.lock();
         inner.stats.msgs_tx += 1;
         inner.stats.bytes_tx += msg.bytes;
         inner.stats.packets_tx += n as u64;
+        self.tracer.emit(now, comp, || TraceEvent::DmaStart {
+            bytes: msg_bytes,
+            packets: n as u64,
+        });
         let expedited = msg.expedited;
         if expedited {
             assert!(n == 1, "expedited messages must fit one packet");
@@ -96,6 +105,12 @@ impl Nic for BypassNic {
             if inner.fault.drop_control() {
                 inner.stats.ctl_dropped += 1;
                 let service = inner.tx.service_time(msg.bytes);
+                self.tracer
+                    .emit(now, comp, || TraceEvent::Dropped { bytes: msg_bytes });
+                self.tracer
+                    .emit(now + service, comp, || TraceEvent::DmaDone {
+                        bytes: msg_bytes,
+                    });
                 self.handle.schedule_at(now + service, on_tx_done);
                 return;
             }
@@ -115,6 +130,10 @@ impl Nic for BypassNic {
                 inner.tx.busy_until().max(now)
             };
             let penalty = inner.fault.tx_penalty(start_est, service);
+            if !penalty.is_zero() {
+                self.tracer
+                    .emit(start_est, comp, || TraceEvent::NicStall { penalty });
+            }
             let end = if expedited {
                 now + service + penalty
             } else {
@@ -129,6 +148,8 @@ impl Nic for BypassNic {
             self.fabric.transmit(self.id, dst, pkt, end);
             if last {
                 // Local completion: the last byte has left the NIC.
+                self.tracer
+                    .emit(end, comp, || TraceEvent::DmaDone { bytes: msg_bytes });
                 self.handle.schedule_at(end, on_tx_done);
                 break;
             }

@@ -22,6 +22,7 @@ use crate::nic::{Nic, NicStats, NodeId, Packet, RxHandler, TxDone, WireMsg};
 use crate::packet::packet_sizes;
 use crate::switch::Fabric;
 use comb_sim::SimHandle;
+use comb_trace::{Comp, TraceEvent, Tracer};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -41,6 +42,7 @@ pub struct KernelNic {
     mtu: u64,
     fabric: Arc<Fabric>,
     cpu: Cpu,
+    tracer: Tracer,
     inner: Arc<Mutex<KernelInner>>,
 }
 
@@ -62,6 +64,7 @@ impl KernelNic {
             mtu,
             fabric: Arc::clone(fabric),
             cpu: cpu.clone(),
+            tracer: fabric.tracer().clone(),
             inner: Arc::new(Mutex::new(KernelInner {
                 tx: Station::new(cfg.tx_per_packet, cfg.tx_bandwidth),
                 fault: FaultModel::from_link(fabric.link_config(), fabric.port_count() as u64),
@@ -90,10 +93,16 @@ impl Nic for KernelNic {
         let now = self.handle.now();
         let sizes = packet_sizes(msg.bytes, self.mtu);
         let n = sizes.len();
+        let comp = Comp::Nic(self.id.0 as u32);
+        let msg_bytes = msg.bytes;
         let mut inner = self.inner.lock();
         inner.stats.msgs_tx += 1;
         inner.stats.bytes_tx += msg.bytes;
         inner.stats.packets_tx += n as u64;
+        self.tracer.emit(now, comp, || TraceEvent::DmaStart {
+            bytes: msg_bytes,
+            packets: n as u64,
+        });
         let tx_host = self.cfg.tx_host_per_packet;
         let expedited = msg.expedited;
         if expedited {
@@ -103,6 +112,12 @@ impl Nic for KernelNic {
             if inner.fault.drop_control() {
                 inner.stats.ctl_dropped += 1;
                 let service = inner.tx.service_time(msg.bytes);
+                self.tracer
+                    .emit(now, comp, || TraceEvent::Dropped { bytes: msg_bytes });
+                self.tracer
+                    .emit(now + service, comp, || TraceEvent::DmaDone {
+                        bytes: msg_bytes,
+                    });
                 self.handle.schedule_at(now + service, on_tx_done);
                 return;
             }
@@ -117,6 +132,10 @@ impl Nic for KernelNic {
                 inner.tx.busy_until().max(now)
             };
             let penalty = inner.fault.tx_penalty(start_est, service);
+            if !penalty.is_zero() {
+                self.tracer
+                    .emit(start_est, comp, || TraceEvent::NicStall { penalty });
+            }
             let (start, end) = if expedited {
                 (now, now + service + penalty)
             } else {
@@ -136,6 +155,8 @@ impl Nic for KernelNic {
             };
             self.fabric.transmit(self.id, dst, pkt, end);
             if last {
+                self.tracer
+                    .emit(end, comp, || TraceEvent::DmaDone { bytes: msg_bytes });
                 self.handle.schedule_at(end, on_tx_done);
                 break;
             }
@@ -178,9 +199,12 @@ impl Nic for KernelNic {
         // Spurious storm interrupts accrued since the last delivery fire
         // ahead of the real packet's ISR, stealing host time and delaying
         // it behind them on the interrupt chain.
+        let comp = Comp::Nic(self.id.0 as u32);
         if let Some((ticks, storm_cost)) = inner.fault.storm_ticks(now) {
             for _ in 0..ticks {
                 inner.isr.raise(now, storm_cost);
+                self.tracer
+                    .emit(now, comp, || TraceEvent::Interrupt { cost: storm_cost });
             }
         }
         let mut cost = self.cfg.rx_per_packet
@@ -191,6 +215,8 @@ impl Nic for KernelNic {
             cost += self.cfg.rx_match_cost;
         }
         let done = inner.isr.raise(now, cost);
+        self.tracer
+            .emit(now, comp, || TraceEvent::Interrupt { cost });
         if let Some(msg) = pkt.tail {
             inner.stats.msgs_rx += 1;
             let handler = inner

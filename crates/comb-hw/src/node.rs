@@ -4,8 +4,8 @@ use crate::config::{HwConfig, NicKind};
 use crate::cpu::Cpu;
 use crate::nic::{bypass::BypassNic, kernel::KernelNic, Nic, NodeId};
 use crate::switch::Fabric;
-use comb_sim::trace::Tracer;
 use comb_sim::SimHandle;
+use comb_trace::Tracer;
 use std::sync::Arc;
 
 /// One compute node: one or more host CPUs plus a NIC on the fabric.

@@ -8,8 +8,8 @@
 
 use crate::config::LinkConfig;
 use crate::nic::{Nic, NodeId, Packet};
-use comb_sim::trace::Tracer;
 use comb_sim::{SimHandle, SimTime};
+use comb_trace::{Comp, TraceEvent, Tracer};
 use parking_lot::Mutex;
 use std::sync::{Arc, Weak};
 
@@ -74,14 +74,14 @@ impl Fabric {
                 .clone()
         };
         let arrival = departure + self.link.latency;
-        self.tracer.emit(departure, "fabric", || {
-            format!(
-                "{src}->{dst} pkt {}B{}{} arrives {arrival}",
-                pkt.bytes,
-                if pkt.first { " [first]" } else { "" },
-                if pkt.tail.is_some() { " [last]" } else { "" },
-            )
-        });
+        self.tracer
+            .emit(departure, Comp::Fabric, || TraceEvent::PacketOnWire {
+                src: src.0 as u32,
+                dst: dst.0 as u32,
+                bytes: pkt.bytes,
+                first: pkt.first,
+                last: pkt.tail.is_some(),
+            });
         self.handle.schedule_at(arrival, move || {
             if let Some(nic) = nic.upgrade() {
                 nic.deliver_packet(src, pkt);

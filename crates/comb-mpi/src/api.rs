@@ -87,6 +87,12 @@ impl MpiProc {
         self.engine.stats()
     }
 
+    /// The trace sink this rank's engine emits to (shared with the cluster
+    /// fabric). Benchmarks use it to stamp phase and work-chunk events.
+    pub fn tracer(&self) -> &comb_trace::Tracer {
+        self.engine.tracer()
+    }
+
     /// Number of live (unreaped) requests.
     pub fn live_requests(&self) -> usize {
         self.engine.live_requests()

@@ -11,8 +11,8 @@ use crate::protocol::{ProtoMsg, CTL_BYTES};
 use crate::request::{Request, RequestHandle, RequestKind, RequestTable};
 use crate::types::{Envelope, Payload, Rank, RankSel, Status, TagSel};
 use comb_hw::{Cpu, DeliveryClass, MpiCostConfig, Nic, NodeId, ProgressModel, WireMsg};
-use comb_sim::trace::Tracer;
 use comb_sim::{Condition, EventId, ProcCtx, Signal, SimDuration, SimHandle};
+use comb_trace::{Comp, MsgId, TraceEvent, Tracer};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -62,6 +62,8 @@ struct PendingRndvSend {
     attempt: u32,
     /// The armed retry timer, cancelled when the CTS arrives.
     timer: Option<EventId>,
+    /// Trace correlation id of the message.
+    corr: u64,
 }
 
 /// Receiver-side progress of one rendezvous handshake, for answering
@@ -70,8 +72,9 @@ enum RtsProgress {
     /// RTS arrived before a matching receive was posted; no CTS sent yet.
     Queued,
     /// CTS sent with this landing token — a duplicate RTS means the CTS
-    /// may have been lost, so it is resent verbatim.
-    CtsSent(u64),
+    /// may have been lost, so it is resent verbatim. The second field is
+    /// the handshake's trace correlation id.
+    CtsSent(u64, u64),
 }
 
 /// Receiver-side rendezvous landing zone awaiting DATA.
@@ -102,6 +105,9 @@ struct EngineInner {
     recv_seq: HashMap<Rank, u64>,
     reorder: HashMap<Rank, BTreeMap<u64, ProtoMsg>>,
     next_token: u64,
+    /// Next trace correlation counter (combined with the rank into a
+    /// globally unique [`MsgId`] per posted send).
+    next_corr: u64,
     stats: MpiStats,
 }
 
@@ -160,6 +166,7 @@ impl MpiEngine {
                 recv_seq: HashMap::new(),
                 reorder: HashMap::new(),
                 next_token: 0,
+                next_corr: 0,
                 stats: MpiStats::default(),
             })),
             completion_cond: Condition::new(handle),
@@ -184,6 +191,18 @@ impl MpiEngine {
     /// Cumulative counters.
     pub fn stats(&self) -> MpiStats {
         self.inner.lock().stats
+    }
+
+    /// The tracer this engine emits to (shared with the cluster fabric
+    /// when built via `MpiWorld::attach`). Benchmarks use it to emit
+    /// phase-boundary events onto the same record stream.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// This engine's trace component lane.
+    fn comp(&self) -> Comp {
+        Comp::Mpi(self.rank.0 as u32)
     }
 
     /// Number of live (unreaped) requests — for leak checks in tests.
@@ -229,9 +248,6 @@ impl MpiEngine {
             tag,
             len,
         };
-        self.tracer.emit(self.handle.now(), "mpi", || {
-            format!("{} isend -> {dst} tag={} len={len}", self.rank, tag.0)
-        });
         let signal = Signal::new(&self.handle);
         let mut inner = self.inner.lock();
         let req = inner
@@ -244,6 +260,15 @@ impl MpiEngine {
             *c += 1;
             s
         };
+        let corr = MsgId::new(self.rank.0 as u32, inner.next_corr).0;
+        inner.next_corr += 1;
+        self.tracer
+            .emit(self.handle.now(), self.comp(), || TraceEvent::SendPosted {
+                msg: MsgId(corr),
+                peer: dst.0 as u32,
+                bytes: len,
+                eager: eager_wire,
+            });
         if eager_wire {
             inner.stats.eager_sends += 1;
             inner.stats.bytes_sent += len;
@@ -256,13 +281,24 @@ impl MpiEngine {
                 bytes: len,
                 class,
                 expedited: false,
-                payload: Box::new(ProtoMsg::Eager { env, seq, payload }),
+                payload: Box::new(ProtoMsg::Eager {
+                    env,
+                    seq,
+                    corr,
+                    payload,
+                }),
             };
+            self.tracer
+                .emit(self.handle.now(), self.comp(), || TraceEvent::DataStart {
+                    msg: MsgId(corr),
+                    peer: dst.0 as u32,
+                    bytes: len,
+                });
             let me = self.clone();
             self.nic.submit(
                 self.node_of(dst),
                 wire,
-                Box::new(move || me.complete_send(req, env)),
+                Box::new(move || me.complete_send(req, env, corr)),
             );
         } else {
             inner.stats.rndv_sends += 1;
@@ -279,18 +315,24 @@ impl MpiEngine {
                     seq,
                     attempt: 0,
                     timer: None,
+                    corr,
                 },
             );
             drop(inner);
             // The RTS transmit completion is not the send completion; the
             // send completes when the DATA leaves (after CTS).
-            self.send_rts(dst, env, seq, token);
+            self.send_rts(dst, env, seq, token, corr);
             self.arm_rts_timer(token);
         }
         req
     }
 
-    fn send_rts(&self, dst: Rank, env: Envelope, seq: u64, sender_token: u64) {
+    fn send_rts(&self, dst: Rank, env: Envelope, seq: u64, sender_token: u64, corr: u64) {
+        self.tracer
+            .emit(self.handle.now(), self.comp(), || TraceEvent::RtsSent {
+                msg: MsgId(corr),
+                peer: dst.0 as u32,
+            });
         let wire = WireMsg {
             bytes: CTL_BYTES,
             class: DeliveryClass::Ring,
@@ -299,6 +341,7 @@ impl MpiEngine {
                 env,
                 seq,
                 sender_token,
+                corr,
             }),
         };
         self.nic.submit(self.node_of(dst), wire, Box::new(|| {}));
@@ -337,27 +380,34 @@ impl MpiEngine {
                 Some(pending) => {
                     pending.attempt += 1;
                     pending.timer = None;
-                    let r = (pending.dst, pending.env, pending.seq);
+                    let r = (
+                        pending.dst,
+                        pending.env,
+                        pending.seq,
+                        pending.corr,
+                        pending.attempt,
+                    );
                     inner.stats.rndv_retries += 1;
                     Some(r)
                 }
             }
         };
-        let Some((dst, env, seq)) = resend else {
+        let Some((dst, env, seq, corr, attempt)) = resend else {
             return;
         };
-        self.tracer.emit(self.handle.now(), "mpi", || {
-            format!("{} rts retry -> {dst} seq={seq} token={token}", self.rank)
-        });
-        self.send_rts(dst, env, seq, token);
+        self.tracer
+            .emit(self.handle.now(), self.comp(), || TraceEvent::Retried {
+                msg: MsgId(corr),
+                attempt,
+            });
+        self.send_rts(dst, env, seq, token, corr);
         self.arm_rts_timer(token);
     }
 
     /// Post a non-blocking receive.
     pub fn irecv(&self, ctx: &ProcCtx, src: RankSel, tag: TagSel) -> RequestHandle {
-        self.tracer.emit(self.handle.now(), "mpi", || {
-            format!("{} irecv src={src:?} tag={tag:?}", self.rank)
-        });
+        self.tracer
+            .emit(self.handle.now(), self.comp(), || TraceEvent::RecvPosted);
         self.cpu.compute(ctx, self.cfg.irecv);
         let signal = Signal::new(&self.handle);
         let mut inner = self.inner.lock();
@@ -370,9 +420,15 @@ impl MpiEngine {
             None => {}
             Some(Unexpected {
                 env,
+                corr,
                 body: UnexpectedBody::Eager(payload),
             }) => {
                 drop(inner);
+                self.tracer
+                    .emit(self.handle.now(), self.comp(), || TraceEvent::Matched {
+                        msg: MsgId(corr),
+                        unexpected: true,
+                    });
                 // Landing a buffered eager payload costs a library copy on
                 // library-progress transports (kernel already copied on
                 // offload ones, but it must copy again out of its bounce
@@ -381,10 +437,11 @@ impl MpiEngine {
                     ctx,
                     SimDuration::for_bytes(env.len, self.cfg.eager_copy_bandwidth),
                 );
-                self.complete_recv(req, env, payload);
+                self.complete_recv(req, env, payload, corr);
             }
             Some(Unexpected {
                 env,
+                corr,
                 body: UnexpectedBody::Rndv { sender_token },
             }) => {
                 let recv_token = inner.next_token;
@@ -397,17 +454,28 @@ impl MpiEngine {
                         sender_token,
                     },
                 );
-                inner
-                    .rts_seen
-                    .insert((env.src, sender_token), RtsProgress::CtsSent(recv_token));
+                inner.rts_seen.insert(
+                    (env.src, sender_token),
+                    RtsProgress::CtsSent(recv_token, corr),
+                );
                 drop(inner);
-                self.send_cts(env.src, sender_token, recv_token);
+                self.tracer
+                    .emit(self.handle.now(), self.comp(), || TraceEvent::Matched {
+                        msg: MsgId(corr),
+                        unexpected: true,
+                    });
+                self.send_cts(env.src, sender_token, recv_token, corr);
             }
         }
         req
     }
 
-    fn send_cts(&self, to: Rank, sender_token: u64, recv_token: u64) {
+    fn send_cts(&self, to: Rank, sender_token: u64, recv_token: u64, corr: u64) {
+        self.tracer
+            .emit(self.handle.now(), self.comp(), || TraceEvent::CtsSent {
+                msg: MsgId(corr),
+                peer: to.0 as u32,
+            });
         let wire = WireMsg {
             bytes: CTL_BYTES,
             class: DeliveryClass::Ring,
@@ -424,7 +492,11 @@ impl MpiEngine {
     // Completion plumbing
     // ------------------------------------------------------------------
 
-    fn complete_send(&self, req: RequestHandle, env: Envelope) {
+    fn complete_send(&self, req: RequestHandle, env: Envelope, corr: u64) {
+        self.tracer
+            .emit(self.handle.now(), self.comp(), || TraceEvent::SendDone {
+                msg: MsgId(corr),
+            });
         let mut inner = self.inner.lock();
         inner.requests.complete(
             req,
@@ -439,13 +511,12 @@ impl MpiEngine {
         self.completion_cond.notify_all();
     }
 
-    fn complete_recv(&self, req: RequestHandle, env: Envelope, payload: Payload) {
-        self.tracer.emit(self.handle.now(), "mpi", || {
-            format!(
-                "{} recv complete from {} len={}",
-                self.rank, env.src, env.len
-            )
-        });
+    fn complete_recv(&self, req: RequestHandle, env: Envelope, payload: Payload, corr: u64) {
+        self.tracer
+            .emit(self.handle.now(), self.comp(), || TraceEvent::DataDone {
+                msg: MsgId(corr),
+                bytes: env.len,
+            });
         let mut inner = self.inner.lock();
         inner.stats.bytes_received += env.len;
         inner.stats.recvs_completed += 1;
@@ -576,35 +647,46 @@ impl MpiEngine {
             let mut inner = self.inner.lock();
             inner.stats.dup_rts += 1;
             match inner.rts_seen.get(&(env.src, sender_token)) {
-                Some(RtsProgress::CtsSent(recv_token)) => Some(*recv_token),
+                Some(RtsProgress::CtsSent(recv_token, corr)) => Some((*recv_token, *corr)),
                 Some(RtsProgress::Queued) | None => None,
             }
         };
-        if let Some(recv_token) = resend {
-            self.send_cts(env.src, sender_token, recv_token);
+        if let Some((recv_token, corr)) = resend {
+            self.send_cts(env.src, sender_token, recv_token, corr);
         }
     }
 
     fn dispatch_unordered(&self, _src: NodeId, proto: ProtoMsg) {
         match proto {
-            ProtoMsg::Eager { env, payload, .. } => {
+            ProtoMsg::Eager {
+                env, corr, payload, ..
+            } => {
                 let mut inner = self.inner.lock();
                 match inner.matcher.match_arrival(env.src, &env) {
                     Some(posted) => {
                         drop(inner);
-                        self.complete_recv(posted.req, env, payload);
+                        self.tracer
+                            .emit(self.handle.now(), self.comp(), || TraceEvent::Matched {
+                                msg: MsgId(corr),
+                                unexpected: false,
+                            });
+                        self.complete_recv(posted.req, env, payload, corr);
                     }
                     None => {
                         inner.stats.unexpected += 1;
                         inner.matcher.add_unexpected(Unexpected {
                             env,
+                            corr,
                             body: UnexpectedBody::Eager(payload),
                         });
                     }
                 }
             }
             ProtoMsg::Rts {
-                env, sender_token, ..
+                env,
+                sender_token,
+                corr,
+                ..
             } => {
                 let mut inner = self.inner.lock();
                 match inner.matcher.match_arrival(env.src, &env) {
@@ -619,11 +701,17 @@ impl MpiEngine {
                                 sender_token,
                             },
                         );
-                        inner
-                            .rts_seen
-                            .insert((env.src, sender_token), RtsProgress::CtsSent(recv_token));
+                        inner.rts_seen.insert(
+                            (env.src, sender_token),
+                            RtsProgress::CtsSent(recv_token, corr),
+                        );
                         drop(inner);
-                        self.send_cts(env.src, sender_token, recv_token);
+                        self.tracer
+                            .emit(self.handle.now(), self.comp(), || TraceEvent::Matched {
+                                msg: MsgId(corr),
+                                unexpected: false,
+                            });
+                        self.send_cts(env.src, sender_token, recv_token, corr);
                     }
                     None => {
                         inner.stats.unexpected += 1;
@@ -632,6 +720,7 @@ impl MpiEngine {
                             .insert((env.src, sender_token), RtsProgress::Queued);
                         inner.matcher.add_unexpected(Unexpected {
                             env,
+                            corr,
                             body: UnexpectedBody::Rndv { sender_token },
                         });
                     }
@@ -657,6 +746,13 @@ impl MpiEngine {
                 if let Some(timer) = pending.timer {
                     self.handle.cancel(timer);
                 }
+                let corr = pending.corr;
+                self.tracer
+                    .emit(self.handle.now(), self.comp(), || TraceEvent::DataStart {
+                        msg: MsgId(corr),
+                        peer: pending.dst.0 as u32,
+                        bytes: pending.env.len,
+                    });
                 let wire = WireMsg {
                     bytes: pending.env.len,
                     class: DeliveryClass::Direct,
@@ -664,6 +760,7 @@ impl MpiEngine {
                     payload: Box::new(ProtoMsg::Data {
                         recv_token,
                         env: pending.env,
+                        corr,
                         payload: pending.payload,
                     }),
                 };
@@ -672,12 +769,13 @@ impl MpiEngine {
                 self.nic.submit(
                     self.node_of(pending.dst),
                     wire,
-                    Box::new(move || me.complete_send(req, env)),
+                    Box::new(move || me.complete_send(req, env, corr)),
                 );
             }
             ProtoMsg::Data {
                 recv_token,
                 env,
+                corr,
                 payload,
             } => {
                 let landing = {
@@ -690,7 +788,7 @@ impl MpiEngine {
                     inner.rts_seen.remove(&(landing.src, landing.sender_token));
                     landing
                 };
-                self.complete_recv(landing.req, env, payload);
+                self.complete_recv(landing.req, env, payload, corr);
             }
         }
     }

@@ -33,6 +33,8 @@ pub(crate) enum UnexpectedBody {
 /// An arrival that found no posted receive.
 pub(crate) struct Unexpected {
     pub env: Envelope,
+    /// Trace correlation id of the message (`comb_trace::MsgId` bits).
+    pub corr: u64,
     pub body: UnexpectedBody,
 }
 
@@ -152,10 +154,12 @@ mod tests {
         let mut m = MatchEngine::default();
         m.add_unexpected(Unexpected {
             env: env(0, 1, 100),
+            corr: 0,
             body: UnexpectedBody::Eager(Payload::synthetic(100)),
         });
         m.add_unexpected(Unexpected {
             env: env(0, 1, 200),
+            corr: 0,
             body: UnexpectedBody::Eager(Payload::synthetic(200)),
         });
         let hit = m
@@ -173,6 +177,7 @@ mod tests {
         let mut m = MatchEngine::default();
         m.add_unexpected(Unexpected {
             env: env(0, 1, 100),
+            corr: 0,
             body: UnexpectedBody::Eager(Payload::synthetic(100)),
         });
         let miss = m.post_recv(recv(1, RankSel::Any, TagSel::Is(Tag(2))));

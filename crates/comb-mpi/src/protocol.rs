@@ -26,6 +26,9 @@ pub(crate) enum ProtoMsg {
         /// messages are matched in sequence order so that the expedited
         /// control lane cannot violate MPI's non-overtaking rule.
         seq: u64,
+        /// Trace correlation id (`comb_trace::MsgId` bits), allocated by
+        /// the sender so both ends stamp lifecycle events with one id.
+        corr: u64,
         payload: Payload,
     },
     /// Request-to-send: announces a rendezvous message.
@@ -34,14 +37,19 @@ pub(crate) enum ProtoMsg {
         /// See [`ProtoMsg::Eager::seq`].
         seq: u64,
         sender_token: u64,
+        /// See [`ProtoMsg::Eager::corr`].
+        corr: u64,
     },
     /// Clear-to-send: the receiver matched the RTS and exposes a landing
-    /// token for the payload.
+    /// token for the payload. (No `corr`: the sender recovers it from the
+    /// pending handshake the echoed `sender_token` identifies.)
     Cts { sender_token: u64, recv_token: u64 },
     /// Rendezvous payload, DMA'd into the buffer identified by the CTS.
     Data {
         recv_token: u64,
         env: Envelope,
+        /// See [`ProtoMsg::Eager::corr`].
+        corr: u64,
         payload: Payload,
     },
 }
@@ -96,6 +104,7 @@ mod tests {
             ProtoMsg::Eager {
                 env: env(100),
                 seq: 0,
+                corr: 0,
                 payload: Payload::synthetic(100)
             }
             .wire_bytes(),
@@ -105,7 +114,8 @@ mod tests {
             ProtoMsg::Rts {
                 env: env(1_000_000),
                 seq: 0,
-                sender_token: 1
+                sender_token: 1,
+                corr: 0
             }
             .wire_bytes(),
             CTL_BYTES
@@ -122,6 +132,7 @@ mod tests {
             ProtoMsg::Data {
                 recv_token: 2,
                 env: env(5000),
+                corr: 0,
                 payload: Payload::synthetic(5000)
             }
             .wire_bytes(),
@@ -135,6 +146,7 @@ mod tests {
             env: env(1),
             seq: 3,
             sender_token: 0,
+            corr: 0,
         };
         assert_eq!(m.kind_name(), "RTS");
         assert_eq!(m.seq(), Some(3));

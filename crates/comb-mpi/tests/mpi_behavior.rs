@@ -600,7 +600,8 @@ fn four_rank_all_to_all_traffic_over_shared_fabric() {
 
 #[test]
 fn tracer_records_mpi_calls_and_fabric_packets() {
-    let tracer = comb_sim::trace::Tracer::enabled();
+    use comb_trace::{Comp, TraceEvent, Tracer};
+    let tracer = Tracer::enabled();
     let mut sim = Simulation::new();
     let cluster =
         comb_hw::Cluster::build_traced(&sim.handle(), &HwConfig::gm_myrinet(), 2, tracer.clone());
@@ -615,18 +616,34 @@ fn tracer_records_mpi_calls_and_fabric_packets() {
     sim.run().unwrap();
     let records = tracer.records();
     assert!(!records.is_empty());
-    let text: Vec<String> = records.iter().map(|r| format!("{r}")).collect();
-    assert!(text
+    // The sender's post carries the full byte count and its rank's msg id.
+    let posted = records
         .iter()
-        .any(|t| t.contains("isend") && t.contains("len=10000")));
-    assert!(text.iter().any(|t| t.contains("irecv")));
-    assert!(text.iter().any(|t| t.contains("recv complete")));
-    assert!(text
+        .find_map(|r| match r.event {
+            TraceEvent::SendPosted { msg, bytes, .. } => Some((msg, bytes)),
+            _ => None,
+        })
+        .expect("send must be posted");
+    assert_eq!(posted.1, 10_000);
+    assert_eq!(posted.0.rank(), 0);
+    assert!(records
         .iter()
-        .any(|t| t.contains("fabric") && t.contains("[last]")));
+        .any(|r| matches!(r.event, TraceEvent::RecvPosted)));
+    // Both ends stamp lifecycle events with the sender-allocated msg id.
+    let done = records
+        .iter()
+        .find(|r| matches!(r.event, TraceEvent::DataDone { .. }))
+        .expect("receive must complete");
+    assert_eq!(done.event.msg_id(), Some(posted.0));
+    assert_eq!(done.comp, Comp::Mpi(1));
+    // The fabric stamps per-packet wire events, tail marked.
+    assert!(records.iter().any(
+        |r| matches!(r.event, TraceEvent::PacketOnWire { last: true, .. })
+            && r.comp == Comp::Fabric
+    ));
     // Records are in non-decreasing time order.
     assert!(records.windows(2).all(|w| w[0].time <= w[1].time));
     // Disabled tracers collect nothing (no cost in the default path).
-    let quiet = comb_sim::trace::Tracer::new();
+    let quiet = Tracer::new();
     assert!(quiet.is_empty());
 }

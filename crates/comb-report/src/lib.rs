@@ -22,6 +22,7 @@ pub mod expect;
 pub mod experiments;
 pub mod figures;
 pub mod series;
+pub mod timeline;
 
 pub use degradation::{generate_degradation, DEGRADATION_IDS};
 pub use expect::{check_figure, Check};
@@ -30,3 +31,4 @@ pub use figures::{
     generate, generate_all, required_campaigns, CampaignKey, Campaigns, Fidelity, FigureId,
 };
 pub use series::{Dataset, Point, Series};
+pub use timeline::{render_pww_timeline, render_traced_run};

@@ -44,7 +44,6 @@ mod process;
 mod signal;
 pub mod stats;
 mod time;
-pub mod trace;
 
 pub use event::EventId;
 pub use kernel::{Probe, SimError, SimHandle, Simulation};

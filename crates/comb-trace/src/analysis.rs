@@ -1,0 +1,362 @@
+//! Trace analysis: per-phase time breakdown, per-message latency
+//! percentiles, and overlap efficiency.
+//!
+//! Overlap efficiency answers the paper's core question quantitatively:
+//! of the payload bytes that moved, what fraction moved *while the host
+//! CPU was doing application work* (inside `work`/`poll` phase spans)?
+//! A transport that truly overlaps scores near 1.0; one that makes the
+//! host push bytes during `wait` scores near 0.0.
+
+use crate::event::{Phase, TraceEvent, TraceRecord};
+use crate::span::build_spans;
+use comb_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Total time and occurrence count for one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// The phase.
+    pub phase: Phase,
+    /// Summed span time across all cycles and ranks.
+    pub total: SimDuration,
+    /// Number of spans.
+    pub count: u64,
+}
+
+/// Order-statistic summary of a latency population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Population size.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Median (nearest-rank).
+    pub p50: SimDuration,
+    /// 95th percentile (nearest-rank).
+    pub p95: SimDuration,
+    /// 99th percentile (nearest-rank).
+    pub p99: SimDuration,
+    /// Maximum.
+    pub max: SimDuration,
+}
+
+impl LatencyStats {
+    /// Summarise a set of latencies (order irrelevant).
+    pub fn from_latencies(mut ns: Vec<u64>) -> Self {
+        if ns.is_empty() {
+            return Self::default();
+        }
+        ns.sort_unstable();
+        let n = ns.len() as u64;
+        let sum: u64 = ns.iter().sum();
+        let pick = |q: u64| -> SimDuration {
+            // Nearest-rank percentile: ceil(q/100 * n) - 1, clamped.
+            let idx = ((q * n).div_ceil(100)).max(1) - 1;
+            SimDuration::from_nanos(ns[idx as usize])
+        };
+        LatencyStats {
+            count: n,
+            mean: SimDuration::from_nanos(sum / n),
+            p50: pick(50),
+            p95: pick(95),
+            p99: pick(99),
+            max: SimDuration::from_nanos(*ns.last().expect("non-empty")),
+        }
+    }
+}
+
+/// The complete analysis of one run's records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// Per-phase breakdown (stable order: post, work, wait, poll, dry).
+    pub phases: Vec<PhaseTotal>,
+    /// Full message latency (send posted → payload delivered).
+    pub msg_latency: LatencyStats,
+    /// Wire transfer latency (data start → payload delivered).
+    pub xfer_latency: LatencyStats,
+    /// Fraction of delivered payload bytes moved during work spans.
+    pub overlap_efficiency: f64,
+    /// Payload bytes moved during work spans (overlap-weighted).
+    pub overlapped_bytes: u64,
+    /// Total delivered payload bytes.
+    pub total_bytes: u64,
+    /// Delivered message count.
+    pub messages: u64,
+    /// Host interrupts taken (kernel NIC).
+    pub interrupts: u64,
+    /// Total host time consumed by ISRs.
+    pub interrupt_time: SimDuration,
+    /// NIC stall events (fault-injected / loss recovery).
+    pub stalls: u64,
+    /// Total stalled time.
+    pub stall_time: SimDuration,
+    /// Rendezvous retries.
+    pub retries: u64,
+    /// Dropped control messages.
+    pub drops: u64,
+}
+
+impl TraceAnalysis {
+    /// Analyse a time-sorted record stream.
+    pub fn from_records(records: &[TraceRecord]) -> Self {
+        let set = build_spans(records);
+
+        // Phase totals in a fixed display order.
+        let order = [
+            Phase::Post,
+            Phase::Work,
+            Phase::Wait,
+            Phase::PollInterval,
+            Phase::DryRun,
+        ];
+        let mut totals: BTreeMap<usize, (SimDuration, u64)> = BTreeMap::new();
+        let mut work_windows: Vec<(SimTime, SimTime)> = Vec::new();
+        for s in &set.frames {
+            if let Some(p) = s.phase {
+                let key = order.iter().position(|&o| o == p).expect("known phase");
+                let e = totals.entry(key).or_insert((SimDuration::ZERO, 0));
+                e.0 += s.end.since(s.start);
+                e.1 += 1;
+                if matches!(p, Phase::Work | Phase::PollInterval) {
+                    work_windows.push((s.start, s.end));
+                }
+            }
+        }
+        let phases = totals
+            .into_iter()
+            .map(|(k, (total, count))| PhaseTotal {
+                phase: order[k],
+                total,
+                count,
+            })
+            .collect();
+
+        // Merge work windows into a disjoint union.
+        work_windows.sort();
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::new();
+        for (s, e) in work_windows {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+
+        // Message latencies and overlap weighting from the async spans.
+        let mut msg_lat = Vec::new();
+        let mut xfer_lat = Vec::new();
+        let mut total_bytes = 0u64;
+        let mut overlapped = 0f64;
+        let mut messages = 0u64;
+        for a in &set.asyncs {
+            match a.cat {
+                "msg" => {
+                    msg_lat.push(a.end.since(a.start).as_nanos());
+                    messages += 1;
+                }
+                "xfer" => {
+                    xfer_lat.push(a.end.since(a.start).as_nanos());
+                    total_bytes += a.bytes;
+                    let span_ns = a.end.since(a.start).as_nanos();
+                    if span_ns > 0 {
+                        let mut inside = 0u64;
+                        for &(ws, we) in &merged {
+                            let lo = a.start.max(ws);
+                            let hi = a.end.min(we);
+                            if hi > lo {
+                                inside += hi.since(lo).as_nanos();
+                            }
+                        }
+                        overlapped += a.bytes as f64 * (inside as f64 / span_ns as f64);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Point-event counters straight from the records.
+        let mut interrupts = 0u64;
+        let mut interrupt_time = SimDuration::ZERO;
+        let mut stalls = 0u64;
+        let mut stall_time = SimDuration::ZERO;
+        let mut retries = 0u64;
+        let mut drops = 0u64;
+        for r in records {
+            match r.event {
+                TraceEvent::Interrupt { cost } => {
+                    interrupts += 1;
+                    interrupt_time += cost;
+                }
+                TraceEvent::NicStall { penalty } => {
+                    stalls += 1;
+                    stall_time += penalty;
+                }
+                TraceEvent::Retried { .. } => retries += 1,
+                TraceEvent::Dropped { .. } => drops += 1,
+                _ => {}
+            }
+        }
+
+        TraceAnalysis {
+            phases,
+            msg_latency: LatencyStats::from_latencies(msg_lat),
+            xfer_latency: LatencyStats::from_latencies(xfer_lat),
+            overlap_efficiency: if total_bytes == 0 {
+                0.0
+            } else {
+                overlapped / total_bytes as f64
+            },
+            overlapped_bytes: overlapped.round() as u64,
+            total_bytes,
+            messages,
+            interrupts,
+            interrupt_time,
+            stalls,
+            stall_time,
+            retries,
+            drops,
+        }
+    }
+
+    /// Render the analysis as a fixed-width text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== trace analysis ==\n");
+        out.push_str("phase breakdown:\n");
+        let denom: u64 = self
+            .phases
+            .iter()
+            .filter(|p| p.phase != Phase::DryRun)
+            .map(|p| p.total.as_nanos())
+            .sum();
+        for p in &self.phases {
+            let pct = if denom == 0 || p.phase == Phase::DryRun {
+                String::new()
+            } else {
+                format!(
+                    "  ({:.1}%)",
+                    100.0 * p.total.as_nanos() as f64 / denom as f64
+                )
+            };
+            writeln!(
+                out,
+                "  {:<5} {:>12}  x{:<5}{pct}",
+                p.phase.name(),
+                p.total.to_string(),
+                p.count
+            )
+            .expect("write to String cannot fail");
+        }
+        let lat = |label: &str, s: &LatencyStats, out: &mut String| {
+            writeln!(
+                out,
+                "{label} (N={}): mean {}  p50 {}  p95 {}  p99 {}  max {}",
+                s.count, s.mean, s.p50, s.p95, s.p99, s.max
+            )
+            .expect("write to String cannot fail");
+        };
+        lat("message latency", &self.msg_latency, &mut out);
+        lat("transfer latency", &self.xfer_latency, &mut out);
+        writeln!(
+            out,
+            "overlap efficiency: {:.1}% ({} of {} payload bytes moved during work)",
+            100.0 * self.overlap_efficiency,
+            self.overlapped_bytes,
+            self.total_bytes
+        )
+        .expect("write to String cannot fail");
+        writeln!(
+            out,
+            "interrupts: {} ({})  stalls: {} ({})  retries: {}  drops: {}",
+            self.interrupts,
+            self.interrupt_time,
+            self.stalls,
+            self.stall_time,
+            self.retries,
+            self.drops
+        )
+        .expect("write to String cannot fail");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Comp, MsgId};
+
+    fn rec(ns: u64, comp: Comp, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_nanos(ns),
+            comp,
+            event,
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        let s = LatencyStats::from_latencies((1..=100).collect());
+        assert_eq!(s.p50, SimDuration::from_nanos(50));
+        assert_eq!(s.p95, SimDuration::from_nanos(95));
+        assert_eq!(s.p99, SimDuration::from_nanos(99));
+        assert_eq!(s.max, SimDuration::from_nanos(100));
+        let one = LatencyStats::from_latencies(vec![7]);
+        assert_eq!(one.p50, SimDuration::from_nanos(7));
+        assert_eq!(one.p99, SimDuration::from_nanos(7));
+        assert_eq!(LatencyStats::from_latencies(vec![]).count, 0);
+    }
+
+    #[test]
+    fn overlap_efficiency_weights_bytes_by_work_coverage() {
+        let app = Comp::App(0);
+        let id = MsgId::new(0, 0);
+        // Work span covers [100, 200); transfer [150, 250) => 50% overlap.
+        let records = vec![
+            rec(
+                100,
+                app,
+                TraceEvent::PhaseBegin {
+                    phase: Phase::Work,
+                    cycle: 0,
+                },
+            ),
+            rec(
+                150,
+                Comp::Mpi(0),
+                TraceEvent::DataStart {
+                    msg: id,
+                    peer: 1,
+                    bytes: 1000,
+                },
+            ),
+            rec(
+                200,
+                app,
+                TraceEvent::PhaseEnd {
+                    phase: Phase::Work,
+                    cycle: 0,
+                },
+            ),
+            rec(
+                250,
+                Comp::Mpi(1),
+                TraceEvent::DataDone {
+                    msg: id,
+                    bytes: 1000,
+                },
+            ),
+        ];
+        let a = TraceAnalysis::from_records(&records);
+        assert!((a.overlap_efficiency - 0.5).abs() < 1e-9);
+        assert_eq!(a.total_bytes, 1000);
+        assert_eq!(a.overlapped_bytes, 500);
+    }
+
+    #[test]
+    fn empty_records_analyse_cleanly() {
+        let a = TraceAnalysis::from_records(&[]);
+        assert_eq!(a.overlap_efficiency, 0.0);
+        assert_eq!(a.messages, 0);
+        assert!(a.render().contains("trace analysis"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Chrome trace-event (catapult) JSON export.
+//!
+//! Output loads in `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+//! The writer is hand-rolled (no serde in the dependency closure) with
+//! fully deterministic formatting: timestamps are integer nanoseconds
+//! rendered as microseconds with exactly three decimals, events are
+//! emitted in a fixed order (metadata, frames, async pairs, instants),
+//! and per-run pid offsets let sweep traces concatenate byte-identically
+//! regardless of `--jobs`.
+
+use crate::event::{Comp, TraceRecord, FABRIC_PID};
+use crate::span::{build_spans, AsyncSpan, InstantEvent, Span};
+use comb_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Format integer nanoseconds as the catapult `ts` field (microseconds,
+/// three fixed decimals — exact, no float rounding).
+fn ts(t: SimTime) -> String {
+    let ns = t.as_nanos();
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn dur(start: SimTime, end: SimTime) -> String {
+    let ns = end.as_nanos().saturating_sub(start.as_nanos());
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Incremental builder: add one or more runs, then [`ChromeTrace::finish`].
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+    // pid -> process name; (pid, tid) -> lane name. BTreeMaps keep the
+    // metadata block sorted and therefore deterministic.
+    processes: BTreeMap<u32, String>,
+    lanes: BTreeMap<(u32, u32), &'static str>,
+}
+
+impl ChromeTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one run's records. `pid_base` offsets every pid so multiple
+    /// runs (e.g. sweep points) coexist in one file; `label` prefixes the
+    /// process names of this run.
+    pub fn add_run(&mut self, label: &str, pid_base: u32, records: &[TraceRecord]) {
+        let set = build_spans(records);
+        let name_for = |comp: Comp| -> String {
+            let base = match comp {
+                Comp::Fabric => "fabric".to_string(),
+                c => format!("rank{}", c.pid()),
+            };
+            if label.is_empty() {
+                base
+            } else {
+                format!("{label} {base}")
+            }
+        };
+        let mut note = |comp: Comp| -> (u32, u32) {
+            let pid = pid_base
+                + match comp {
+                    Comp::Fabric => FABRIC_PID,
+                    c => c.pid(),
+                };
+            let tid = comp.tid();
+            self.processes.entry(pid).or_insert_with(|| name_for(comp));
+            self.lanes.entry((pid, tid)).or_insert(comp.lane_name());
+            (pid, tid)
+        };
+
+        // Complete (`X`) events on one lane must be written parents-first:
+        // start ascending, then end descending, phase frames ahead of work
+        // chunks on exact ties. Viewers (and the CI nesting validator)
+        // reconstruct the stack from this order.
+        let mut frames: Vec<&Span> = set.frames.iter().collect();
+        frames.sort_by_key(|s| {
+            let pid = match s.comp {
+                Comp::Fabric => FABRIC_PID,
+                c => c.pid(),
+            };
+            (
+                pid,
+                s.comp.tid(),
+                s.start,
+                std::cmp::Reverse(s.end),
+                (s.cat != "phase") as u8,
+            )
+        });
+        for s in frames {
+            let (pid, tid) = note(s.comp);
+            self.events.push(frame_json(s, pid, tid));
+        }
+        for a in &set.asyncs {
+            let (pid, tid) = note(a.comp);
+            let (b, e) = async_json(a, pid, tid);
+            self.events.push(b);
+            self.events.push(e);
+        }
+        for i in &set.instants {
+            let (pid, tid) = note(i.comp);
+            self.events.push(instant_json(i, pid, tid));
+        }
+    }
+
+    /// Render the complete JSON document.
+    pub fn finish(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        let mut first = true;
+        let mut push = |line: &str, first: &mut bool| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push_str(line);
+        };
+        for (pid, name) in &self.processes {
+            push(
+                &format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{name}\"}}}}"
+                ),
+                &mut first,
+            );
+        }
+        for ((pid, tid), name) in &self.lanes {
+            push(
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+                ),
+                &mut first,
+            );
+        }
+        for e in &self.events {
+            push(e, &mut first);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+fn frame_json(s: &Span, pid: u32, tid: u32) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"cycle\":{}}}}}",
+        s.name,
+        s.cat,
+        ts(s.start),
+        dur(s.start, s.end),
+        s.cycle,
+    )
+}
+
+fn async_json(a: &AsyncSpan, pid: u32, tid: u32) -> (String, String) {
+    let begin = format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"b\",\"id\":\"0x{:x}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"bytes\":{}}}}}",
+        a.name,
+        a.cat,
+        a.id,
+        ts(a.start),
+        a.bytes,
+    );
+    let end = format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"e\",\"id\":\"0x{:x}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid}}}",
+        a.name,
+        a.cat,
+        a.id,
+        ts(a.end),
+    );
+    (begin, end)
+}
+
+fn instant_json(i: &InstantEvent, pid: u32, tid: u32) -> String {
+    let args = match i.msg {
+        Some(m) => format!("{{\"msg\":\"{m}\"}}"),
+        None => "{}".to_string(),
+    };
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{args}}}",
+        i.name,
+        ts(i.time),
+    )
+}
+
+/// One-shot export of a single run.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut t = ChromeTrace::new();
+    t.add_run("", 0, records);
+    t.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Phase, TraceEvent};
+
+    #[test]
+    fn ts_formatting_is_exact() {
+        assert_eq!(ts(SimTime::from_nanos(0)), "0.000");
+        assert_eq!(ts(SimTime::from_nanos(1)), "0.001");
+        assert_eq!(ts(SimTime::from_nanos(1_234_567)), "1234.567");
+    }
+
+    #[test]
+    fn export_contains_metadata_and_events() {
+        let t = crate::Tracer::enabled();
+        t.emit(SimTime::from_nanos(100), Comp::App(0), || {
+            TraceEvent::PhaseBegin {
+                phase: Phase::Post,
+                cycle: 0,
+            }
+        });
+        t.emit(SimTime::from_nanos(400), Comp::App(0), || {
+            TraceEvent::PhaseEnd {
+                phase: Phase::Post,
+                cycle: 0,
+            }
+        });
+        let json = chrome_trace_json(&t.records());
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"post\""));
+        assert!(json.contains("\"ts\":0.100"));
+        assert!(json.contains("\"dur\":0.300"));
+        assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn pid_offsets_separate_runs() {
+        let t = crate::Tracer::enabled();
+        t.emit(SimTime::ZERO, Comp::App(0), || TraceEvent::Custom("m"));
+        let records = t.records();
+        let mut trace = ChromeTrace::new();
+        trace.add_run("a", 0, &records);
+        trace.add_run("b", 2000, &records);
+        let json = trace.finish();
+        assert!(json.contains("\"name\":\"a rank0\""));
+        assert!(json.contains("\"name\":\"b rank0\""));
+        assert!(json.contains("\"pid\":2000"));
+    }
+}

@@ -13,9 +13,12 @@
 //! * [`hw`] — simulated cluster hardware (CPUs, NICs, links, interrupts)
 //!   with GM-like (OS-bypass) and Portals-like (kernel/interrupt) presets.
 //! * [`mpi`] — the from-scratch MPI-subset message-passing library.
+//! * [`trace`] — typed observability: span-based tracing of every message,
+//!   NIC and benchmark phase, Chrome-trace export, overlap analysis.
 //! * [`core`] — the COMB benchmark suite itself: the Polling and
 //!   Post-Work-Wait methods.
-//! * [`report`] — figure definitions, CSV output, and ASCII plots.
+//! * [`report`] — figure definitions, CSV output, ASCII plots and the
+//!   PWW batch timeline.
 //!
 //! ## Quickstart
 //!
@@ -35,3 +38,4 @@ pub use comb_hw as hw;
 pub use comb_mpi as mpi;
 pub use comb_report as report;
 pub use comb_sim as sim;
+pub use comb_trace as trace;

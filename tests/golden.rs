@@ -142,3 +142,49 @@ fn pww_gm_faulted_campaign_matches_golden() {
     }
     assert_golden("pww_gm_faulted.csv", &out);
 }
+
+fn traced_pww_config() -> MethodConfig {
+    let mut cfg = MethodConfig::new(Transport::Gm, 40 * 1024);
+    cfg.cycles = 2;
+    cfg
+}
+
+#[test]
+fn traced_pww_chrome_export_matches_golden() {
+    // The full export pipeline — event emission, span reconstruction,
+    // catapult JSON formatting — byte for byte. Any change to event
+    // ordering, correlation ids or the JSON writer lands here.
+    let run = comb::core::run_pww_point_traced(&traced_pww_config(), 500_000, false).unwrap();
+    assert_golden(
+        "pww_gm_traced.trace.json",
+        &comb::trace::chrome_trace_json(&run.records),
+    );
+}
+
+#[test]
+fn traced_pww_ascii_timeline_matches_golden() {
+    let run = comb::core::run_pww_point_traced(&traced_pww_config(), 500_000, false).unwrap();
+    assert_golden(
+        "pww_gm_timeline.txt",
+        &comb::report::render_pww_timeline(&run.records, 100),
+    );
+}
+
+#[test]
+fn traced_sweep_chrome_export_is_byte_identical_across_jobs() {
+    // The acceptance bar for traced sweeps: the concatenated Chrome trace
+    // of a parallel sweep is the same file a serial sweep writes.
+    let xs = [100_000u64, 1_000_000];
+    let mut renders = Vec::new();
+    for jobs in [1usize, 8] {
+        let mut cfg = traced_pww_config();
+        cfg.jobs = jobs;
+        let runs = comb::core::pww_sweep_traced(&cfg, &xs, false).unwrap();
+        let mut ct = comb::trace::ChromeTrace::new();
+        for (i, (run, &x)) in runs.iter().zip(&xs).enumerate() {
+            ct.add_run(&format!("work={x}"), i as u32 * 2000, &run.records);
+        }
+        renders.push(ct.finish());
+    }
+    assert_eq!(renders[0], renders[1], "--jobs must not shift a byte");
+}
