@@ -3,8 +3,15 @@
 //! Regenerates any (or every) data figure of the paper on the simulated
 //! GM and Portals platforms, prints ASCII plots, writes CSVs, runs the
 //! qualitative shape checks, and exposes raw sweeps for ad-hoc experiments.
+//!
+//! Exit codes follow a fixed contract (see `--help`): 0 success,
+//! 1 usage error, 2 run failure, 3 watchdog abort.
 
-use comb_core::{log_spaced, polling_sweep, pww_sweep, MethodConfig, Transport};
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use comb_core::{
+    log_spaced, polling_sweep, pww_sweep, CombError, ErrorKind, MethodConfig, Transport,
+};
 use comb_hw::FaultPlan;
 use comb_report::{generate_degradation, run_figures, Fidelity, FigureId};
 use std::path::PathBuf;
@@ -14,11 +21,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            if e.kind == ErrorKind::Usage {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -35,6 +44,10 @@ USAGE:
     comb report [--paper] [--out <file>]   full run + markdown evaluation record
     comb sweep [polling|pww] [options]     run a raw sweep (default: polling);
                                            prints a table, or CSV when faulted
+    comb soak [options]                    chaos soak: randomized fault-injected
+                                           points under the watchdog; failures
+                                           land in a JSON manifest with the
+                                           reproducing seed
     comb degrade [options]                 bandwidth/availability degradation
                                            figures vs loss rate and stall duty
     comb netperf [--transport T] [--size N] compare COMB vs netperf methodology
@@ -42,6 +55,12 @@ USAGE:
     comb trace [options]                   run one traced point: overlap
                                            analysis, ASCII timeline, and a
                                            Chrome/Perfetto trace file
+
+EXIT CODES:
+    0  success (all requested work done, all checks passed)
+    1  usage error (bad flags, unknown command or figure id)
+    2  run failure (simulation error, worker panic, I/O, failed checks)
+    3  watchdog abort (livelocked or over-deadline simulation)
 
 OPTIONS (figure/all/report):
     --fidelity <f>     sweep density: smoke | quick | paper (default: quick)
@@ -54,6 +73,10 @@ OPTIONS (figure/all/report):
     --no-csv           do not write CSVs
     --plot <WxH>       ASCII plot size (default 72x20; 0x0 disables plots)
     --checks           print every shape check (default: failures only)
+    --resume <ckpt>    checkpoint the campaign in <ckpt>: cells already
+                       journaled there are restored instead of re-run, fresh
+                       cells are journaled as they finish. Exports are
+                       byte-identical to an uninterrupted run at any --jobs
 
 OPTIONS (sweep):
     --transport <gm|portals|emp>   platform (default gm)
@@ -75,6 +98,23 @@ OPTIONS (sweep):
                                    write one Chrome/Perfetto JSON (points get
                                    separate pid groups; byte-identical for any
                                    --jobs value)
+    --resume <ckpt>                checkpoint the sweep in <ckpt>: finished
+                                   points are restored on rerun, fresh points
+                                   journaled as they finish (not combinable
+                                   with --trace); output is byte-identical to
+                                   an uninterrupted sweep at any --jobs
+
+OPTIONS (soak):
+    --iters <n>                    scenarios to run (default 25)
+    --start <n>                    first scenario index (default 0; scenarios
+                                   are a pure function of seed and index, so
+                                   --start N --iters 1 replays scenario N)
+    --fault-seed <n>               master scenario seed (default 42)
+    --jobs <n>                     worker threads (default: auto)
+    --attempts <n>                 attempts per scenario; retryable failures
+                                   retry with a reseeded fault plan (default 2)
+    --manifest <file>              failure manifest path
+                                   (default soak-failures.json)
 
 OPTIONS (trace):
     --method <pww|polling>         traced method (default pww)
@@ -112,7 +152,7 @@ fn parse_jobs(arg: Option<String>) -> Result<usize, String> {
         .map_err(|_| "bad --jobs (expected a non-negative integer, 0 = auto)".to_string())
 }
 
-fn run(args: Vec<String>) -> Result<(), String> {
+fn run(args: Vec<String>) -> Result<(), CombError> {
     let mut it = args.into_iter();
     match it.next().as_deref() {
         Some("list") => cmd_list(),
@@ -123,18 +163,19 @@ fn run(args: Vec<String>) -> Result<(), String> {
         Some("netperf") => cmd_netperf(it.collect()),
         Some("latency") => cmd_latency(it.collect()),
         Some("sweep") => cmd_sweep(it.collect()),
+        Some("soak") => cmd_soak(it.collect()),
         Some("trace") => cmd_trace(it.collect()),
         Some("degrade") => cmd_degrade(it.collect()),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command '{other}'")),
-        None => Err("no command given".into()),
+        Some(other) => Err(CombError::usage(format!("unknown command '{other}'"))),
+        None => Err(CombError::usage("no command given")),
     }
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), CombError> {
     println!("The paper's data figures (Figures 1-3 are method diagrams):\n");
     for id in FigureId::ALL {
         println!("  {id}  {}", id.title());
@@ -143,7 +184,7 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info() -> Result<(), String> {
+fn cmd_info() -> Result<(), CombError> {
     for t in [Transport::Gm, Transport::Portals, Transport::Emp] {
         let cfg = t.config();
         println!("platform {} :", cfg.name);
@@ -183,6 +224,7 @@ struct FigureOpts {
     out: Option<PathBuf>,
     plot: (usize, usize),
     show_checks: bool,
+    resume: Option<PathBuf>,
 }
 
 fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String> {
@@ -192,6 +234,7 @@ fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String>
         out: Some(PathBuf::from("results")),
         plot: (72, 20),
         show_checks: false,
+        resume: None,
     };
     let mut jobs: Option<usize> = None;
     let mut it = args.into_iter();
@@ -207,6 +250,11 @@ fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String>
             "--out" => opts.out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?)),
             "--no-csv" => opts.out = None,
             "--checks" => opts.show_checks = true,
+            "--resume" => {
+                opts.resume = Some(PathBuf::from(
+                    it.next().ok_or("--resume needs a checkpoint file")?,
+                ))
+            }
             "--plot" => {
                 let spec = it.next().ok_or("--plot needs WxH")?;
                 let (w, h) = spec
@@ -232,11 +280,27 @@ fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String>
     Ok(opts)
 }
 
-fn cmd_figures(args: Vec<String>, all: bool) -> Result<(), String> {
+fn cmd_figures(args: Vec<String>, all: bool) -> Result<(), CombError> {
     let opts = parse_figure_opts(args, all)?;
     let started = std::time::Instant::now();
-    let reports = run_figures(&opts.ids, opts.fidelity, opts.out.as_deref())
-        .map_err(|e| format!("benchmark failed: {e}"))?;
+    let reports = match &opts.resume {
+        Some(ckpt) => {
+            let (reports, stats) = comb_report::run_figures_checkpointed(
+                &opts.ids,
+                opts.fidelity,
+                opts.out.as_deref(),
+                ckpt,
+            )?;
+            eprintln!(
+                "checkpoint {}: restored {} cells, executed {}",
+                ckpt.display(),
+                stats.restored,
+                stats.executed
+            );
+            reports
+        }
+        None => run_figures(&opts.ids, opts.fidelity, opts.out.as_deref())?,
+    };
     let mut failed = 0usize;
     for r in &reports {
         println!("================================================================");
@@ -273,15 +337,16 @@ fn cmd_figures(args: Vec<String>, all: bool) -> Result<(), String> {
         started.elapsed().as_secs_f64()
     );
     if failed > 0 {
-        Err(format!("{failed} shape checks failed"))
+        Err(CombError::internal(format!("{failed} shape checks failed")))
     } else {
         Ok(())
     }
 }
 
-fn cmd_report(args: Vec<String>) -> Result<(), String> {
+fn cmd_report(args: Vec<String>) -> Result<(), CombError> {
     let mut fidelity = Fidelity::quick();
     let mut out: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -293,15 +358,38 @@ fn cmd_report(args: Vec<String>) -> Result<(), String> {
             }
             "--jobs" => fidelity.jobs = parse_jobs(it.next())?,
             "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a file")?)),
-            other => return Err(format!("unknown option '{other}'")),
+            "--resume" => {
+                resume = Some(PathBuf::from(
+                    it.next().ok_or("--resume needs a checkpoint file")?,
+                ))
+            }
+            other => return Err(CombError::usage(format!("unknown option '{other}'"))),
         }
     }
-    let reports = comb_report::run_all(fidelity, Some(std::path::Path::new("results")))
-        .map_err(|e| format!("benchmark failed: {e}"))?;
+    let csv_dir = std::path::Path::new("results");
+    let reports = match &resume {
+        Some(ckpt) => {
+            let (reports, stats) = comb_report::run_figures_checkpointed(
+                &FigureId::ALL,
+                fidelity,
+                Some(csv_dir),
+                ckpt,
+            )?;
+            eprintln!(
+                "checkpoint {}: restored {} cells, executed {}",
+                ckpt.display(),
+                stats.restored,
+                stats.executed
+            );
+            reports
+        }
+        None => comb_report::run_all(fidelity, Some(csv_dir))?,
+    };
     let md = comb_report::markdown_report(&reports);
     match out {
         Some(path) => {
-            std::fs::write(&path, &md).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            comb_trace::atomic_write_str(&path, &md)
+                .map_err(|e| CombError::io(path.display(), &e))?;
             println!("wrote {}", path.display());
         }
         None => print!("{md}"),
@@ -311,7 +399,7 @@ fn cmd_report(args: Vec<String>) -> Result<(), String> {
         .map(|r| r.checks.iter().filter(|c| !c.pass).count())
         .sum();
     if failed > 0 {
-        Err(format!("{failed} shape checks failed"))
+        Err(CombError::internal(format!("{failed} shape checks failed")))
     } else {
         Ok(())
     }
@@ -326,7 +414,7 @@ fn parse_transport(s: &str) -> Result<Transport, String> {
     }
 }
 
-fn cmd_netperf(args: Vec<String>) -> Result<(), String> {
+fn cmd_netperf(args: Vec<String>) -> Result<(), CombError> {
     let mut transport = Transport::Gm;
     let mut size: u64 = 100 * 1024;
     let mut it = args.into_iter();
@@ -342,13 +430,13 @@ fn cmd_netperf(args: Vec<String>) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "bad size")?
             }
-            other => return Err(format!("unknown option '{other}'")),
+            other => return Err(CombError::usage(format!("unknown option '{other}'"))),
         }
     }
     let cfg = comb_core::MethodConfig::new(transport, size);
-    let busy = comb_core::run_netperf_point(&cfg, 4_000_000, true).map_err(|e| e.to_string())?;
-    let sleepy = comb_core::run_netperf_point(&cfg, 4_000_000, false).map_err(|e| e.to_string())?;
-    let comb = polling_sweep(&cfg, &[10_000]).map_err(|e| e.to_string())?;
+    let busy = comb_core::run_netperf_point(&cfg, 4_000_000, true)?;
+    let sleepy = comb_core::run_netperf_point(&cfg, 4_000_000, false)?;
+    let comb = polling_sweep(&cfg, &[10_000])?;
     println!(
         "methodology comparison on {} ({} B messages):",
         cfg.transport.name(),
@@ -369,7 +457,7 @@ fn cmd_netperf(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_latency(args: Vec<String>) -> Result<(), String> {
+fn cmd_latency(args: Vec<String>) -> Result<(), CombError> {
     let mut transport = Transport::Gm;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -377,7 +465,7 @@ fn cmd_latency(args: Vec<String>) -> Result<(), String> {
             "--transport" => {
                 transport = parse_transport(&it.next().ok_or("--transport needs a value")?)?
             }
-            other => return Err(format!("unknown option '{other}'")),
+            other => return Err(CombError::usage(format!("unknown option '{other}'"))),
         }
     }
     let cfg = comb_core::MethodConfig::new(transport, 0);
@@ -390,7 +478,7 @@ fn cmd_latency(args: Vec<String>) -> Result<(), String> {
         256 * 1024,
         1024 * 1024,
     ];
-    let rows = comb_core::run_pingpong(&cfg, &sizes, 50).map_err(|e| e.to_string())?;
+    let rows = comb_core::run_pingpong(&cfg, &sizes, 50)?;
     println!(
         "ping-pong on {} (50 round trips per size):",
         cfg.transport.name()
@@ -410,7 +498,7 @@ fn cmd_latency(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_trace(args: Vec<String>) -> Result<(), String> {
+fn cmd_trace(args: Vec<String>) -> Result<(), CombError> {
     let mut method = "pww".to_string();
     let mut transport = Transport::Gm;
     let mut size: u64 = 100 * 1024;
@@ -482,7 +570,7 @@ fn cmd_trace(args: Vec<String>) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "bad width")?
             }
-            other => return Err(format!("unknown option '{other}'")),
+            other => return Err(CombError::usage(format!("unknown option '{other}'"))),
         }
     }
     let mut cfg = MethodConfig::new(transport, size);
@@ -491,8 +579,7 @@ fn cmd_trace(args: Vec<String>) -> Result<(), String> {
     cfg.queue_depth = queue;
     let records = match method.as_str() {
         "pww" => {
-            let run = comb_core::run_pww_point_traced(&cfg, work_interval, test_in_work)
-                .map_err(|e| e.to_string())?;
+            let run = comb_core::run_pww_point_traced(&cfg, work_interval, test_in_work)?;
             println!(
                 "pww on {} | {} B messages, work interval {} iters, {} cycles",
                 cfg.transport.name(),
@@ -509,8 +596,7 @@ fn cmd_trace(args: Vec<String>) -> Result<(), String> {
             run.records
         }
         "polling" => {
-            let run = comb_core::run_polling_point_traced(&cfg, poll_interval)
-                .map_err(|e| e.to_string())?;
+            let run = comb_core::run_polling_point_traced(&cfg, poll_interval)?;
             println!(
                 "polling on {} | {} B messages, poll interval {} iters",
                 cfg.transport.name(),
@@ -523,29 +609,125 @@ fn cmd_trace(args: Vec<String>) -> Result<(), String> {
             );
             run.records
         }
-        other => return Err(format!("unknown trace method '{other}'")),
+        other => return Err(CombError::usage(format!("unknown trace method '{other}'"))),
     };
     println!();
     print!(
         "{}",
         comb_trace::TraceAnalysis::from_records(&records).render()
     );
-    std::fs::write(&out, comb_trace::chrome_trace_json(&records))
-        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    comb_trace::atomic_write_str(&out, &comb_trace::chrome_trace_json(&records))
+        .map_err(|e| CombError::io(out.display(), &e))?;
     println!();
     println!(
         "trace: {} (load in ui.perfetto.dev or chrome://tracing)",
         out.display()
     );
     if let Some(path) = csv {
-        std::fs::write(&path, comb_trace::csv_export(&records))
-            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        comb_trace::atomic_write_str(&path, &comb_trace::csv_export(&records))
+            .map_err(|e| CombError::io(path.display(), &e))?;
         println!("csv:   {}", path.display());
     }
     Ok(())
 }
 
-fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
+/// The fidelity fingerprint guarding a raw-sweep checkpoint: the knobs
+/// that change per-point results but are not part of the journal key.
+fn sweep_fingerprint(cfg: &MethodConfig, per_decade: u32) -> Fidelity {
+    Fidelity {
+        per_decade,
+        cycles: cfg.cycles,
+        target_iters: cfg.target_iters,
+        max_intervals: cfg.max_intervals,
+        jobs: 0, // worker count never affects results; excluded on purpose
+    }
+}
+
+/// Journal key for a raw sweep cell. Identity-bearing knobs (platform,
+/// size, queue/batch, fault plan) live in the key so differently
+/// configured sweeps can share one checkpoint file without colliding.
+fn sweep_key(cfg: &MethodConfig, pww_test: Option<bool>) -> String {
+    // Keys are single whitespace-free tokens in the journal's line format.
+    let fault = cfg.fault.to_string().replace(' ', "_");
+    match pww_test {
+        None => format!(
+            "sweep-polling|{}|{}|q{}|{fault}",
+            cfg.transport.name(),
+            cfg.msg_bytes,
+            cfg.queue_depth
+        ),
+        Some(t) => format!(
+            "sweep-pww|{}|{}|{}|b{}|{fault}",
+            cfg.transport.name(),
+            cfg.msg_bytes,
+            t as u8,
+            cfg.batch
+        ),
+    }
+}
+
+/// Run one raw sweep through the checkpoint journal: restore finished
+/// points from `ckpt`, run the rest through the resilient pool
+/// (journaling each as it finishes), and reassemble in input order.
+/// `restore` extracts the right sample variant; `run` executes one fresh
+/// point. Returns the lowest-input-index error if any fresh point failed
+/// — everything that did finish is journaled first, so a rerun resumes.
+fn resume_sweep<T: Clone + Send>(
+    cfg: &MethodConfig,
+    xs: &[u64],
+    per_decade: u32,
+    ckpt: &std::path::Path,
+    key: String,
+    restore: impl Fn(&comb_report::PointSample) -> Option<T>,
+    run: impl Fn(u64) -> Result<(T, comb_report::PointSample), CombError> + Sync,
+) -> Result<Vec<T>, CombError> {
+    let (journal, state) = comb_report::Journal::open(ckpt, &sweep_fingerprint(cfg, per_decade))?;
+    let mut slots: Vec<Option<T>> = xs
+        .iter()
+        .map(|&x| state.get(&key, x).and_then(&restore))
+        .collect();
+    let restored = slots.iter().filter(|s| s.is_some()).count();
+    let fresh: Vec<(usize, u64)> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| (i, xs[i]))
+        .collect();
+    eprintln!(
+        "checkpoint {}: restored {restored} points, executing {}",
+        ckpt.display(),
+        fresh.len()
+    );
+    let outcomes = comb_core::run_cells(
+        cfg.jobs,
+        &fresh,
+        comb_core::RetryPolicy::none(),
+        |&(_, x), _| {
+            let (sample, journaled) = run(x)?;
+            journal.record(&key, x, &journaled)?;
+            Ok(sample)
+        },
+    );
+    let mut first_err: Option<CombError> = None;
+    for (&(i, x), outcome) in fresh.iter().zip(outcomes) {
+        match outcome {
+            comb_core::CellOutcome::Done { value, .. } => slots[i] = Some(value),
+            comb_core::CellOutcome::Failed { error, .. } => {
+                if first_err.is_none() {
+                    first_err = Some(error.with_cell(format!("{key} @ x={x}")));
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        // Every slot is restored or executed (a missing one would have
+        // produced a Failed outcome above).
+        None => Ok(slots.into_iter().flatten().collect()),
+    }
+}
+
+fn cmd_sweep(args: Vec<String>) -> Result<(), CombError> {
     // The method is optional: `comb sweep --fault ...` defaults to polling.
     let mut args = args;
     let method = match args.first() {
@@ -564,6 +746,7 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
     let mut fault_specs: Vec<String> = Vec::new();
     let mut fault_seed: Option<u64> = None;
     let mut trace_path: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--transport" => {
@@ -601,6 +784,11 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
             "--test-in-work" => test_in_work = true,
             "--fault" => fault_specs.push(it.next().ok_or("--fault needs a spec")?),
             "--trace" => trace_path = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?)),
+            "--resume" => {
+                resume = Some(PathBuf::from(
+                    it.next().ok_or("--resume needs a checkpoint file")?,
+                ))
+            }
             "--fault-seed" => {
                 fault_seed = Some(
                     it.next()
@@ -613,7 +801,7 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
                 let spec = it.next().ok_or("--range needs lo:hi[:per_decade]")?;
                 let parts: Vec<&str> = spec.split(':').collect();
                 if parts.len() < 2 || parts.len() > 3 {
-                    return Err(format!("bad --range '{spec}'"));
+                    return Err(CombError::usage(format!("bad --range '{spec}'")));
                 }
                 range.0 = parts[0].parse().map_err(|_| "bad range lo")?;
                 range.1 = parts[1].parse().map_err(|_| "bad range hi")?;
@@ -621,8 +809,13 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
                     range.2 = pd.parse().map_err(|_| "bad range per_decade")?;
                 }
             }
-            other => return Err(format!("unknown option '{other}'")),
+            other => return Err(CombError::usage(format!("unknown option '{other}'"))),
         }
+    }
+    if resume.is_some() && trace_path.is_some() {
+        return Err(CombError::usage(
+            "--resume cannot be combined with --trace (trace captures are not checkpointed)",
+        ));
     }
     let fault = FaultPlan::from_specs(&fault_specs, fault_seed)?;
     let mut cfg = MethodConfig::new(transport, size);
@@ -641,32 +834,63 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
     match method.as_str() {
         "polling" => {
             if trace_path.is_some() {
-                let runs = comb_core::polling_sweep_traced(&cfg, &xs).map_err(|e| e.to_string())?;
+                let runs = comb_core::polling_sweep_traced(&cfg, &xs)?;
                 let mut ct = comb_trace::ChromeTrace::new();
                 for (i, (run, &x)) in runs.iter().zip(&xs).enumerate() {
                     ct.add_run(&format!("poll={x}"), i as u32 * 2000, &run.records);
                 }
                 trace_json = Some(ct.finish());
                 poll_samples = runs.into_iter().map(|r| r.sample).collect();
+            } else if let Some(ckpt) = &resume {
+                poll_samples = resume_sweep(
+                    &cfg,
+                    &xs,
+                    range.2,
+                    ckpt,
+                    sweep_key(&cfg, None),
+                    |p| match p {
+                        comb_report::PointSample::Polling(s) => Some(s.clone()),
+                        comb_report::PointSample::Pww(_) => None,
+                    },
+                    |x| {
+                        let s = comb_core::run_polling_point(&cfg, x)?;
+                        Ok((s.clone(), comb_report::PointSample::Polling(s)))
+                    },
+                )?;
             } else {
-                poll_samples = polling_sweep(&cfg, &xs).map_err(|e| e.to_string())?;
+                poll_samples = polling_sweep(&cfg, &xs)?;
             }
         }
         "pww" => {
             if trace_path.is_some() {
-                let runs = comb_core::pww_sweep_traced(&cfg, &xs, test_in_work)
-                    .map_err(|e| e.to_string())?;
+                let runs = comb_core::pww_sweep_traced(&cfg, &xs, test_in_work)?;
                 let mut ct = comb_trace::ChromeTrace::new();
                 for (i, (run, &x)) in runs.iter().zip(&xs).enumerate() {
                     ct.add_run(&format!("work={x}"), i as u32 * 2000, &run.records);
                 }
                 trace_json = Some(ct.finish());
                 pww_samples = runs.into_iter().map(|r| r.sample).collect();
+            } else if let Some(ckpt) = &resume {
+                pww_samples = resume_sweep(
+                    &cfg,
+                    &xs,
+                    range.2,
+                    ckpt,
+                    sweep_key(&cfg, Some(test_in_work)),
+                    |p| match p {
+                        comb_report::PointSample::Pww(s) => Some(s.clone()),
+                        comb_report::PointSample::Polling(_) => None,
+                    },
+                    |x| {
+                        let s = comb_core::run_pww_point(&cfg, x, test_in_work)?;
+                        Ok((s.clone(), comb_report::PointSample::Pww(s)))
+                    },
+                )?;
             } else {
-                pww_samples = pww_sweep(&cfg, &xs, test_in_work).map_err(|e| e.to_string())?;
+                pww_samples = pww_sweep(&cfg, &xs, test_in_work)?;
             }
         }
-        other => return Err(format!("unknown sweep method '{other}'")),
+        other => return Err(CombError::usage(format!("unknown sweep method '{other}'"))),
     }
     // Faulted sweeps print CSV (with the plan in the header) so runs can be
     // diffed byte-for-byte — the acceptance mode for fault determinism.
@@ -753,13 +977,91 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
         }
     }
     if let (Some(path), Some(json)) = (&trace_path, &trace_json) {
-        std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        comb_trace::atomic_write_str(path, json).map_err(|e| CombError::io(path.display(), &e))?;
         eprintln!("trace: {}", path.display());
     }
     Ok(())
 }
 
-fn cmd_degrade(args: Vec<String>) -> Result<(), String> {
+fn cmd_soak(args: Vec<String>) -> Result<(), CombError> {
+    let mut config = comb_report::SoakConfig::default();
+    let mut manifest = PathBuf::from("soak-failures.json");
+    let mut manifest_requested = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => {
+                config.iters = it
+                    .next()
+                    .ok_or("--iters needs n")?
+                    .parse()
+                    .map_err(|_| "bad --iters")?
+            }
+            "--start" => {
+                config.start = it
+                    .next()
+                    .ok_or("--start needs n")?
+                    .parse()
+                    .map_err(|_| "bad --start")?
+            }
+            "--fault-seed" => {
+                config.fault_seed = it
+                    .next()
+                    .ok_or("--fault-seed needs n")?
+                    .parse()
+                    .map_err(|_| "bad --fault-seed")?
+            }
+            "--jobs" => config.jobs = parse_jobs(it.next())?,
+            "--attempts" => {
+                config.max_attempts = it
+                    .next()
+                    .ok_or("--attempts needs n")?
+                    .parse()
+                    .map_err(|_| "bad --attempts")?
+            }
+            "--manifest" => {
+                manifest = PathBuf::from(it.next().ok_or("--manifest needs a file")?);
+                manifest_requested = true;
+            }
+            other => return Err(CombError::usage(format!("unknown option '{other}'"))),
+        }
+    }
+    println!(
+        "soak: {} scenarios from index {} (seed {}), {} attempt(s) each",
+        config.iters, config.start, config.fault_seed, config.max_attempts
+    );
+    let started = std::time::Instant::now();
+    let report = comb_report::run_soak(&config);
+    println!(
+        "soak: {} passed ({} after retry), {} failed, {:.1}s",
+        report.passed,
+        report.retried,
+        report.failures.len(),
+        started.elapsed().as_secs_f64()
+    );
+    for f in &report.failures {
+        println!("  iter {:>4} [{}] {}", f.iter, f.kind, f.scenario);
+        println!("    repro: {}", f.repro);
+    }
+    // The manifest is written whenever something failed (or on explicit
+    // request), atomically, so CI can collect it as an artifact.
+    if !report.all_pass() || manifest_requested {
+        report.write_manifest(&manifest)?;
+        println!("manifest: {}", manifest.display());
+    }
+    if report.all_pass() {
+        Ok(())
+    } else {
+        Err(CombError::internal(format!(
+            "{} of {} soak iterations failed (manifest: {})",
+            report.failures.len(),
+            config.iters,
+            manifest.display()
+        )))
+    }
+}
+
+fn cmd_degrade(args: Vec<String>) -> Result<(), CombError> {
     let mut fidelity = Fidelity::quick();
     let mut out: Option<PathBuf> = Some(PathBuf::from("results"));
     let mut plot = (72usize, 20usize);
@@ -785,10 +1087,10 @@ fn cmd_degrade(args: Vec<String>) -> Result<(), String> {
                     h.parse().map_err(|_| "bad plot height")?,
                 );
             }
-            other => return Err(format!("unknown option '{other}'")),
+            other => return Err(CombError::usage(format!("unknown option '{other}'"))),
         }
     }
-    let figs = generate_degradation(fidelity).map_err(|e| format!("benchmark failed: {e}"))?;
+    let figs = generate_degradation(fidelity)?;
     for ds in &figs {
         println!("================================================================");
         println!("{}: {}", ds.id, ds.title);
@@ -799,7 +1101,7 @@ fn cmd_degrade(args: Vec<String>) -> Result<(), String> {
         if let Some(dir) = &out {
             let path = ds
                 .write_csv(dir)
-                .map_err(|e| format!("writing {}: {e}", dir.display()))?;
+                .map_err(|e| CombError::io(dir.display(), &e))?;
             println!("  csv: {}", path.display());
         }
     }

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod degradation;
+pub mod error;
 pub mod latency;
 pub mod metrics;
 pub mod netperf;
@@ -40,12 +41,15 @@ pub mod traced;
 pub use degradation::{
     degradation_sweep, DegradationAxis, DegradationPoint, LOSS_RATES, STALL_DUTIES,
 };
+pub use error::{CombError, ErrorKind};
 pub use latency::{run_pingpong, LatencySample};
 pub use metrics::{availability, bandwidth_mbs, FaultCounters, PollingSample, PwwSample};
 pub use netperf::{run_netperf_point, NetperfSample};
 pub use polling::{PollingParams, DATA_TAG, STOP_TAG};
 pub use pww::{InterleavedParams, PwwParams};
-pub use runner::pool::{available_jobs, effective_jobs, run_ordered};
+pub use runner::pool::{
+    available_jobs, effective_jobs, run_cells, run_ordered, CellOutcome, RetryPolicy,
+};
 pub use runner::{
     polling_sweep, polling_sweep_parallel, pww_sweep, pww_sweep_parallel, run_polling_point,
     run_polling_point_on, run_pww_interleaved, run_pww_point, run_pww_point_on, RunError,

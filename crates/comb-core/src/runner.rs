@@ -31,6 +31,15 @@ pub enum RunError {
         /// The panic message.
         message: String,
     },
+    /// The kernel watchdog aborted the point (livelock or virtual-time
+    /// deadline overrun).
+    Watchdog {
+        /// The watchdog [`SimError`] that fired.
+        error: SimError,
+        /// Extra context — traced runs attach the last trace events
+        /// leading up to the abort; empty otherwise.
+        diagnostic: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -41,6 +50,13 @@ impl fmt::Display for RunError {
             RunError::WorkerPanic { message } => {
                 write!(f, "sweep worker panicked: {message}")
             }
+            RunError::Watchdog { error, diagnostic } => {
+                write!(f, "{error}")?;
+                if !diagnostic.is_empty() {
+                    write!(f, "\n{diagnostic}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -49,8 +65,26 @@ impl std::error::Error for RunError {}
 
 impl From<SimError> for RunError {
     fn from(e: SimError) -> Self {
-        RunError::Sim(e)
+        if e.is_watchdog() {
+            RunError::Watchdog {
+                error: e,
+                diagnostic: String::new(),
+            }
+        } else {
+            RunError::Sim(e)
+        }
     }
+}
+
+/// Drive a built simulation to completion, under the configuration's
+/// watchdog when one is set. Both the plain and traced runners go through
+/// here so watchdog semantics cannot drift between them.
+pub(crate) fn drive(sim: &mut Simulation, cfg: &MethodConfig) -> Result<(), RunError> {
+    match &cfg.watchdog {
+        Some(wd) => sim.run_with_watchdog(wd)?,
+        None => sim.run()?,
+    };
+    Ok(())
 }
 
 /// Sum the fault-injection activity of every NIC and every rank after a
@@ -114,7 +148,7 @@ pub fn run_polling_point_on(
         m1.finalize();
     });
 
-    sim.run()?;
+    drive(&mut sim, cfg)?;
     let mut sample = probe.take().ok_or(RunError::NoResult)?;
     sample.faults = collect_faults(&cluster, &world);
     Ok(sample)
@@ -167,7 +201,7 @@ pub fn run_pww_point_on(
         m1.finalize();
     });
 
-    sim.run()?;
+    drive(&mut sim, cfg)?;
     let mut sample = probe.take().ok_or(RunError::NoResult)?;
     sample.faults = collect_faults(&cluster, &world);
     Ok(sample)
@@ -212,7 +246,7 @@ pub fn run_pww_interleaved(
         m1.finalize();
     });
 
-    sim.run()?;
+    drive(&mut sim, cfg)?;
     let mut sample = probe.take().ok_or(RunError::NoResult)?;
     sample.faults = collect_faults(&cluster, &world);
     Ok(sample)

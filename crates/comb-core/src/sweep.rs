@@ -72,6 +72,12 @@ pub struct MethodConfig {
     /// default injects nothing). Faulted sweeps stay byte-deterministic:
     /// the plan is seeded and every point resolves it identically.
     pub fault: FaultPlan,
+    /// Kernel watchdog bounding every point of this configuration
+    /// (`None`, the default, runs unwatched). A tripped watchdog aborts
+    /// only the offending point — under the resilient pool its sweep
+    /// keeps draining. The watchdog observes the simulation without
+    /// perturbing it, so arming it cannot change any sample.
+    pub watchdog: Option<comb_sim::WatchdogConfig>,
 }
 
 impl MethodConfig {
@@ -89,6 +95,7 @@ impl MethodConfig {
             max_intervals: 20_000,
             jobs: 0,
             fault: FaultPlan::none(),
+            watchdog: None,
         }
     }
 

@@ -12,12 +12,40 @@
 use crate::metrics::{PollingSample, PwwSample};
 use crate::polling::{self, PollingParams};
 use crate::pww::{self, PwwParams};
-use crate::runner::{collect_faults, pool, RunError};
+use crate::runner::{collect_faults, drive, pool, RunError};
 use crate::sweep::MethodConfig;
 use comb_hw::{Cluster, HwConfig, NodeId};
 use comb_mpi::{MpiWorld, Rank};
 use comb_sim::Simulation;
 use comb_trace::{TraceRecord, Tracer};
+
+/// How many trailing trace events a watchdog diagnostic carries.
+const WATCHDOG_TAIL: usize = 10;
+
+/// Drive a traced simulation; if the configuration's watchdog aborts it,
+/// attach the tail of the captured event stream so the diagnostic shows
+/// what the simulation was doing when it livelocked or overran.
+fn drive_traced(sim: &mut Simulation, cfg: &MethodConfig, tracer: &Tracer) -> Result<(), RunError> {
+    match drive(sim, cfg) {
+        Err(RunError::Watchdog { error, .. }) => Err(RunError::Watchdog {
+            error,
+            diagnostic: trace_tail(&tracer.records()),
+        }),
+        other => other,
+    }
+}
+
+fn trace_tail(records: &[TraceRecord]) -> String {
+    if records.is_empty() {
+        return String::new();
+    }
+    let tail = &records[records.len().saturating_sub(WATCHDOG_TAIL)..];
+    format!(
+        "last {} trace events:\n{}",
+        tail.len(),
+        comb_trace::csv_export(tail)
+    )
+}
 
 /// One benchmark point plus the trace it produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,7 +98,7 @@ pub fn run_polling_point_traced_on(
         m1.finalize();
     });
 
-    sim.run()?;
+    drive_traced(&mut sim, cfg, &tracer)?;
     let mut sample = probe.take().ok_or(RunError::NoResult)?;
     sample.faults = collect_faults(&cluster, &world);
     Ok(TracedRun {
@@ -125,7 +153,7 @@ pub fn run_pww_point_traced_on(
         m1.finalize();
     });
 
-    sim.run()?;
+    drive_traced(&mut sim, cfg, &tracer)?;
     let mut sample = probe.take().ok_or(RunError::NoResult)?;
     sample.faults = collect_faults(&cluster, &world);
     Ok(TracedRun {

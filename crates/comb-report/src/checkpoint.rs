@@ -1,0 +1,511 @@
+//! Campaign checkpointing: an append-only journal of finished sweep
+//! points, and the loader that lets an interrupted campaign resume
+//! without re-running them.
+//!
+//! ## Format
+//!
+//! The journal is a line-oriented text file:
+//!
+//! ```text
+//! comb-checkpoint v1
+//! fidelity per_decade=1 cycles=2 target_iters=500000 max_intervals=1000
+//! point polling|GM|102400 10 polling <fields...>
+//! point pww|GM|102400|0 10000 pww <fields...>
+//! ```
+//!
+//! One `point` line per finished sweep cell, keyed by the campaign's
+//! [`CampaignKey::canonical`] identity and the cell's x value. Samples
+//! are serialized **exactly**: every `f64` as its IEEE-754 bit pattern
+//! in hex, durations as nanoseconds, histograms as raw bucket vectors.
+//! A restored sample is therefore `==` to the sample a re-run would
+//! produce, which is what makes resumed exports byte-identical to
+//! uninterrupted ones.
+//!
+//! ## Crash safety
+//!
+//! Lines are appended and flushed as workers finish cells (the file
+//! handle lives behind a mutex, so concurrent workers interleave whole
+//! lines, never bytes). If the process dies mid-append the journal may
+//! end in a torn partial line; the loader tolerates exactly one
+//! unparseable **final** line and rejects corruption anywhere else. The
+//! fidelity fingerprint in the header guards against resuming a journal
+//! produced at a different sweep density — silently mixing fidelities
+//! would corrupt every downstream figure. The `jobs` knob is absent
+//! from the fingerprint on purpose: worker count never affects results,
+//! so a campaign may be interrupted at `--jobs 4` and resumed at
+//! `--jobs 1` (or vice versa).
+
+use crate::figures::Fidelity;
+use comb_core::{CombError, FaultCounters, PollingSample, PwwSample};
+use comb_sim::stats::DurationHistogram;
+use comb_sim::SimDuration;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const MAGIC: &str = "comb-checkpoint v1";
+
+/// One finished sweep cell's result, either method.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointSample {
+    /// A polling-method cell.
+    Polling(PollingSample),
+    /// A PWW-method cell (also used by the overhead campaigns).
+    Pww(PwwSample),
+}
+
+fn fingerprint(f: &Fidelity) -> String {
+    format!(
+        "fidelity per_decade={} cycles={} target_iters={} max_intervals={}",
+        f.per_decade, f.cycles, f.target_iters, f.max_intervals
+    )
+}
+
+/// The completed cells replayed from a journal.
+#[derive(Debug, Default)]
+pub struct CheckpointState {
+    completed: HashMap<(String, u64), PointSample>,
+}
+
+impl CheckpointState {
+    /// Look up a finished cell by campaign identity and x value.
+    pub fn get(&self, key: &str, x: u64) -> Option<&PointSample> {
+        self.completed.get(&(key.to_string(), x))
+    }
+
+    /// Number of finished cells in the journal.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// True if the journal held no finished cells.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+}
+
+/// Append handle on a checkpoint journal. Clone-free and `Sync`: sweep
+/// workers share one `&Journal` and append finished cells as they
+/// complete.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl Journal {
+    /// Open `path` for a campaign at `fidelity`, replaying any finished
+    /// cells already journaled there.
+    ///
+    /// * Missing file → a fresh journal with a header is created and the
+    ///   returned state is empty.
+    /// * Existing file → its header is validated (magic and fidelity
+    ///   fingerprint must match) and every well-formed `point` line is
+    ///   loaded; a torn final line (crash mid-append) is dropped.
+    pub fn open(path: &Path, fidelity: &Fidelity) -> Result<(Journal, CheckpointState), CombError> {
+        let want = fingerprint(fidelity);
+        let state = if path.exists() {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CombError::io(path.display(), &e))?;
+            parse_journal(&text, &want)
+                .map_err(|msg| CombError::checkpoint(format!("{}: {msg}", path.display())))?
+        } else {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| CombError::io(parent.display(), &e))?;
+                }
+            }
+            std::fs::write(path, format!("{MAGIC}\n{want}\n"))
+                .map_err(|e| CombError::io(path.display(), &e))?;
+            CheckpointState::default()
+        };
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| CombError::io(path.display(), &e))?;
+        Ok((
+            Journal {
+                path: path.to_path_buf(),
+                file: Mutex::new(file),
+            },
+            state,
+        ))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one finished cell. The full line is written and flushed
+    /// under the journal lock, so concurrent workers never interleave.
+    pub fn record(&self, key: &str, x: u64, sample: &PointSample) -> Result<(), CombError> {
+        let line = encode_point(key, x, sample);
+        let mut f = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        f.write_all(line.as_bytes())
+            .and_then(|()| f.flush())
+            .map_err(|e| CombError::io(self.path.display(), &e))
+    }
+}
+
+fn parse_journal(text: &str, want_fingerprint: &str) -> Result<CheckpointState, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(MAGIC) => {}
+        Some(other) => return Err(format!("not a checkpoint journal (header '{other}')")),
+        None => return Err("empty file".to_string()),
+    }
+    match lines.next() {
+        Some(fp) if fp == want_fingerprint => {}
+        Some(fp) => {
+            return Err(format!(
+                "journal was written at a different fidelity\n  journal: {fp}\n  campaign: {want_fingerprint}"
+            ))
+        }
+        None => return Err("missing fidelity line".to_string()),
+    }
+    let rest: Vec<&str> = lines.collect();
+    let mut state = CheckpointState::default();
+    for (i, line) in rest.iter().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        match decode_point(line) {
+            Some((key, x, sample)) => {
+                state.completed.insert((key, x), sample);
+            }
+            // A torn tail from a crash mid-append is expected; corruption
+            // anywhere else is not.
+            None if i + 1 == rest.len() => {}
+            None => return Err(format!("corrupt journal line {}: '{line}'", i + 3)),
+        }
+    }
+    Ok(state)
+}
+
+// --- exact-bit field encoding ------------------------------------------
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+struct Fields<'a>(std::str::SplitWhitespace<'a>);
+
+impl<'a> Fields<'a> {
+    fn u64(&mut self) -> Option<u64> {
+        self.0.next()?.parse().ok()
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        self.0.next()?.parse().ok()
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        let tok = self.0.next()?;
+        if tok.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(tok, 16).ok().map(f64::from_bits)
+    }
+
+    fn dur(&mut self) -> Option<SimDuration> {
+        self.u64().map(SimDuration::from_nanos)
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.0.next()? {
+            "0" => Some(false),
+            "1" => Some(true),
+            _ => None,
+        }
+    }
+
+    fn buckets(&mut self) -> Option<Vec<u64>> {
+        let tok = self.0.next()?;
+        if tok == "-" {
+            return Some(Vec::new());
+        }
+        tok.split(',').map(|b| b.parse().ok()).collect()
+    }
+
+    fn done(mut self) -> Option<()> {
+        match self.0.next() {
+            None => Some(()),
+            Some(_) => None,
+        }
+    }
+}
+
+fn push_faults(out: &mut String, f: &FaultCounters) {
+    let _ = write!(
+        out,
+        " {} {} {} {} {}",
+        f.lost_packets, f.retransmissions, f.ctl_dropped, f.storm_interrupts, f.rndv_retries
+    );
+}
+
+fn read_faults(f: &mut Fields) -> Option<FaultCounters> {
+    Some(FaultCounters {
+        lost_packets: f.u64()?,
+        retransmissions: f.u64()?,
+        ctl_dropped: f.u64()?,
+        storm_interrupts: f.u64()?,
+        rndv_retries: f.u64()?,
+    })
+}
+
+fn encode_point(key: &str, x: u64, sample: &PointSample) -> String {
+    let mut out = format!("point {key} {x}");
+    match sample {
+        PointSample::Polling(s) => {
+            let _ = write!(
+                out,
+                " polling {} {} {} {} {} {} {} {} {} {}",
+                s.poll_interval,
+                s.msg_bytes,
+                s.total_iters,
+                s.warmup_polls,
+                s.work_only.as_nanos(),
+                s.elapsed.as_nanos(),
+                f64_hex(s.availability),
+                f64_hex(s.bandwidth_mbs),
+                s.messages_received,
+                s.stolen.as_nanos(),
+            );
+            push_faults(&mut out, &s.faults);
+        }
+        PointSample::Pww(s) => {
+            let _ = write!(
+                out,
+                " pww {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+                s.work_interval,
+                s.msg_bytes,
+                s.cycles,
+                s.batch,
+                u8::from(s.test_in_work),
+                s.post_phase.as_nanos(),
+                s.post_per_msg.as_nanos(),
+                s.work_with_mh.as_nanos(),
+                s.work_only.as_nanos(),
+                s.wait_phase.as_nanos(),
+                s.wait_per_msg.as_nanos(),
+                f64_hex(s.availability),
+                f64_hex(s.bandwidth_mbs),
+                s.stolen.as_nanos(),
+            );
+            let buckets = s.wait_histogram.raw_buckets();
+            if buckets.is_empty() {
+                out.push_str(" -");
+            } else {
+                out.push(' ');
+                for (i, b) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{b}");
+                }
+            }
+            let _ = write!(out, " {}", s.wait_histogram.sum_nanos());
+            push_faults(&mut out, &s.faults);
+        }
+    }
+    out.push('\n');
+    out
+}
+
+fn decode_point(line: &str) -> Option<(String, u64, PointSample)> {
+    let mut f = Fields(line.split_whitespace());
+    if f.0.next()? != "point" {
+        return None;
+    }
+    let key = f.0.next()?.to_string();
+    let x = f.u64()?;
+    let sample = match f.0.next()? {
+        "polling" => {
+            let s = PollingSample {
+                poll_interval: f.u64()?,
+                msg_bytes: f.u64()?,
+                total_iters: f.u64()?,
+                warmup_polls: f.u64()?,
+                work_only: f.dur()?,
+                elapsed: f.dur()?,
+                availability: f.f64()?,
+                bandwidth_mbs: f.f64()?,
+                messages_received: f.u64()?,
+                stolen: f.dur()?,
+                faults: read_faults(&mut f)?,
+            };
+            PointSample::Polling(s)
+        }
+        "pww" => {
+            let s = PwwSample {
+                work_interval: f.u64()?,
+                msg_bytes: f.u64()?,
+                cycles: f.u64()?,
+                batch: f.u64()?,
+                test_in_work: f.bool()?,
+                post_phase: f.dur()?,
+                post_per_msg: f.dur()?,
+                work_with_mh: f.dur()?,
+                work_only: f.dur()?,
+                wait_phase: f.dur()?,
+                wait_per_msg: f.dur()?,
+                availability: f.f64()?,
+                bandwidth_mbs: f.f64()?,
+                stolen: f.dur()?,
+                wait_histogram: {
+                    let buckets = f.buckets()?;
+                    let sum = f.u128()?;
+                    DurationHistogram::from_raw(buckets, sum)
+                },
+                faults: read_faults(&mut f)?,
+            };
+            PointSample::Pww(s)
+        }
+        _ => return None,
+    };
+    f.done()?;
+    Some((key, x, sample))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn polling_sample() -> PollingSample {
+        PollingSample {
+            poll_interval: 1000,
+            msg_bytes: 102_400,
+            total_iters: 500_000,
+            warmup_polls: 4,
+            work_only: SimDuration::from_nanos(123_456_789),
+            elapsed: SimDuration::from_nanos(987_654_321),
+            availability: 0.1 + 0.2, // deliberately not exactly 0.3
+            bandwidth_mbs: 87.300_000_000_000_01,
+            messages_received: 42,
+            stolen: SimDuration::from_nanos(555),
+            faults: FaultCounters {
+                lost_packets: 1,
+                retransmissions: 2,
+                ctl_dropped: 3,
+                storm_interrupts: 4,
+                rndv_retries: 5,
+            },
+        }
+    }
+
+    fn pww_sample() -> PwwSample {
+        let mut hist = DurationHistogram::new();
+        hist.record(SimDuration::from_micros(3));
+        hist.record(SimDuration::from_nanos(700));
+        PwwSample {
+            work_interval: 10_000,
+            msg_bytes: 102_400,
+            cycles: 12,
+            batch: 1,
+            test_in_work: true,
+            post_phase: SimDuration::from_nanos(11),
+            post_per_msg: SimDuration::from_nanos(12),
+            work_with_mh: SimDuration::from_nanos(13),
+            work_only: SimDuration::from_nanos(14),
+            wait_phase: SimDuration::from_nanos(15),
+            wait_per_msg: SimDuration::from_nanos(16),
+            availability: f64::MIN_POSITIVE, // subnormal-adjacent edge
+            bandwidth_mbs: 1.0 / 3.0,
+            stolen: SimDuration::ZERO,
+            wait_histogram: hist,
+            faults: FaultCounters::default(),
+        }
+    }
+
+    #[test]
+    fn point_lines_roundtrip_exactly() {
+        for (x, sample) in [
+            (1000u64, PointSample::Polling(polling_sample())),
+            (10_000, PointSample::Pww(pww_sample())),
+        ] {
+            let line = encode_point("pww|GM|102400|1", x, &sample);
+            let (key, got_x, got) = decode_point(line.trim_end()).expect("line must parse");
+            assert_eq!(key, "pww|GM|102400|1");
+            assert_eq!(got_x, x);
+            assert_eq!(got, sample, "restore must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn journal_open_replays_recorded_points() {
+        let dir = std::env::temp_dir().join("comb_ckpt_replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("campaign.ckpt");
+        let fid = Fidelity::smoke();
+        {
+            let (journal, state) = Journal::open(&path, &fid).unwrap();
+            assert!(state.is_empty());
+            journal
+                .record(
+                    "polling|GM|102400",
+                    10,
+                    &PointSample::Polling(polling_sample()),
+                )
+                .unwrap();
+            journal
+                .record("pww|GM|102400|1", 20, &PointSample::Pww(pww_sample()))
+                .unwrap();
+        }
+        let (_, state) = Journal::open(&path, &fid).unwrap();
+        assert_eq!(state.len(), 2);
+        assert_eq!(
+            state.get("polling|GM|102400", 10),
+            Some(&PointSample::Polling(polling_sample()))
+        );
+        assert!(state.get("polling|GM|102400", 11).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_but_midfile_corruption_rejected() {
+        let fid = Fidelity::smoke();
+        let good = encode_point("overhead|GM", 25_000, &PointSample::Pww(pww_sample()));
+        let header = format!("{MAGIC}\n{}\n", fingerprint(&fid));
+
+        // Torn tail: the crash cut the last line short.
+        let torn = format!("{header}{good}point overhead|GM 50000 pww 50000 1024");
+        let state = parse_journal(&torn, &fingerprint(&fid)).unwrap();
+        assert_eq!(state.len(), 1);
+
+        // The same garbage mid-file is corruption, not a crash artifact.
+        let corrupt = format!("{header}point garbage\n{good}");
+        assert!(parse_journal(&corrupt, &fingerprint(&fid))
+            .unwrap_err()
+            .contains("corrupt"));
+    }
+
+    #[test]
+    fn fidelity_mismatch_is_refused() {
+        let dir = std::env::temp_dir().join("comb_ckpt_fidelity");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("campaign.ckpt");
+        let (_, _) = Journal::open(&path, &Fidelity::smoke()).unwrap();
+        let err = Journal::open(&path, &Fidelity::quick()).unwrap_err();
+        assert_eq!(err.kind, comb_core::ErrorKind::Checkpoint);
+        assert!(err.message.contains("different fidelity"), "{err}");
+        // Same fidelity at a different job count must still resume.
+        assert!(Journal::open(&path, &Fidelity::smoke().with_jobs(7)).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_journal_file_is_refused() {
+        let dir = std::env::temp_dir().join("comb_ckpt_magic");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("not-a-journal.txt");
+        std::fs::write(&path, "series,x,y\n").unwrap();
+        let err = Journal::open(&path, &Fidelity::smoke()).unwrap_err();
+        assert!(err.message.contains("not a checkpoint journal"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,10 +3,11 @@
 //! record.
 
 use crate::ascii;
+use crate::checkpoint::Journal;
 use crate::expect::{check_figure, Check};
-use crate::figures::{generate, Campaigns, Fidelity, FigureId};
+use crate::figures::{generate, Campaigns, Fidelity, FigureId, ResumeStats};
 use crate::series::Dataset;
-use comb_core::RunError;
+use comb_core::CombError;
 use std::path::{Path, PathBuf};
 
 /// Result of regenerating one figure.
@@ -53,18 +54,47 @@ pub fn run_figures(
     ids: &[FigureId],
     fidelity: Fidelity,
     out_dir: Option<&Path>,
-) -> Result<Vec<FigureReport>, RunError> {
+) -> Result<Vec<FigureReport>, CombError> {
     let mut campaigns = Campaigns::new(fidelity);
-    campaigns.prepare(ids)?;
+    campaigns.prepare(ids).map_err(CombError::from)?;
+    render_reports(ids, &mut campaigns, out_dir)
+}
+
+/// [`run_figures`] under a checkpoint journal at `checkpoint_path`:
+/// finished cells recorded there are restored instead of re-simulated,
+/// fresh cells are journaled as they finish, and the exports are
+/// byte-identical to an uninterrupted [`run_figures`] run at any job
+/// count. Returns the reports plus what the resume pass did.
+pub fn run_figures_checkpointed(
+    ids: &[FigureId],
+    fidelity: Fidelity,
+    out_dir: Option<&Path>,
+    checkpoint_path: &Path,
+) -> Result<(Vec<FigureReport>, ResumeStats), CombError> {
+    let (journal, state) = Journal::open(checkpoint_path, &fidelity)?;
+    let mut campaigns = Campaigns::new(fidelity);
+    let stats = campaigns.prepare_checkpointed(ids, &journal, &state, None)?;
+    let reports = render_reports(ids, &mut campaigns, out_dir)?;
+    Ok((reports, stats))
+}
+
+fn render_reports(
+    ids: &[FigureId],
+    campaigns: &mut Campaigns,
+    out_dir: Option<&Path>,
+) -> Result<Vec<FigureReport>, CombError> {
     let mut reports = Vec::with_capacity(ids.len());
     for &id in ids {
-        let dataset = generate(id, &mut campaigns)?;
+        let dataset = generate(id, campaigns).map_err(CombError::from)?;
         let checks = check_figure(id, &dataset);
-        let csv_path = out_dir.map(|dir| {
-            dataset
-                .write_csv(dir)
-                .unwrap_or_else(|e| panic!("writing {id}.csv: {e}"))
-        });
+        let csv_path = match out_dir {
+            Some(dir) => Some(
+                dataset
+                    .write_csv(dir)
+                    .map_err(|e| CombError::io(format!("writing {id}.csv"), &e))?,
+            ),
+            None => None,
+        };
         reports.push(FigureReport {
             id,
             dataset,
@@ -76,7 +106,7 @@ pub fn run_figures(
 }
 
 /// Regenerate the whole evaluation (all 14 data figures).
-pub fn run_all(fidelity: Fidelity, out_dir: Option<&Path>) -> Result<Vec<FigureReport>, RunError> {
+pub fn run_all(fidelity: Fidelity, out_dir: Option<&Path>) -> Result<Vec<FigureReport>, CombError> {
     run_figures(&FigureId::ALL, fidelity, out_dir)
 }
 

@@ -2,10 +2,12 @@
 //! 4–17; Figures 1–3 are method diagrams) and the code that regenerates
 //! them on the simulated platforms.
 
+use crate::checkpoint::{CheckpointState, Journal, PointSample};
 use crate::series::{Dataset, Series};
 use comb_core::{
-    lin_spaced, log_spaced, polling_sweep, pww_sweep, run_ordered, run_polling_point_on,
-    run_pww_point_on, MethodConfig, PollingSample, PwwSample, RunError, Transport, PAPER_SIZES,
+    lin_spaced, log_spaced, polling_sweep, pww_sweep, run_cells, run_ordered, run_polling_point_on,
+    run_pww_point_on, CellOutcome, CombError, MethodConfig, PollingSample, PwwSample, RetryPolicy,
+    RunError, Transport, PAPER_SIZES,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -265,6 +267,27 @@ pub enum CampaignKey {
     },
 }
 
+impl CampaignKey {
+    /// Stable one-token identity used by checkpoint journals and failure
+    /// manifests: `polling|GM|102400`, `pww|GM|102400|1`, `overhead|GM`.
+    /// Contains no whitespace (platform names are single tokens), so it
+    /// can be a field in a space-separated journal line.
+    pub fn canonical(&self) -> String {
+        match self {
+            CampaignKey::Polling {
+                platform,
+                msg_bytes,
+            } => format!("polling|{platform}|{msg_bytes}"),
+            CampaignKey::Pww {
+                platform,
+                msg_bytes,
+                test_in_work,
+            } => format!("pww|{platform}|{msg_bytes}|{}", u8::from(*test_in_work)),
+            CampaignKey::Overhead { platform } => format!("overhead|{platform}"),
+        }
+    }
+}
+
 /// The campaigns a figure's data comes from.
 pub fn required_campaigns(id: FigureId) -> Vec<CampaignKey> {
     let kb100 = 100 * 1024;
@@ -343,6 +366,15 @@ struct PlannedCampaign {
 enum PointResult {
     Polling(PollingSample),
     Pww(PwwSample),
+}
+
+/// What a checkpointed prepare pass did (for `--resume` progress lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeStats {
+    /// Cells restored from the journal without simulating.
+    pub restored: usize,
+    /// Fresh cells executed (and journaled) by this pass.
+    pub executed: usize,
 }
 
 /// Caches sweep results so figures sharing a campaign run it once.
@@ -518,6 +550,160 @@ impl Campaigns {
             }
         }
         Ok(())
+    }
+
+    /// [`Campaigns::prepare`] with a checkpoint journal: cells already in
+    /// `state` are restored without simulating, fresh cells run through
+    /// the shared pool and are journaled **as they finish**, so an
+    /// interruption at any moment loses at most the cells still in
+    /// flight. Restored samples are bit-exact (see [`crate::checkpoint`]),
+    /// so a resumed campaign's exports are byte-identical to an
+    /// uninterrupted run at any `--jobs`.
+    ///
+    /// `stop_after` caps how many *fresh* cells run before the pass
+    /// returns [`comb_core::ErrorKind::Interrupted`] — the hook the
+    /// crash/resume tests use to interrupt a campaign at a deterministic
+    /// spot. `None` runs everything.
+    pub fn prepare_checkpointed(
+        &mut self,
+        ids: &[FigureId],
+        journal: &Journal,
+        state: &CheckpointState,
+        stop_after: Option<usize>,
+    ) -> Result<ResumeStats, CombError> {
+        let plan: Vec<PlannedCampaign> = self
+            .plan(ids)
+            .into_iter()
+            .map(|key| self.plan_campaign(key))
+            .collect();
+        let canon: Vec<String> = plan.iter().map(|pc| pc.key.canonical()).collect();
+        let points: Vec<(usize, u64)> = plan
+            .iter()
+            .enumerate()
+            .flat_map(|(c, pc)| pc.xs.iter().map(move |&x| (c, x)))
+            .collect();
+
+        // Restored cells come straight from the journal; the rest are
+        // fresh work for the pool. `slots` remembers where each fresh
+        // cell's result belongs so reassembly stays in input order.
+        let mut results: Vec<Option<PointSample>> = Vec::with_capacity(points.len());
+        let mut fresh: Vec<(usize, u64)> = Vec::new();
+        let mut fresh_slots: Vec<usize> = Vec::new();
+        for &(c, x) in &points {
+            match state.get(&canon[c], x) {
+                Some(s) => results.push(Some(s.clone())),
+                None => {
+                    fresh_slots.push(results.len());
+                    results.push(None);
+                    fresh.push((c, x));
+                }
+            }
+        }
+        let restored = points.len() - fresh.len();
+        let budget = stop_after.unwrap_or(usize::MAX);
+        let truncated = fresh.len() > budget;
+        let run_now = &fresh[..fresh.len().min(budget)];
+
+        let outcomes = run_cells(
+            self.fidelity.jobs,
+            run_now,
+            RetryPolicy::none(),
+            |&(c, x), _| {
+                let pc = &plan[c];
+                let sample = match pc.key {
+                    CampaignKey::Polling { .. } => {
+                        run_polling_point_on(&pc.hw, &pc.cfg, x).map(PointSample::Polling)
+                    }
+                    CampaignKey::Pww { test_in_work, .. } => {
+                        run_pww_point_on(&pc.hw, &pc.cfg, x, test_in_work).map(PointSample::Pww)
+                    }
+                    CampaignKey::Overhead { .. } => {
+                        run_pww_point_on(&pc.hw, &pc.cfg, x, false).map(PointSample::Pww)
+                    }
+                }
+                .map_err(|e| CombError::from(e).with_cell(format!("{} @ x={x}", canon[c])))?;
+                journal.record(&canon[c], x, &sample)?;
+                Ok(sample)
+            },
+        );
+
+        let mut first_err: Option<CombError> = None;
+        for (&slot, outcome) in fresh_slots.iter().zip(outcomes) {
+            match outcome {
+                CellOutcome::Done { value, .. } => results[slot] = Some(value),
+                CellOutcome::Failed { error, .. } => {
+                    // Lowest input index wins, so the reported error is
+                    // deterministic at any job count.
+                    if first_err.is_none() {
+                        first_err = Some(error);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if truncated {
+            return Err(CombError::interrupted(format!(
+                "campaign stopped after {budget} fresh cells ({} of {} journaled); \
+                 rerun with the same checkpoint to resume",
+                restored + budget,
+                points.len(),
+            )));
+        }
+
+        // Reassemble campaign-by-campaign, exactly as `prepare` does.
+        let mut iter = results.into_iter();
+        for pc in plan {
+            let samples: Vec<PointSample> = iter
+                .by_ref()
+                .take(pc.xs.len())
+                .map(|s| s.unwrap_or_else(|| unreachable!("every cell is restored or executed")))
+                .collect();
+            match pc.key {
+                CampaignKey::Polling {
+                    platform,
+                    msg_bytes,
+                } => {
+                    let v = samples
+                        .into_iter()
+                        .map(|r| match r {
+                            PointSample::Polling(s) => s,
+                            PointSample::Pww(_) => unreachable!("polling campaign"),
+                        })
+                        .collect();
+                    self.polling.insert((platform, msg_bytes), v);
+                }
+                CampaignKey::Pww {
+                    platform,
+                    msg_bytes,
+                    test_in_work,
+                } => {
+                    let v = samples
+                        .into_iter()
+                        .map(|r| match r {
+                            PointSample::Pww(s) => s,
+                            PointSample::Polling(_) => unreachable!("pww campaign"),
+                        })
+                        .collect();
+                    self.pww.insert((platform, msg_bytes, test_in_work), v);
+                }
+                CampaignKey::Overhead { platform } => {
+                    let v = samples
+                        .into_iter()
+                        .map(|r| match r {
+                            PointSample::Pww(s) => s,
+                            PointSample::Polling(_) => unreachable!("overhead campaign"),
+                        })
+                        .collect();
+                    self.overhead.insert(platform, v);
+                }
+            }
+        }
+        Ok(ResumeStats {
+            restored,
+            executed: run_now.len(),
+        })
     }
 
     fn polling(&mut self, t: &Transport, size: u64) -> Result<&[PollingSample], RunError> {

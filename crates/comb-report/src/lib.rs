@@ -15,20 +15,28 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ascii;
+pub mod checkpoint;
 pub mod degradation;
 pub mod expect;
 pub mod experiments;
 pub mod figures;
 pub mod series;
+pub mod soak;
 pub mod timeline;
 
+pub use checkpoint::{CheckpointState, Journal, PointSample};
 pub use degradation::{generate_degradation, DEGRADATION_IDS};
 pub use expect::{check_figure, Check};
-pub use experiments::{markdown_report, run_all, run_figures, FigureReport};
+pub use experiments::{
+    markdown_report, run_all, run_figures, run_figures_checkpointed, FigureReport,
+};
 pub use figures::{
     generate, generate_all, required_campaigns, CampaignKey, Campaigns, Fidelity, FigureId,
+    ResumeStats,
 };
 pub use series::{Dataset, Point, Series};
+pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use timeline::{render_pww_timeline, render_traced_run};

@@ -81,11 +81,13 @@ impl Dataset {
         out
     }
 
-    /// Write `<dir>/<id>.csv`; returns the path.
+    /// Write `<dir>/<id>.csv` atomically (temp + fsync + rename, see
+    /// [`comb_trace::fsio`]); returns the path. A crash mid-export can
+    /// therefore never leave a truncated CSV for a resumed campaign to
+    /// trip over.
     pub fn write_csv(&self, dir: &Path) -> io::Result<PathBuf> {
-        std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.csv", self.id));
-        std::fs::write(&path, self.to_csv())?;
+        comb_trace::atomic_write_str(&path, &self.to_csv())?;
         Ok(path)
     }
 

@@ -34,8 +34,13 @@ pub fn render_pww_timeline(records: &[TraceRecord], width: usize) -> String {
         return "timeline: no complete post-work-wait cycle in trace\n".to_string();
     };
     let in_cycle: Vec<&&Span> = phases.iter().filter(|s| s.cycle == cycle).collect();
-    let w0 = in_cycle.iter().map(|s| s.start).min().unwrap();
-    let w1 = in_cycle.iter().map(|s| s.end).max().unwrap();
+    // `in_cycle` is non-empty: `cycle` came from a matching phase frame.
+    let (Some(w0), Some(w1)) = (
+        in_cycle.iter().map(|s| s.start).min(),
+        in_cycle.iter().map(|s| s.end).max(),
+    ) else {
+        return "timeline: no complete post-work-wait cycle in trace\n".to_string();
+    };
     let dur = w1.since(w0);
     if dur.is_zero() {
         return "timeline: degenerate (zero-length) cycle\n".to_string();

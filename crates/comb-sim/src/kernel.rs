@@ -88,6 +88,35 @@ pub enum SimError {
         /// The limit that was exceeded.
         limit: u64,
     },
+    /// The watchdog saw too many events execute without virtual time
+    /// advancing — a zero-delay event loop (livelock), e.g. a timer that
+    /// re-arms itself at the current instant forever.
+    WatchdogStalled {
+        /// Events executed at the stalled instant before the abort.
+        events: u64,
+        /// The virtual time the clock was stuck at.
+        at: SimTime,
+    },
+    /// The watchdog saw virtual time pass the configured deadline — the
+    /// run never terminates on its own (e.g. an abandoned retry protocol
+    /// slowly re-arming forever), or is wildly slower than its budget.
+    WatchdogDeadline {
+        /// The virtual-time deadline that was exceeded.
+        deadline: SimTime,
+        /// Names of processes that had not finished at the abort.
+        unfinished: Vec<String>,
+    },
+}
+
+impl SimError {
+    /// True for the two watchdog aborts ([`SimError::WatchdogStalled`] and
+    /// [`SimError::WatchdogDeadline`]).
+    pub fn is_watchdog(&self) -> bool {
+        matches!(
+            self,
+            SimError::WatchdogStalled { .. } | SimError::WatchdogDeadline { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -102,11 +131,72 @@ impl fmt::Display for SimError {
             SimError::EventLimitExceeded { limit } => {
                 write!(f, "event limit of {limit} exceeded")
             }
+            SimError::WatchdogStalled { events, at } => {
+                write!(
+                    f,
+                    "watchdog: livelock — {events} events executed with virtual \
+                     time stuck at {at}"
+                )
+            }
+            SimError::WatchdogDeadline {
+                deadline,
+                unfinished,
+            } => {
+                write!(
+                    f,
+                    "watchdog: virtual-time deadline {deadline} exceeded; \
+                     unfinished processes: {unfinished:?}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// Limits enforced by [`Simulation::run_with_watchdog`]. Any limit set to
+/// its disabled value is simply not checked, so a config can bound one
+/// axis without the others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Abort once this many events execute at a single virtual instant
+    /// without the clock advancing (`0` disables). Catches zero-delay
+    /// event loops that [`Simulation::run`] would spin on forever.
+    pub max_stalled_events: u64,
+    /// Abort when virtual time passes this deadline (`None` disables).
+    /// Catches slowly re-arming timer chains that advance the clock but
+    /// never drain the queue.
+    pub deadline: Option<SimTime>,
+    /// Abort after this many events in total (`0` disables) — a coarse
+    /// cost bound, equivalent to [`Simulation::run_with_limit`].
+    pub max_events: u64,
+}
+
+impl WatchdogConfig {
+    /// A permissive default: one million events at a single instant, no
+    /// deadline, no total-event bound. Tight enough to catch any real
+    /// zero-delay loop, loose enough that no legitimate benchmark point
+    /// comes near it.
+    pub fn lenient() -> WatchdogConfig {
+        WatchdogConfig {
+            max_stalled_events: 1_000_000,
+            deadline: None,
+            max_events: 0,
+        }
+    }
+
+    /// This config with a virtual-time deadline.
+    pub fn with_deadline(mut self, deadline: SimTime) -> WatchdogConfig {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig::lenient()
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProcState {
@@ -287,7 +377,21 @@ impl Simulation {
 
     /// Run until the queue drains or `max_events` events have executed.
     pub fn run_with_limit(&mut self, max_events: u64) -> Result<SimTime, SimError> {
-        self.run_inner(max_events, SimTime::MAX, false)
+        self.run_inner(max_events, SimTime::MAX, false, None)
+    }
+
+    /// Run until the queue drains, aborting with a diagnostic
+    /// [`SimError`] if any watchdog limit trips: a livelock (too many
+    /// events at one instant), a virtual-time deadline overrun, or a
+    /// total event budget. A tripped watchdog leaves the simulation in a
+    /// torn state — it must be dropped, not resumed.
+    pub fn run_with_watchdog(&mut self, wd: &WatchdogConfig) -> Result<SimTime, SimError> {
+        let max = if wd.max_events > 0 {
+            wd.max_events
+        } else {
+            u64::MAX
+        };
+        self.run_inner(max, SimTime::MAX, false, Some(wd))
     }
 
     /// Run until the first event strictly after `deadline` (which stays
@@ -295,7 +399,7 @@ impl Simulation {
     /// still-parked processes are not an error — the simulation can be
     /// resumed with another `run_until`/`run` call.
     pub fn run_until(&mut self, deadline: SimTime) -> Result<SimTime, SimError> {
-        self.run_inner(u64::MAX, deadline, true)
+        self.run_inner(u64::MAX, deadline, true, None)
     }
 
     fn run_inner(
@@ -303,8 +407,10 @@ impl Simulation {
         max_events: u64,
         deadline: SimTime,
         partial: bool,
+        wd: Option<&WatchdogConfig>,
     ) -> Result<SimTime, SimError> {
         let mut executed: u64 = 0;
+        let mut stalled: u64 = 0;
         loop {
             let ev: Option<ScheduledEvent> = {
                 let mut q = self.shared.queue.lock();
@@ -322,6 +428,33 @@ impl Simulation {
                 ev.time.as_nanos() >= self.shared.clock.load(Ordering::Relaxed),
                 "event queue went backwards in time"
             );
+            if let Some(wd) = wd {
+                let now = self.shared.clock.load(Ordering::Relaxed);
+                if ev.time.as_nanos() > now {
+                    stalled = 0;
+                } else {
+                    stalled += 1;
+                    if wd.max_stalled_events > 0 && stalled >= wd.max_stalled_events {
+                        return Err(SimError::WatchdogStalled {
+                            events: stalled,
+                            at: SimTime::from_nanos(now),
+                        });
+                    }
+                }
+                if let Some(dl) = wd.deadline {
+                    if ev.time > dl {
+                        return Err(SimError::WatchdogDeadline {
+                            deadline: dl,
+                            unfinished: self
+                                .procs
+                                .iter()
+                                .filter(|p| p.state != ProcState::Finished)
+                                .map(|p| p.name.clone())
+                                .collect(),
+                        });
+                    }
+                }
+            }
             self.shared
                 .clock
                 .store(ev.time.as_nanos(), Ordering::Relaxed);
@@ -581,6 +714,118 @@ mod tests {
             (end.as_nanos(), sim.handle().events_executed())
         }
         assert_eq!(build_and_run(), build_and_run());
+    }
+}
+
+#[cfg(test)]
+mod watchdog_tests {
+    use super::*;
+
+    #[test]
+    fn zero_delay_event_loop_trips_the_stall_watchdog() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        // An event that re-schedules itself with zero delay: virtual time
+        // never advances, the queue never drains.
+        fn spin(h: SimHandle) {
+            let h2 = h.clone();
+            h.schedule_in(SimDuration::ZERO, move || spin(h2));
+        }
+        spin(h);
+        let wd = WatchdogConfig {
+            max_stalled_events: 500,
+            deadline: None,
+            max_events: 0,
+        };
+        match sim.run_with_watchdog(&wd) {
+            Err(SimError::WatchdogStalled { events, at }) => {
+                assert_eq!(events, 500);
+                assert_eq!(at.as_nanos(), 0);
+            }
+            other => panic!("expected stall abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rearming_timer_chain_trips_the_deadline_watchdog() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        // Advances time 1 us per firing, forever — the stall detector
+        // never trips, only the deadline can.
+        fn rearm(h: SimHandle) {
+            let h2 = h.clone();
+            h.schedule_in(SimDuration::from_micros(1), move || rearm(h2));
+        }
+        rearm(h);
+        let wd = WatchdogConfig::lenient().with_deadline(SimTime::from_nanos(50_000));
+        match sim.run_with_watchdog(&wd) {
+            Err(SimError::WatchdogDeadline { deadline, .. }) => {
+                assert_eq!(deadline.as_nanos(), 50_000);
+            }
+            other => panic!("expected deadline abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_abort_reports_unfinished_processes() {
+        let mut sim = Simulation::new();
+        sim.spawn("turtle", |ctx| {
+            for _ in 0..1_000 {
+                ctx.hold(SimDuration::from_micros(10));
+            }
+        });
+        let wd = WatchdogConfig::lenient().with_deadline(SimTime::from_nanos(5_000));
+        match sim.run_with_watchdog(&wd) {
+            Err(SimError::WatchdogDeadline { unfinished, .. }) => {
+                assert_eq!(unfinished, vec!["turtle".to_string()]);
+            }
+            other => panic!("expected deadline abort, got {other:?}"),
+        }
+        drop(sim); // teardown after an abort must not hang
+    }
+
+    #[test]
+    fn healthy_runs_pass_untouched_under_the_watchdog() {
+        let run = |wd: Option<WatchdogConfig>| -> (u64, u64) {
+            let mut sim = Simulation::new();
+            for p in 0..3 {
+                sim.spawn(&format!("p{p}"), move |ctx| {
+                    for i in 0..40 {
+                        ctx.hold(SimDuration::from_nanos((p as u64 + 1) * (i + 1)));
+                    }
+                });
+            }
+            let end = match wd {
+                Some(wd) => sim.run_with_watchdog(&wd).unwrap(),
+                None => sim.run().unwrap(),
+            };
+            (end.as_nanos(), sim.handle().events_executed())
+        };
+        let plain = run(None);
+        let watched = run(Some(
+            WatchdogConfig::lenient().with_deadline(SimTime::from_nanos(u64::MAX)),
+        ));
+        assert_eq!(plain, watched, "watchdog must not perturb the simulation");
+    }
+
+    #[test]
+    fn watchdog_total_event_budget_is_enforced() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        fn chain(h: SimHandle) {
+            let h2 = h.clone();
+            h.schedule_in(SimDuration::from_nanos(1), move || chain(h2));
+        }
+        chain(h);
+        let wd = WatchdogConfig {
+            max_stalled_events: 0,
+            deadline: None,
+            max_events: 250,
+        };
+        match sim.run_with_watchdog(&wd) {
+            Err(SimError::EventLimitExceeded { limit }) => assert_eq!(limit, 250),
+            other => panic!("expected event budget abort, got {other:?}"),
+        }
     }
 }
 

@@ -46,7 +46,7 @@ pub mod stats;
 mod time;
 
 pub use event::EventId;
-pub use kernel::{Probe, SimError, SimHandle, Simulation};
+pub use kernel::{Probe, SimError, SimHandle, Simulation, WatchdogConfig};
 pub use process::{ProcCtx, ProcId};
 pub use signal::{Condition, Signal};
 pub use time::{SimDuration, SimTime};

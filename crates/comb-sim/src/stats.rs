@@ -176,6 +176,32 @@ impl DurationHistogram {
         }
     }
 
+    /// Raw bucket counts, including empty buckets (bucket `i` holds
+    /// samples in `[2^(i-1), 2^i)` microseconds; bucket 0 is `< 1 us`).
+    /// With [`DurationHistogram::sum_nanos`], this is the histogram's
+    /// complete state — used by checkpoint serialization.
+    pub fn raw_buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total nanoseconds across all recorded samples.
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum_nanos
+    }
+
+    /// Rebuild a histogram from its raw state (checkpoint restore). The
+    /// sample count is the sum of the bucket counts, so
+    /// `from_raw(h.raw_buckets().to_vec(), h.sum_nanos())` reproduces `h`
+    /// exactly.
+    pub fn from_raw(buckets: Vec<u64>, sum_nanos: u128) -> DurationHistogram {
+        let count = buckets.iter().sum();
+        DurationHistogram {
+            buckets,
+            count,
+            sum_nanos,
+        }
+    }
+
     /// (upper-bound-in-us, count) pairs for non-empty buckets.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets

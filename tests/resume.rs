@@ -1,0 +1,130 @@
+//! Checkpoint/resume determinism: a campaign interrupted after K cells
+//! and resumed from its journal must produce CSV exports byte-identical
+//! to an uninterrupted run — at any worker count, including interrupting
+//! at one `--jobs` value and resuming at another.
+
+use comb::core::ErrorKind;
+use comb::report::{run_figures, run_figures_checkpointed, Campaigns, Fidelity, FigureId, Journal};
+use std::path::{Path, PathBuf};
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("comb_resume_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn csv_bytes(dir: &Path, id: FigureId) -> Vec<u8> {
+    std::fs::read(dir.join(format!("{id}.csv"))).unwrap()
+}
+
+/// Interrupt a Fig08 campaign after `stop_after` fresh cells at
+/// `interrupt_jobs`, then resume it at `resume_jobs`; the resulting CSV
+/// must equal the uninterrupted baseline byte for byte.
+fn interrupted_run_matches_baseline(
+    name: &str,
+    stop_after: usize,
+    interrupt_jobs: usize,
+    resume_jobs: usize,
+) {
+    let id = FigureId::Fig08;
+    let base_dir = fresh_dir(&format!("{name}_base"));
+    let baseline = run_figures(
+        &[id],
+        Fidelity::smoke().with_jobs(resume_jobs),
+        Some(&base_dir),
+    )
+    .unwrap();
+    let expected = csv_bytes(&base_dir, id);
+
+    let res_dir = fresh_dir(&format!("{name}_res"));
+    let ckpt = res_dir.join("campaign.journal");
+
+    // Phase 1: run at interrupt_jobs and stop after K fresh cells.
+    let fid = Fidelity::smoke().with_jobs(interrupt_jobs);
+    let (journal, state) = Journal::open(&ckpt, &fid).unwrap();
+    let err = Campaigns::new(fid)
+        .prepare_checkpointed(&[id], &journal, &state, Some(stop_after))
+        .unwrap_err();
+    assert_eq!(err.kind, ErrorKind::Interrupted, "{err}");
+
+    // Phase 2: resume at resume_jobs — restores K cells, runs the rest.
+    let (reports, stats) = run_figures_checkpointed(
+        &[id],
+        Fidelity::smoke().with_jobs(resume_jobs),
+        Some(&res_dir),
+        &ckpt,
+    )
+    .unwrap();
+    assert_eq!(stats.restored, stop_after, "exactly K cells were journaled");
+    assert!(stats.executed > 0, "the interruption left work to do");
+
+    assert_eq!(
+        csv_bytes(&res_dir, id),
+        expected,
+        "resumed export must be byte-identical to an uninterrupted run"
+    );
+    assert_eq!(reports.len(), baseline.len());
+    for (r, b) in reports.iter().zip(&baseline) {
+        assert_eq!(r.checks.len(), b.checks.len());
+        for (rc, bc) in r.checks.iter().zip(&b.checks) {
+            assert_eq!(
+                rc.pass, bc.pass,
+                "check '{}' diverged after resume",
+                rc.name
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&res_dir);
+}
+
+#[test]
+fn resume_is_byte_identical_serial() {
+    interrupted_run_matches_baseline("serial", 5, 1, 1);
+}
+
+#[test]
+fn resume_is_byte_identical_parallel() {
+    interrupted_run_matches_baseline("parallel", 5, 4, 4);
+}
+
+#[test]
+fn resume_crosses_job_counts() {
+    // Interrupt at --jobs 4, resume at --jobs 1: worker count is excluded
+    // from the checkpoint fingerprint because it never affects results.
+    interrupted_run_matches_baseline("cross", 7, 4, 1);
+}
+
+#[test]
+fn completed_journal_restores_everything() {
+    let id = FigureId::Fig08;
+    let dir = fresh_dir("complete");
+    let ckpt = dir.join("campaign.journal");
+    let (first, stats1) =
+        run_figures_checkpointed(&[id], Fidelity::smoke(), Some(&dir), &ckpt).unwrap();
+    assert_eq!(stats1.restored, 0);
+    let bytes1 = csv_bytes(&dir, id);
+
+    // Second run against the same journal re-runs nothing.
+    let (second, stats2) =
+        run_figures_checkpointed(&[id], Fidelity::smoke(), Some(&dir), &ckpt).unwrap();
+    assert_eq!(stats2.executed, 0, "everything restored from the journal");
+    assert_eq!(stats2.restored, stats1.executed);
+    assert_eq!(csv_bytes(&dir, id), bytes1);
+    assert_eq!(first.len(), second.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mismatched_fidelity_is_refused() {
+    let dir = fresh_dir("fidmix");
+    let ckpt = dir.join("campaign.journal");
+    let _ = Journal::open(&ckpt, &Fidelity::smoke()).unwrap();
+    let err = Journal::open(&ckpt, &Fidelity::quick()).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::Checkpoint);
+    // ... but a different job count is fine (results don't depend on it).
+    assert!(Journal::open(&ckpt, &Fidelity::smoke().with_jobs(7)).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
