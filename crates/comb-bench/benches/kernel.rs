@@ -29,6 +29,45 @@ fn bench_event_chain(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    const EVENTS: u64 = 100_000;
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("schedule_pop_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            for i in 0..EVENTS {
+                h.schedule_in(SimDuration::from_nanos(i + 1), || {});
+            }
+            black_box(sim.run().unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_schedule_cancel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    const EVENTS: u64 = 100_000;
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("schedule_cancel_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            // Cancel every other event, like a retry timer that usually
+            // gets disarmed before it fires.
+            let ids: Vec<_> = (0..EVENTS)
+                .map(|i| h.schedule_in(SimDuration::from_nanos(i + 1), || {}))
+                .collect();
+            for id in ids.iter().skip(1).step_by(2) {
+                h.cancel(*id);
+            }
+            black_box(sim.run().unwrap())
+        });
+    });
+    group.finish();
+}
+
 fn bench_process_handoff(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_kernel");
     const HOLDS: u64 = 2_000;
@@ -102,6 +141,8 @@ fn bench_interrupt_stealing(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_chain,
+    bench_schedule_pop,
+    bench_schedule_cancel,
     bench_process_handoff,
     bench_signal_pingpong,
     bench_interrupt_stealing

@@ -9,8 +9,8 @@
 //! Full-fidelity figure regeneration — the paper's actual rows/series — is
 //! the CLI's job: `cargo run --release -p comb-cli -- all --paper`.
 
-use comb_core::{MethodConfig, Transport};
-use comb_report::Fidelity;
+use comb::core::{MethodConfig, Transport};
+use comb::report::Fidelity;
 
 /// A configuration small enough for criterion iteration counts while still
 /// flowing enough messages to exercise the full protocol path.
@@ -40,14 +40,14 @@ mod tests {
     #[test]
     fn bench_config_is_runnable() {
         let cfg = bench_config(Transport::Gm, 10 * 1024);
-        let s = comb_core::run_polling_point(&cfg, 10_000).unwrap();
+        let s = comb::core::run_polling_point(&cfg, 10_000).unwrap();
         assert!(s.messages_received > 0);
     }
 
     #[test]
     fn bench_fidelity_generates_a_figure() {
-        let mut campaigns = comb_report::Campaigns::new(bench_fidelity());
-        let ds = comb_report::generate(comb_report::FigureId::Fig13, &mut campaigns).unwrap();
+        let mut campaigns = comb::report::Campaigns::new(bench_fidelity());
+        let ds = comb::report::generate(comb::report::FigureId::Fig13, &mut campaigns).unwrap();
         assert!(ds.point_count() > 0);
     }
 }

@@ -1,0 +1,330 @@
+//! `comb bench` — the tracked performance baseline.
+//!
+//! Two layers of measurement, written to one JSON file (`BENCH_pr5.json`
+//! at the repo root is the committed baseline):
+//!
+//! 1. **Kernel microbenches** — the event-queue hot paths (chained
+//!    self-schedules, bulk schedule/pop, schedule/cancel), timed with
+//!    `Instant` over several repetitions, best run kept. Each carries the
+//!    hardcoded pre-overhaul baseline so the speedup is part of the record.
+//! 2. **Figure timings** — every data figure of the paper at the chosen
+//!    fidelity: wall-clock plus how many kernel events the run executed
+//!    (from [`KernelStats::global`]), i.e. end-to-end events/second.
+//!
+//! `--check <json>` compares the kernel microbenches against a previously
+//! written file and fails (exit 2) when throughput regressed beyond
+//! `--tolerance` percent — the CI guardrail.
+
+use comb_core::CombError;
+use comb_report::{Fidelity, FigureId};
+use comb_sim::{KernelStats, SimDuration, Simulation};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One kernel microbench result.
+struct MicroResult {
+    name: &'static str,
+    events: u64,
+    best_ns: u128,
+    events_per_sec: f64,
+    /// Pre-overhaul throughput on the reference machine, recorded when the
+    /// slab-arena/indexed-heap kernel landed. Speedups are relative to it.
+    baseline_events_per_sec: f64,
+}
+
+/// One figure timing.
+struct FigureResult {
+    id: FigureId,
+    wall_ms: f64,
+    kernel_events: u64,
+    kernel_events_per_sec: f64,
+}
+
+/// Repetitions per microbench; the best (lowest) time is kept, which is
+/// far more stable than the mean under machine noise.
+const REPS: usize = 5;
+
+fn run_sim(sim: Simulation) -> Result<(), CombError> {
+    let mut sim = sim;
+    sim.run()
+        .map_err(|e| CombError::internal(format!("bench simulation failed: {e}")))?;
+    Ok(())
+}
+
+fn best_of<F: FnMut() -> Result<(), CombError>>(mut body: F) -> Result<u128, CombError> {
+    let mut best = u128::MAX;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        body()?;
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    Ok(best)
+}
+
+fn micro(name: &'static str, events: u64, baseline: f64, best_ns: u128) -> MicroResult {
+    MicroResult {
+        name,
+        events,
+        best_ns,
+        events_per_sec: events as f64 / (best_ns as f64 / 1e9),
+        baseline_events_per_sec: baseline,
+    }
+}
+
+/// A chain of zero-work self-schedules: the pure event-loop round trip
+/// (schedule → pop → invoke), one live event at a time.
+fn bench_event_chain() -> Result<MicroResult, CombError> {
+    const EVENTS: u64 = 10_000;
+    let best = best_of(|| {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        fn chain(h: comb_sim::SimHandle, left: u64) {
+            if left == 0 {
+                return;
+            }
+            let h2 = h.clone();
+            h.schedule_in(SimDuration::from_nanos(1), move || chain(h2, left - 1));
+        }
+        chain(h, EVENTS);
+        run_sim(sim)
+    })?;
+    Ok(micro("event_chain_10k", EVENTS, 11_097_116.0, best))
+}
+
+/// Bulk schedule of 100k timers followed by draining them all: arena
+/// growth, the sorted-tail fast path, and pop throughput.
+fn bench_schedule_pop() -> Result<MicroResult, CombError> {
+    const EVENTS: u64 = 100_000;
+    let best = best_of(|| {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        for i in 0..EVENTS {
+            h.schedule_in(SimDuration::from_nanos(i + 1), || {});
+        }
+        run_sim(sim)
+    })?;
+    Ok(micro("schedule_pop_100k", EVENTS, 6_285_448.0, best))
+}
+
+/// Like `schedule_pop` but every other timer is cancelled before the run —
+/// the retry-timer pattern. Exercises O(1) cancellation and stale-entry
+/// skipping.
+fn bench_schedule_cancel() -> Result<MicroResult, CombError> {
+    const EVENTS: u64 = 100_000;
+    let best = best_of(|| {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let ids: Vec<_> = (0..EVENTS)
+            .map(|i| h.schedule_in(SimDuration::from_nanos(i + 1), || {}))
+            .collect();
+        for id in ids.iter().skip(1).step_by(2) {
+            h.cancel(*id);
+        }
+        run_sim(sim)
+    })?;
+    Ok(micro("schedule_cancel_100k", EVENTS, 4_425_660.0, best))
+}
+
+fn run_figures(fidelity: Fidelity) -> Result<Vec<FigureResult>, CombError> {
+    let mut out = Vec::new();
+    for id in FigureId::ALL {
+        let fired_before = KernelStats::global().fired;
+        let t0 = Instant::now();
+        comb_report::run_figures(&[id], fidelity, None)?;
+        let wall = t0.elapsed();
+        let kernel_events = KernelStats::global().fired - fired_before;
+        out.push(FigureResult {
+            id,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            kernel_events,
+            kernel_events_per_sec: kernel_events as f64 / wall.as_secs_f64(),
+        });
+    }
+    Ok(out)
+}
+
+fn render_json(fidelity_name: &str, micros: &[MicroResult], figures: &[FigureResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"comb-bench-v1\",\n");
+    s.push_str(&format!("  \"fidelity\": \"{fidelity_name}\",\n"));
+    s.push_str("  \"kernel_microbench\": [\n");
+    for (i, m) in micros.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \"best_ns\": {}, \
+             \"events_per_sec\": {:.0}, \"baseline_events_per_sec\": {:.0}, \
+             \"speedup\": {:.2}}}{}\n",
+            m.name,
+            m.events,
+            m.best_ns,
+            m.events_per_sec,
+            m.baseline_events_per_sec,
+            m.events_per_sec / m.baseline_events_per_sec,
+            if i + 1 == micros.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"figures\": [\n");
+    for (i, f) in figures.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"wall_ms\": {:.1}, \"kernel_events\": {}, \
+             \"kernel_events_per_sec\": {:.0}}}{}\n",
+            f.id,
+            f.wall_ms,
+            f.kernel_events,
+            f.kernel_events_per_sec,
+            if i + 1 == figures.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    let k = KernelStats::global();
+    s.push_str(&format!(
+        "  \"kernel_totals\": {{\"scheduled\": {}, \"fired\": {}, \"cancelled\": {}, \
+         \"lane_scheduled\": {}, \"boxed_calls\": {}, \"arena_high_water\": {}, \
+         \"burst_batched_packets\": {}}}\n",
+        k.scheduled,
+        k.fired,
+        k.cancelled,
+        k.lane_scheduled,
+        k.boxed_calls,
+        k.arena_high_water,
+        comb_hw::burst_batched_packets_total(),
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Pull `"events_per_sec": <n>` for `name` out of a bench JSON file. The
+/// format is our own (written above), so positional string scanning is
+/// reliable and keeps the binary free of a JSON-parser dependency.
+fn extract_events_per_sec(json: &str, name: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\": \"{name}\""))?;
+    let rest = &json[at..];
+    let key = "\"events_per_sec\": ";
+    let v = &rest[rest.find(key)? + key.len()..];
+    let end = v.find([',', '}'])?;
+    v[..end].trim().parse().ok()
+}
+
+pub fn cmd_bench(args: Vec<String>) -> Result<(), CombError> {
+    let mut fidelity = Fidelity::smoke();
+    let mut fidelity_name = "smoke".to_string();
+    let mut out = PathBuf::from("BENCH_pr5.json");
+    let mut check: Option<PathBuf> = None;
+    let mut tolerance: f64 = 25.0;
+    let mut jobs: Option<usize> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fidelity" => {
+                fidelity_name = it.next().ok_or("--fidelity needs a name")?;
+                fidelity = crate::parse_fidelity(&fidelity_name)?;
+            }
+            "--smoke" => {
+                fidelity = Fidelity::smoke();
+                fidelity_name = "smoke".into();
+            }
+            "--quick" => {
+                fidelity = Fidelity::quick();
+                fidelity_name = "quick".into();
+            }
+            "--paper" => {
+                fidelity = Fidelity::paper();
+                fidelity_name = "paper".into();
+            }
+            "--jobs" => jobs = Some(crate::parse_jobs(it.next())?),
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a file")?),
+            "--check" => check = Some(PathBuf::from(it.next().ok_or("--check needs a file")?)),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or("--tolerance needs a percentage")?
+                    .parse()
+                    .map_err(|_| "bad --tolerance")?
+            }
+            other => return Err(CombError::usage(format!("unknown option '{other}'"))),
+        }
+    }
+    if let Some(jobs) = jobs {
+        fidelity.jobs = jobs;
+    }
+
+    println!("kernel microbenches (best of {REPS} runs):");
+    let micros = [
+        bench_event_chain()?,
+        bench_schedule_pop()?,
+        bench_schedule_cancel()?,
+    ];
+    for m in &micros {
+        println!(
+            "  {:<22} {:>12.0} events/s   ({:.2}x vs pre-overhaul baseline)",
+            m.name,
+            m.events_per_sec,
+            m.events_per_sec / m.baseline_events_per_sec
+        );
+    }
+
+    println!();
+    println!("figure timings at --fidelity {fidelity_name}:");
+    let figures = run_figures(fidelity)?;
+    for f in &figures {
+        println!(
+            "  {:<8} {:>9.1} ms   {:>12} kernel events   {:>12.0} events/s",
+            f.id.to_string(),
+            f.wall_ms,
+            f.kernel_events,
+            f.kernel_events_per_sec
+        );
+    }
+    let total_ms: f64 = figures.iter().map(|f| f.wall_ms).sum();
+    let total_events: u64 = figures.iter().map(|f| f.kernel_events).sum();
+    println!(
+        "  {:<8} {:>9.1} ms   {:>12} kernel events   (burst-batched packets: {})",
+        "total",
+        total_ms,
+        total_events,
+        comb_hw::burst_batched_packets_total()
+    );
+
+    let json = render_json(&fidelity_name, &micros, &figures);
+    comb_trace::atomic_write_str(&out, &json).map_err(|e| CombError::io(out.display(), &e))?;
+    println!();
+    println!("wrote {}", out.display());
+
+    if let Some(path) = check {
+        let recorded =
+            std::fs::read_to_string(&path).map_err(|e| CombError::io(path.display(), &e))?;
+        let mut regressed = Vec::new();
+        for m in &micros {
+            let Some(prior) = extract_events_per_sec(&recorded, m.name) else {
+                return Err(CombError::internal(format!(
+                    "{}: no '{}' entry to check against",
+                    path.display(),
+                    m.name
+                )));
+            };
+            let floor = prior * (1.0 - tolerance / 100.0);
+            let verdict = if m.events_per_sec < floor {
+                regressed.push(m.name);
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "  check {:<22} {:>12.0} vs recorded {:>12.0} (floor {:>12.0}) {}",
+                m.name, m.events_per_sec, prior, floor, verdict
+            );
+        }
+        if !regressed.is_empty() {
+            return Err(CombError::internal(format!(
+                "kernel throughput regressed beyond {tolerance}% on: {}",
+                regressed.join(", ")
+            )));
+        }
+        println!(
+            "  all kernel microbenches within {tolerance}% of {}",
+            path.display()
+        );
+    }
+    Ok(())
+}

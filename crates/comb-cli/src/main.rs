@@ -9,11 +9,14 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod bench;
+
 use comb_core::{
     log_spaced, polling_sweep, pww_sweep, CombError, ErrorKind, MethodConfig, Transport,
 };
 use comb_hw::FaultPlan;
 use comb_report::{generate_degradation, run_figures, Fidelity, FigureId};
+use comb_sim::KernelStats;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -55,6 +58,10 @@ USAGE:
     comb trace [options]                   run one traced point: overlap
                                            analysis, ASCII timeline, and a
                                            Chrome/Perfetto trace file
+    comb bench [options]                   performance baseline: kernel
+                                           microbenches + per-figure wall
+                                           clock and kernel events/sec,
+                                           written as JSON
 
 EXIT CODES:
     0  success (all requested work done, all checks passed)
@@ -133,6 +140,16 @@ OPTIONS (degrade):
     --out <dir>                            write CSVs into <dir> (default: results/)
     --no-csv                               do not write CSVs
     --plot <WxH>                           ASCII plot size (default 72x20; 0x0 off)
+
+OPTIONS (bench):
+    --fidelity <f> | --smoke | --quick | --paper   figure sweep density
+                                                   (default: smoke)
+    --jobs <n>                     worker threads for figure runs (default: auto)
+    --out <file>                   JSON output path (default: BENCH_pr5.json)
+    --check <file>                 compare kernel microbenches against a
+                                   previously written JSON; exit 2 when
+                                   throughput regressed beyond --tolerance
+    --tolerance <pct>              allowed regression for --check (default: 25)
 ";
 
 fn parse_fidelity(name: &str) -> Result<Fidelity, String> {
@@ -166,6 +183,7 @@ fn run(args: Vec<String>) -> Result<(), CombError> {
         Some("soak") => cmd_soak(it.collect()),
         Some("trace") => cmd_trace(it.collect()),
         Some("degrade") => cmd_degrade(it.collect()),
+        Some("bench") => bench::cmd_bench(it.collect()),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             Ok(())
@@ -979,8 +997,20 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), CombError> {
     if let (Some(path), Some(json)) = (&trace_path, &trace_json) {
         comb_trace::atomic_write_str(path, json).map_err(|e| CombError::io(path.display(), &e))?;
         eprintln!("trace: {}", path.display());
+        // Stderr so faulted-sweep CSV on stdout stays byte-diffable.
+        eprintln!("{}", kernel_summary());
     }
     Ok(())
+}
+
+/// One-line simulation-kernel counter summary (process-wide totals).
+fn kernel_summary() -> String {
+    let k = KernelStats::global();
+    format!(
+        "kernel: {} events fired / {} scheduled ({} cancelled, {} zero-delay, \
+         {} boxed closures, arena high-water {})",
+        k.fired, k.scheduled, k.cancelled, k.lane_scheduled, k.boxed_calls, k.arena_high_water
+    )
 }
 
 fn cmd_soak(args: Vec<String>) -> Result<(), CombError> {
@@ -1039,6 +1069,7 @@ fn cmd_soak(args: Vec<String>) -> Result<(), CombError> {
         report.failures.len(),
         started.elapsed().as_secs_f64()
     );
+    println!("{}", kernel_summary());
     for f in &report.failures {
         println!("  iter {:>4} [{}] {}", f.iter, f.kind, f.scenario);
         println!("    repro: {}", f.repro);

@@ -27,6 +27,8 @@ pub use config::{
 };
 pub use cpu::{ComputeSample, Cpu, CpuStats};
 pub use fault::{DegradeSpec, FaultPlan, FaultStats, LossSpec, StallSpec, StormSpec};
-pub use nic::{DeliveryClass, Nic, NicStats, NodeId, RxHandler, TxDone, WireMsg};
+pub use nic::{
+    burst_batched_packets_total, DeliveryClass, Nic, NicStats, NodeId, RxHandler, TxDone, WireMsg,
+};
 pub use node::{Cluster, Node};
 pub use switch::Fabric;

@@ -5,6 +5,12 @@
 //! as a FIFO *station*: packets are served one at a time, each occupying the
 //! station for `per_packet + bytes / bandwidth`. A station is O(1) per
 //! packet: it only tracks the time until which it is busy.
+//!
+//! Because [`Station::enqueue`] takes the arrival time explicitly instead of
+//! reading a clock, its arithmetic is closed-form over the arrival sequence:
+//! callers may replay a whole packet train's recorded arrivals from a single
+//! later event (the fabric's burst-batching fast path) and obtain results
+//! bit-identical to per-packet invocation.
 
 use comb_sim::{SimDuration, SimTime};
 

@@ -15,10 +15,12 @@
 use crate::config::{NicConfig, NicKind};
 use crate::fault::FaultModel;
 use crate::link::Station;
-use crate::nic::{DeliveryClass, Nic, NicStats, NodeId, Packet, RxHandler, TxDone, WireMsg};
+use crate::nic::{
+    note_burst_batched, DeliveryClass, Nic, NicStats, NodeId, Packet, RxHandler, TxDone, WireMsg,
+};
 use crate::packet::packet_sizes;
 use crate::switch::Fabric;
-use comb_sim::SimHandle;
+use comb_sim::{SimHandle, SimTime};
 use comb_trace::{Comp, TraceEvent, Tracer};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -71,6 +73,35 @@ impl BypassNic {
         assert_eq!(assigned, dyn_nic.node_id(), "fabric port/node id mismatch");
         dyn_nic
     }
+
+    /// Hand a fully received message to the library at `end`: park it in
+    /// the ring (waking any ring-notify hook) or push it straight to the
+    /// rx handler, per its delivery class.
+    fn schedule_delivery(
+        &self,
+        src: NodeId,
+        msg: WireMsg,
+        end: SimTime,
+        handler: Option<RxHandler>,
+    ) {
+        let ring_ref = Arc::clone(&self.inner);
+        self.handle.schedule_at(end, move || match msg.class {
+            DeliveryClass::Ring => {
+                let notify = {
+                    let mut inner = ring_ref.lock();
+                    inner.ring.push_back((src, msg));
+                    inner.ring_notify.clone()
+                };
+                if let Some(notify) = notify {
+                    notify();
+                }
+            }
+            DeliveryClass::Direct => {
+                let handler = handler.expect("no rx handler installed");
+                handler(src, msg);
+            }
+        });
+    }
 }
 
 impl Nic for BypassNic {
@@ -115,6 +146,15 @@ impl Nic for BypassNic {
                 return;
             }
         }
+        // Multi-packet bulk messages on a two-port fabric collapse into a
+        // single delivery event at the last packet's arrival (the receiver
+        // hears from exactly one sender, so replaying the recorded arrival
+        // instants is indistinguishable from per-packet events). Expedited
+        // packets never batch — they are single-packet by contract — and
+        // wider fabrics fall back to per-packet events because a second
+        // sender could interleave arrivals at the shared delivery station.
+        let batch = !expedited && n > 1 && self.fabric.port_count() == 2;
+        let mut departures: Vec<(SimTime, u64)> = Vec::with_capacity(if batch { n } else { 0 });
         let mut msg = Some(msg);
         for (i, bytes) in sizes.into_iter().enumerate() {
             let last = i + 1 == n;
@@ -139,14 +179,26 @@ impl Nic for BypassNic {
             } else {
                 inner.tx.enqueue_with_extra(now, bytes, penalty).1
             };
-            let pkt = Packet {
-                bytes,
-                expedited,
-                first: i == 0,
-                tail: if last { msg.take() } else { None },
-            };
-            self.fabric.transmit(self.id, dst, pkt, end);
+            if batch {
+                self.fabric
+                    .wire_trace(self.id, dst, bytes, i == 0, last, end);
+                departures.push((end, bytes));
+            } else {
+                let pkt = Packet {
+                    bytes,
+                    expedited,
+                    first: i == 0,
+                    tail: if last { msg.take() } else { None },
+                };
+                self.fabric.transmit(self.id, dst, pkt, end);
+            }
             if last {
+                if batch {
+                    inner.stats.burst_batched_packets += n as u64;
+                    note_burst_batched(n as u64);
+                    let msg = msg.take().expect("message consumed before last packet");
+                    self.fabric.transmit_burst(self.id, dst, departures, msg);
+                }
                 // Local completion: the last byte has left the NIC.
                 self.tracer
                     .emit(end, comp, || TraceEvent::DmaDone { bytes: msg_bytes });
@@ -194,24 +246,26 @@ impl Nic for BypassNic {
             inner.stats.msgs_rx += 1;
             let handler = inner.handler.clone();
             drop(inner);
-            let ring_ref = Arc::clone(&self.inner);
-            self.handle.schedule_at(end, move || match msg.class {
-                DeliveryClass::Ring => {
-                    let notify = {
-                        let mut inner = ring_ref.lock();
-                        inner.ring.push_back((src, msg));
-                        inner.ring_notify.clone()
-                    };
-                    if let Some(notify) = notify {
-                        notify();
-                    }
-                }
-                DeliveryClass::Direct => {
-                    let handler = handler.expect("no rx handler installed");
-                    handler(src, msg);
-                }
-            });
+            self.schedule_delivery(src, msg, end, handler);
         }
+    }
+
+    fn deliver_burst(&self, src: NodeId, arrivals: Vec<(SimTime, u64)>, msg: WireMsg) {
+        // Replay the delivery station at each packet's recorded arrival
+        // instant. `Station::enqueue` takes the arrival time explicitly, so
+        // the arithmetic — and therefore the message-ready time — is
+        // bit-identical to the per-packet event path.
+        let mut inner = self.inner.lock();
+        let mut end = self.handle.now();
+        for &(arrival, bytes) in &arrivals {
+            inner.stats.packets_rx += 1;
+            inner.stats.bytes_rx += bytes;
+            end = inner.rx.enqueue(arrival, bytes).1;
+        }
+        inner.stats.msgs_rx += 1;
+        let handler = inner.handler.clone();
+        drop(inner);
+        self.schedule_delivery(src, msg, end, handler);
     }
 }
 
@@ -358,6 +412,44 @@ mod tests {
         sim.run().unwrap();
         assert_eq!(*order.lock(), vec![1, 2]);
         assert_eq!(a.stats().msgs_tx, 2);
+    }
+
+    #[test]
+    fn burst_batching_matches_per_packet_timing() {
+        // A two-port fabric batches the packet train into one delivery
+        // event; a wider fabric (third NIC attached, even if idle) falls
+        // back to per-packet events. Both must deliver the message at
+        // exactly the same instant.
+        let deliver_at = |ports: usize| {
+            let mut sim = Simulation::new();
+            let cfg = HwConfig::gm_myrinet();
+            let fabric = Fabric::new(&sim.handle(), LinkConfig::default());
+            let nics: Vec<_> = (0..ports)
+                .map(|_| BypassNic::attach(&sim.handle(), &cfg.nic, &fabric))
+                .collect();
+            let probe = sim.probe::<u64>();
+            let (p, h) = (probe.clone(), sim.handle());
+            nics[1].set_rx_handler(Arc::new(move |_, _| p.set(h.now().as_nanos())));
+            let a = Arc::clone(&nics[0]);
+            let a2 = Arc::clone(&a);
+            sim.handle().schedule_in(SimDuration::ZERO, move || {
+                a2.submit(
+                    NodeId(1),
+                    wire(100_000, DeliveryClass::Direct),
+                    Box::new(|| {}),
+                );
+            });
+            sim.run().unwrap();
+            let stats = a.stats();
+            if ports == 2 {
+                assert_eq!(stats.burst_batched_packets, stats.packets_tx);
+            } else {
+                assert_eq!(stats.burst_batched_packets, 0);
+            }
+            assert_eq!(nics[1].stats().packets_rx, stats.packets_tx);
+            probe.get().unwrap()
+        };
+        assert_eq!(deliver_at(2), deliver_at(3));
     }
 
     #[test]

@@ -12,6 +12,15 @@
 //! pushed straight to the library: this transport has full **application
 //! offload** — communication progresses with no MPI calls — which is exactly
 //! what the paper's PWW method detects for Portals (Fig 11).
+//!
+//! Unlike the bypass NIC, this transport can never use the fabric's
+//! burst-batching fast path ([`Fabric::transmit_burst`]): each received
+//! packet steals host CPU via its ISR *at its own arrival instant*, and
+//! that theft must interleave with the application's concurrent compute
+//! ([`Cpu::steal`] is relative to the clock when the interrupt fires). A
+//! single delivery event at the last arrival could not replay those
+//! per-packet preemptions, so the kernel NIC always takes one event per
+//! packet.
 
 use crate::config::{NicConfig, NicKind};
 use crate::cpu::Cpu;

@@ -16,9 +16,26 @@ pub mod bypass;
 pub mod kernel;
 
 use crate::config::NicKind;
-use comb_sim::SimDuration;
+use comb_sim::{SimDuration, SimTime};
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide count of packets whose wire delivery rode a batched burst
+/// event instead of an event of their own (all NICs, all simulations).
+static G_BURST_BATCHED: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn note_burst_batched(packets: u64) {
+    G_BURST_BATCHED.fetch_add(packets, Ordering::Relaxed);
+}
+
+/// Total packets, process-wide, delivered via batched burst events (see
+/// [`NicStats::burst_batched_packets`] for the per-NIC figure). Used by the
+/// benchmark harness to report how much event-queue traffic the batching
+/// fast path eliminated.
+pub fn burst_batched_packets_total() -> u64 {
+    G_BURST_BATCHED.load(Ordering::Relaxed)
+}
 
 /// Identifies a node (and its NIC) within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -115,6 +132,10 @@ pub struct NicStats {
     /// Spurious interrupts raised by fault-injected storms (kernel NIC
     /// only; included in `interrupts` as well).
     pub storm_interrupts: u64,
+    /// Packets this NIC transmitted whose delivery rode a single batched
+    /// burst event instead of one simulator event per packet (bypass NIC
+    /// only; timing and traces are identical either way).
+    pub burst_batched_packets: u64,
 }
 
 /// A simulated network interface.
@@ -155,4 +176,31 @@ pub trait Nic: Send + Sync {
     /// use.
     #[doc(hidden)]
     fn deliver_packet(&self, src: NodeId, pkt: Packet);
+
+    /// Hardware-side ingress for a whole message's packet train, carried by
+    /// one simulator event firing at the last packet's arrival. `arrivals`
+    /// lists `(arrival, bytes)` per packet in wire order; `msg` rode the
+    /// final packet. Implementations must produce timing identical to
+    /// receiving each packet on its own event — the bypass NIC replays its
+    /// delivery-station arithmetic at the recorded arrival instants. The
+    /// default simply unrolls into [`Nic::deliver_packet`] calls, which is
+    /// only correct for NICs whose receive path does not read the clock;
+    /// the fabric only routes bursts to NICs that opted in by batching at
+    /// transmit time.
+    #[doc(hidden)]
+    fn deliver_burst(&self, src: NodeId, arrivals: Vec<(SimTime, u64)>, msg: WireMsg) {
+        let n = arrivals.len();
+        let mut msg = Some(msg);
+        for (i, (_arrival, bytes)) in arrivals.into_iter().enumerate() {
+            self.deliver_packet(
+                src,
+                Packet {
+                    bytes,
+                    expedited: false,
+                    first: i == 0,
+                    tail: if i + 1 == n { msg.take() } else { None },
+                },
+            );
+        }
+    }
 }

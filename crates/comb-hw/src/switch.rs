@@ -7,7 +7,7 @@
 //! is where the queueing actually happens.
 
 use crate::config::LinkConfig;
-use crate::nic::{Nic, NodeId, Packet};
+use crate::nic::{Nic, NodeId, Packet, WireMsg};
 use comb_sim::{SimHandle, SimTime};
 use comb_trace::{Comp, TraceEvent, Tracer};
 use parking_lot::Mutex;
@@ -88,6 +88,69 @@ impl Fabric {
             }
             // A dropped NIC means the cluster is being torn down; the
             // packet simply evaporates.
+        });
+    }
+
+    /// Emit the `PacketOnWire` trace record for a packet whose delivery is
+    /// carried by a batched burst event (see [`Fabric::transmit_burst`])
+    /// rather than an event of its own. Trace-only: scheduling is the
+    /// caller's job.
+    pub fn wire_trace(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        first: bool,
+        last: bool,
+        departure: SimTime,
+    ) {
+        self.tracer
+            .emit(departure, Comp::Fabric, || TraceEvent::PacketOnWire {
+                src: src.0 as u32,
+                dst: dst.0 as u32,
+                bytes,
+                first,
+                last,
+            });
+    }
+
+    /// Ship a whole message's packet train with a single simulator event.
+    ///
+    /// `departures` lists `(departure, bytes)` per packet in wire order;
+    /// `msg` rides the final packet. One event fires at the last packet's
+    /// arrival and hands the receiving NIC every packet's arrival time, so
+    /// its delivery-station arithmetic replays exactly as if each packet
+    /// had arrived on its own event. The per-packet `PacketOnWire` records
+    /// must already have been emitted by the caller (via
+    /// [`Fabric::wire_trace`]) so the trace stays byte-identical to the
+    /// unbatched path.
+    pub fn transmit_burst(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        departures: Vec<(SimTime, u64)>,
+        msg: WireMsg,
+    ) {
+        let nic = {
+            let ports = self.ports.lock();
+            ports
+                .get(dst.0)
+                .unwrap_or_else(|| panic!("no NIC attached at port {dst}"))
+                .clone()
+        };
+        let latency = self.link.latency;
+        let arrivals: Vec<(SimTime, u64)> = departures
+            .into_iter()
+            .map(|(departure, bytes)| (departure + latency, bytes))
+            .collect();
+        let last_arrival = arrivals
+            .last()
+            .unwrap_or_else(|| panic!("empty packet burst"))
+            .0;
+        self.handle.schedule_at(last_arrival, move || {
+            if let Some(nic) = nic.upgrade() {
+                nic.deliver_burst(src, arrivals, msg);
+            }
         });
     }
 }

@@ -1,23 +1,142 @@
-//! Event queue internals.
+//! Event queue internals: slab arena + indexed four-ary timer heap.
 //!
 //! Events are totally ordered by `(time, sequence-number)`. The sequence
 //! number is assigned at scheduling time, so two events scheduled for the
 //! same instant fire in the order they were scheduled. This, plus the
 //! one-runnable-entity-at-a-time process model, makes every simulation run
 //! bit-for-bit reproducible.
+//!
+//! # Layout
+//!
+//! Event payloads live in a slab of generation-tagged [`Slot`]s; ordering
+//! lives in dense 24-byte [`HeapEntry`] keys split across a four-ary
+//! min-heap, a sorted *tail* run, and a zero-delay *lane* (see
+//! [`EventQueue`]). Cancellation is an O(1) generation bump on the slot —
+//! no `HashSet` insert/probe, no per-pop hash lookup. The cancelled
+//! entry's key stays where it is and is discarded by a single integer tag
+//! check the one time it surfaces at a region front; live events never
+//! pay for dead ones. Generation tags also make a cancel of an
+//! already-fired (or never-valid) id a guaranteed no-op: the slot's
+//! generation is bumped when it is freed, so a stale [`EventId`] simply
+//! fails the tag check. (A tag is 32 bits; a single slot would need to be
+//! reused 2^32 times while a stale id for it is still held for a false
+//! match — not a realistic hazard for simulation runs.)
+//!
+//! Zero-delay self-schedules — the dominant pattern in polling-method
+//! runs — skip the heap entirely: an event scheduled for the current
+//! instant goes onto the FIFO lane. All lane entries share
+//! `time == clock` (the clock can only advance once the lane is empty,
+//! because `pop` always prefers the lane while it holds a live entry with
+//! the smaller `(time, seq)` key), so lane order is exactly seq order and
+//! the lane never needs sifting. Events scheduled ahead in non-decreasing
+//! key order — station completions, the self-rescheduling sweep drivers —
+//! extend the sorted tail with an O(1) append and pop from its front with
+//! no sifting either; only genuinely out-of-order schedules touch the
+//! heap.
+//!
+//! Closures up to [`INLINE_WORDS`] machine words are stored inline in the
+//! slot ([`InlineCall`]); only larger captures fall back to a boxed
+//! `dyn FnOnce`. Process resumes and inline calls make up the typed fast
+//! path with zero per-event heap allocations.
 
 use crate::process::ProcId;
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Opaque handle to a scheduled event; used to cancel it.
+///
+/// Packs a slab slot index (low 32 bits) and that slot's generation tag
+/// (high 32 bits); cancellation through a stale id is a no-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(pub(crate) u64);
 
+impl EventId {
+    fn pack(slot: u32, generation: u32) -> Self {
+        EventId(((generation as u64) << 32) | slot as u64)
+    }
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Capacity (in machine words) of the inline-closure fast path. Three
+/// words cover the recurring kernel closures (an `Arc` + a `Signal`, a
+/// handle + a counter) while keeping `EventKind` — which every slot
+/// embeds and every pop moves — small.
+pub(crate) const INLINE_WORDS: usize = 3;
+
+type InlineBuf = [usize; INLINE_WORDS];
+
+/// A closure stored inline (no heap allocation) inside an event slot.
+///
+/// Holds any `FnOnce() + Send` whose size fits [`INLINE_WORDS`] words and
+/// whose alignment does not exceed a word's. Larger closures are rejected
+/// by [`InlineCall::try_new`] and fall back to `Box<dyn FnOnce>`.
+pub(crate) struct InlineCall {
+    data: MaybeUninit<InlineBuf>,
+    call: unsafe fn(*mut u8),
+    drop_fn: unsafe fn(*mut u8),
+}
+
+// Safety: `try_new` only accepts `F: Send`, and the buffer is just that F.
+unsafe impl Send for InlineCall {}
+
+impl InlineCall {
+    /// Store `f` inline, or hand it back if it is too big / over-aligned.
+    #[inline]
+    pub fn try_new<F: FnOnce() + Send + 'static>(f: F) -> Result<Self, F> {
+        if std::mem::size_of::<F>() > std::mem::size_of::<InlineBuf>()
+            || std::mem::align_of::<F>() > std::mem::align_of::<InlineBuf>()
+        {
+            return Err(f);
+        }
+        // Safety contract for both fn pointers: `p` points at a valid,
+        // initialized F which is never touched again afterwards.
+        unsafe fn call_impl<F: FnOnce()>(p: *mut u8) {
+            (p as *mut F).read()()
+        }
+        unsafe fn drop_impl<F>(p: *mut u8) {
+            std::ptr::drop_in_place(p as *mut F)
+        }
+        let mut data = MaybeUninit::<InlineBuf>::uninit();
+        // Safety: size/align were checked above, so F fits the buffer.
+        unsafe { (data.as_mut_ptr() as *mut F).write(f) };
+        Ok(InlineCall {
+            data,
+            call: call_impl::<F>,
+            drop_fn: drop_impl::<F>,
+        })
+    }
+
+    /// Invoke the stored closure, consuming it.
+    #[inline]
+    pub fn invoke(mut self) {
+        let p = self.data.as_mut_ptr() as *mut u8;
+        // Safety: the buffer holds an initialized F; `call` moves it out,
+        // so we must forget `self` to skip the Drop impl.
+        unsafe { (self.call)(p) };
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for InlineCall {
+    fn drop(&mut self) {
+        // Safety: only reached when `invoke` never ran, so the closure is
+        // still initialized and owned here.
+        unsafe { (self.drop_fn)(self.data.as_mut_ptr() as *mut u8) }
+    }
+}
+
 /// What happens when an event fires.
 pub(crate) enum EventKind {
-    /// Run a closure on the kernel thread (hardware model callbacks).
+    /// Run a closure stored inline in the event slot (typed fast path).
+    Inline(InlineCall),
+    /// Run a boxed closure (fallback for large captures).
     Call(Box<dyn FnOnce() + Send>),
     /// Resume a simulated process.
     Resume(ProcId),
@@ -26,105 +145,392 @@ pub(crate) enum EventKind {
 impl std::fmt::Debug for EventKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            EventKind::Inline(_) => write!(f, "Inline(..)"),
             EventKind::Call(_) => write!(f, "Call(..)"),
             EventKind::Resume(p) => write!(f, "Resume({p:?})"),
         }
     }
 }
 
-pub(crate) struct ScheduledEvent {
+/// An event handed to the kernel loop by [`EventQueue::pop`].
+pub(crate) struct FiredEvent {
     pub time: SimTime,
-    pub seq: u64,
+    #[cfg_attr(not(test), allow(dead_code))]
     pub id: EventId,
     pub kind: EventKind,
 }
 
-impl PartialEq for ScheduledEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for ScheduledEvent {}
-
-impl PartialOrd for ScheduledEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// One slab cell: the event payload plus its ordering key and bookkeeping.
+/// `kind == None` means the slot is vacant (on the free list).
+struct Slot {
+    /// Generation tag; bumped every time the slot is freed.
+    generation: u32,
+    time: SimTime,
+    seq: u64,
+    kind: Option<EventKind>,
 }
 
-impl Ord for ScheduledEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: BinaryHeap is a max-heap and we want the
-        // earliest (time, seq) on top.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+/// 24-byte ordering key kept dense in the heap and tail; the payload stays
+/// in the slab so sifting moves keys, not closures. Carries the slot's
+/// generation so a cancelled entry is recognized (and skipped) in O(1)
+/// without any back-pointer maintenance during sifts.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+    generation: u32,
+}
+
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
+}
+
+/// Counters for the simulation kernel's event hot path.
+///
+/// Per-simulation snapshots come from `SimHandle::kernel_stats`; the
+/// process-wide accumulation (flushed when each simulation's queue is
+/// dropped) from [`KernelStats::global`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Events scheduled (lane + heap).
+    pub scheduled: u64,
+    /// Events that fired (executed by the kernel loop).
+    pub fired: u64,
+    /// Live events cancelled before firing. Stale cancels are not counted.
+    pub cancelled: u64,
+    /// High-water mark of live events resident in the slab arena.
+    pub arena_high_water: u64,
+    /// Events that took the zero-delay lane instead of the heap.
+    pub lane_scheduled: u64,
+    /// Closures too large for the inline fast path (boxed fallback).
+    pub boxed_calls: u64,
+}
+
+static G_SCHEDULED: AtomicU64 = AtomicU64::new(0);
+static G_FIRED: AtomicU64 = AtomicU64::new(0);
+static G_CANCELLED: AtomicU64 = AtomicU64::new(0);
+static G_ARENA_HIGH_WATER: AtomicU64 = AtomicU64::new(0);
+static G_LANE_SCHEDULED: AtomicU64 = AtomicU64::new(0);
+static G_BOXED_CALLS: AtomicU64 = AtomicU64::new(0);
+
+impl KernelStats {
+    /// Process-wide totals across all simulations whose queues have been
+    /// dropped (each queue flushes its counters exactly once, on drop).
+    /// `arena_high_water` is the max across simulations, not a sum.
+    pub fn global() -> KernelStats {
+        KernelStats {
+            scheduled: G_SCHEDULED.load(Ordering::Relaxed),
+            fired: G_FIRED.load(Ordering::Relaxed),
+            cancelled: G_CANCELLED.load(Ordering::Relaxed),
+            arena_high_water: G_ARENA_HIGH_WATER.load(Ordering::Relaxed),
+            lane_scheduled: G_LANE_SCHEDULED.load(Ordering::Relaxed),
+            boxed_calls: G_BOXED_CALLS.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Where `pop` found the next event.
+enum Src {
+    Lane,
+    Tail,
+    Heap,
 }
 
 /// The mutable core of the event queue. Lives behind a mutex in
 /// [`crate::kernel::SimShared`]; uncontended because at most one simulation
 /// entity runs at any moment.
+///
+/// Three ordered regions, popped by comparing their front keys:
+/// - `lane`: FIFO of events at `time == clock` (zero-delay self-schedules).
+/// - `tail`: sorted run of events scheduled in non-decreasing key order —
+///   the dominant pattern — giving O(1) push and O(1) pop with no sifting.
+/// - `heap`: four-ary min-heap for the out-of-order remainder.
+///
+/// Cancellation is an O(1) generation bump on the slot; the queued entry
+/// goes stale in place and is skipped (one cheap tag check, once) when it
+/// surfaces. No tombstone set, no per-pop hash probe.
 #[derive(Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
-    cancelled: HashSet<u64>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    heap: Vec<HeapEntry>,
+    /// Sorted (ascending key) run; `tail_head` indexes its live front.
+    tail: Vec<HeapEntry>,
+    tail_head: usize,
+    /// FIFO of `(slot, generation)` for events at `time == clock`.
+    lane: VecDeque<(u32, u32)>,
     next_seq: u64,
-    next_id: u64,
-    pub executed: u64,
+    pub stats: KernelStats,
+    /// Snapshot of `stats` at the last [`EventQueue::flush_global`], so
+    /// repeated flushes (one per run, one on drop) only push deltas.
+    flushed: KernelStats,
 }
 
 impl EventQueue {
-    pub fn schedule(&mut self, time: SimTime, kind: EventKind) -> EventId {
-        let id = EventId(self.next_id);
-        self.next_id += 1;
+    /// Schedule `kind` at `time`. `now` is the current clock reading; an
+    /// event for the current instant takes the zero-delay lane.
+    #[inline]
+    pub fn schedule(&mut self, now: SimTime, time: SimTime, kind: EventKind) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent {
-            time,
-            seq,
-            id,
-            kind,
-        });
-        id
+        if matches!(kind, EventKind::Call(_)) {
+            self.stats.boxed_calls += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    generation: 0,
+                    time: SimTime::ZERO,
+                    seq: 0,
+                    kind: None,
+                });
+                s
+            }
+        };
+        let generation = {
+            let cell = &mut self.slots[slot as usize];
+            cell.time = time;
+            cell.seq = seq;
+            cell.kind = Some(kind);
+            cell.generation
+        };
+        if time == now {
+            self.lane.push_back((slot, generation));
+            self.stats.lane_scheduled += 1;
+        } else {
+            let entry = HeapEntry {
+                time,
+                seq,
+                slot,
+                generation,
+            };
+            // Keys scheduled in non-decreasing order extend the sorted
+            // tail for free; anything out of order goes to the heap.
+            match self.tail.last() {
+                Some(last) if entry.key() < last.key() => {
+                    self.heap.push(entry);
+                    self.sift_up(self.heap.len() - 1);
+                }
+                _ => self.tail.push(entry),
+            }
+        }
+        self.stats.scheduled += 1;
+        let live = (self.slots.len() - self.free.len()) as u64;
+        if live > self.stats.arena_high_water {
+            self.stats.arena_high_water = live;
+        }
+        EventId::pack(slot, generation)
     }
 
     /// Cancel a previously scheduled event. Cancelling an event that already
-    /// fired (or was already cancelled) is a no-op.
+    /// fired, was already cancelled, or was never scheduled is a no-op (the
+    /// generation tag won't match a live slot), and leaks nothing.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        let slot = id.slot() as usize;
+        let Some(cell) = self.slots.get(slot) else {
+            return;
+        };
+        if cell.generation != id.generation() || cell.kind.is_none() {
+            return;
+        }
+        // The queued lane/tail/heap entry goes stale: the bumped generation
+        // makes it fail its tag check whenever it surfaces.
+        self.free_slot(slot as u32);
+        self.stats.cancelled += 1;
     }
 
-    /// Pop the next live event, skipping cancelled ones.
-    pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        while let Some(ev) = self.heap.pop() {
-            if self.cancelled.remove(&ev.id.0) {
-                continue;
-            }
-            self.executed += 1;
-            return Some(ev);
+    /// Pop the next live event in `(time, seq)` order.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn pop(&mut self) -> Option<FiredEvent> {
+        self.pop_due(SimTime::MAX)
+    }
+
+    /// Pop the next live event if its time is `<= deadline`; an event
+    /// beyond the deadline stays queued.
+    #[inline]
+    pub fn pop_due(&mut self, deadline: SimTime) -> Option<FiredEvent> {
+        self.drain_stale();
+        let mut best: Option<((SimTime, u64), Src)> = None;
+        if let Some(&(slot, _)) = self.lane.front() {
+            let cell = &self.slots[slot as usize];
+            best = Some(((cell.time, cell.seq), Src::Lane));
         }
-        None
+        if let Some(e) = self.tail.get(self.tail_head) {
+            let k = e.key();
+            if best.as_ref().is_none_or(|(b, _)| k < *b) {
+                best = Some((k, Src::Tail));
+            }
+        }
+        if let Some(e) = self.heap.first() {
+            let k = e.key();
+            if best.as_ref().is_none_or(|(b, _)| k < *b) {
+                best = Some((k, Src::Heap));
+            }
+        }
+        let (key, src) = best?;
+        if key.0 > deadline {
+            return None;
+        }
+        let slot = match src {
+            Src::Lane => self.lane.pop_front().expect("lane front vanished").0,
+            Src::Tail => {
+                let s = self.tail[self.tail_head].slot;
+                self.advance_tail();
+                s
+            }
+            Src::Heap => self.heap_pop_root().slot,
+        };
+        let cell = &mut self.slots[slot as usize];
+        let time = cell.time;
+        let id = EventId::pack(slot, cell.generation);
+        let kind = cell.kind.take().expect("live slot without payload");
+        self.free_slot(slot);
+        self.stats.fired += 1;
+        Some(FiredEvent { time, id, kind })
     }
 
     /// Time of the next live event without popping it.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(ev) = self.heap.peek() {
-            if self.cancelled.contains(&ev.id.0) {
-                let ev = self.heap.pop().expect("peeked event vanished");
-                self.cancelled.remove(&ev.id.0);
-                continue;
-            }
-            return Some(ev.time);
+        self.drain_stale();
+        let mut t = self
+            .lane
+            .front()
+            .map(|&(slot, _)| self.slots[slot as usize].time);
+        for cand in [
+            self.tail.get(self.tail_head).map(|e| e.time),
+            self.heap.first().map(|e| e.time),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            t = Some(t.map_or(cand, |cur| cur.min(cand)));
         }
-        None
+        t
     }
 
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn is_empty(&mut self) -> bool {
         self.peek_time().is_none()
+    }
+
+    /// Drop cancelled entries sitting at the front of each region so the
+    /// fronts are live (or the region is empty).
+    #[inline]
+    fn drain_stale(&mut self) {
+        while let Some(&(slot, generation)) = self.lane.front() {
+            if self.slots[slot as usize].generation == generation {
+                break;
+            }
+            self.lane.pop_front();
+        }
+        while let Some(e) = self.tail.get(self.tail_head) {
+            if self.slots[e.slot as usize].generation == e.generation {
+                break;
+            }
+            self.advance_tail();
+        }
+        while let Some(root) = self.heap.first() {
+            if self.slots[root.slot as usize].generation == root.generation {
+                break;
+            }
+            self.heap_pop_root();
+        }
+    }
+
+    fn advance_tail(&mut self) {
+        self.tail_head += 1;
+        if self.tail_head == self.tail.len() {
+            self.tail.clear();
+            self.tail_head = 0;
+        }
+    }
+
+    fn free_slot(&mut self, slot: u32) {
+        let cell = &mut self.slots[slot as usize];
+        cell.kind = None;
+        cell.generation = cell.generation.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.heap[parent].key() <= entry.key() {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = entry;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        let len = self.heap.len();
+        loop {
+            let first_child = 4 * i + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut min_child = first_child;
+            let mut min_key = self.heap[first_child].key();
+            let last_child = (first_child + 3).min(len - 1);
+            for c in first_child + 1..=last_child {
+                let k = self.heap[c].key();
+                if k < min_key {
+                    min_key = k;
+                    min_child = c;
+                }
+            }
+            if entry.key() <= min_key {
+                break;
+            }
+            self.heap[i] = self.heap[min_child];
+            i = min_child;
+        }
+        self.heap[i] = entry;
+    }
+
+    /// Remove and return the root entry, restoring the heap property.
+    fn heap_pop_root(&mut self) -> HeapEntry {
+        let root = self.heap[0];
+        let last = self.heap.pop().expect("pop from empty heap");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        root
+    }
+
+    /// Push the not-yet-flushed portion of this queue's counters into the
+    /// process-wide totals. Called at the end of every kernel run and
+    /// again on drop; only the delta since the previous flush is added,
+    /// so the two call sites never double-count. The run-boundary call
+    /// matters because hardware models keep `SimHandle` clones in
+    /// reference cycles — many real simulations are never dropped.
+    pub(crate) fn flush_global(&mut self) {
+        let s = self.stats;
+        let f = self.flushed;
+        G_SCHEDULED.fetch_add(s.scheduled - f.scheduled, Ordering::Relaxed);
+        G_FIRED.fetch_add(s.fired - f.fired, Ordering::Relaxed);
+        G_CANCELLED.fetch_add(s.cancelled - f.cancelled, Ordering::Relaxed);
+        G_ARENA_HIGH_WATER.fetch_max(s.arena_high_water, Ordering::Relaxed);
+        G_LANE_SCHEDULED.fetch_add(s.lane_scheduled - f.lane_scheduled, Ordering::Relaxed);
+        G_BOXED_CALLS.fetch_add(s.boxed_calls - f.boxed_calls, Ordering::Relaxed);
+        self.flushed = s;
+    }
+}
+
+impl Drop for EventQueue {
+    fn drop(&mut self) {
+        self.flush_global();
     }
 }
 
@@ -132,19 +538,25 @@ impl EventQueue {
 mod tests {
     use super::*;
     use crate::time::SimTime;
+    use proptest::prelude::*;
 
     fn call() -> EventKind {
-        EventKind::Call(Box::new(|| {}))
+        match InlineCall::try_new(|| {}) {
+            Ok(ic) => EventKind::Inline(ic),
+            Err(f) => EventKind::Call(Box::new(f)),
+        }
     }
+
+    const T0: SimTime = SimTime::ZERO;
 
     #[test]
     fn pops_in_time_then_fifo_order() {
         let mut q = EventQueue::default();
         let t1 = SimTime::from_nanos(10);
         let t0 = SimTime::from_nanos(5);
-        let a = q.schedule(t1, call());
-        let b = q.schedule(t0, call());
-        let c = q.schedule(t1, call());
+        let a = q.schedule(T0, t1, call());
+        let b = q.schedule(T0, t0, call());
+        let c = q.schedule(T0, t1, call());
         assert_eq!(q.pop().unwrap().id, b);
         assert_eq!(
             q.pop().unwrap().id,
@@ -159,8 +571,8 @@ mod tests {
     fn cancelled_events_are_skipped() {
         let mut q = EventQueue::default();
         let t = SimTime::from_nanos(1);
-        let a = q.schedule(t, call());
-        let b = q.schedule(t, call());
+        let a = q.schedule(T0, t, call());
+        let b = q.schedule(T0, t, call());
         q.cancel(a);
         assert_eq!(q.pop().unwrap().id, b);
         assert!(q.pop().is_none());
@@ -172,9 +584,191 @@ mod tests {
     #[test]
     fn peek_skips_cancelled() {
         let mut q = EventQueue::default();
-        let a = q.schedule(SimTime::from_nanos(1), call());
-        q.schedule(SimTime::from_nanos(2), call());
+        let a = q.schedule(T0, SimTime::from_nanos(1), call());
+        q.schedule(T0, SimTime::from_nanos(2), call());
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(2)));
+    }
+
+    #[test]
+    fn zero_delay_lane_preserves_fifo_against_heap() {
+        let mut q = EventQueue::default();
+        let now = SimTime::from_nanos(100);
+        // Heap entry for `now` scheduled earlier (while the clock was behind).
+        let early = q.schedule(SimTime::from_nanos(50), now, call());
+        // Lane entries at the current instant: must fire after `early`
+        // (smaller seq wins among same-time events) and in FIFO order.
+        let l1 = q.schedule(now, now, call());
+        let l2 = q.schedule(now, now, call());
+        let later = q.schedule(now, SimTime::from_nanos(200), call());
+        assert_eq!(q.pop().unwrap().id, early);
+        assert_eq!(q.pop().unwrap().id, l1);
+        assert_eq!(q.pop().unwrap().id, l2);
+        assert_eq!(q.pop().unwrap().id, later);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_of_unknown_or_fired_id_is_a_noop_and_leaks_nothing() {
+        let mut q = EventQueue::default();
+        // Never-scheduled ids: out-of-range slot and wrong generation.
+        q.cancel(EventId::pack(12345, 0));
+        q.cancel(EventId::pack(0, 7));
+        let a = q.schedule(T0, SimTime::from_nanos(1), call());
+        let fired = q.pop().unwrap();
+        assert_eq!(fired.id, a);
+        // Cancel after fire: generation was bumped on free, so this must
+        // neither count as a cancellation nor disturb the recycled slot.
+        q.cancel(a);
+        assert_eq!(q.stats.cancelled, 0);
+        let b = q.schedule(T0, SimTime::from_nanos(2), call());
+        assert_eq!(b.slot(), a.slot(), "slot is recycled");
+        q.cancel(a); // stale id for the recycled slot: still a no-op
+        assert_eq!(q.pop().unwrap().id, b, "recycled event untouched");
+        assert_eq!(q.stats.cancelled, 0);
+        assert_eq!(q.stats.fired, 2);
+    }
+
+    #[test]
+    fn arena_reuses_slots_without_growth() {
+        let mut q = EventQueue::default();
+        for round in 0..1000u64 {
+            let id = q.schedule(T0, SimTime::from_nanos(round + 1), call());
+            if round % 3 == 0 {
+                q.cancel(id);
+            } else {
+                q.pop().unwrap();
+            }
+        }
+        assert_eq!(q.stats.arena_high_water, 1);
+        assert_eq!(
+            q.slots.len(),
+            1,
+            "steady-state churn must not grow the slab"
+        );
+    }
+
+    #[test]
+    fn stats_count_scheduled_fired_cancelled() {
+        let mut q = EventQueue::default();
+        let a = q.schedule(T0, SimTime::from_nanos(1), call());
+        let _b = q.schedule(T0, SimTime::from_nanos(2), call());
+        q.schedule(T0, T0, call());
+        q.cancel(a);
+        while q.pop().is_some() {}
+        assert_eq!(q.stats.scheduled, 3);
+        assert_eq!(q.stats.fired, 2);
+        assert_eq!(q.stats.cancelled, 1);
+        assert_eq!(q.stats.lane_scheduled, 1);
+        assert_eq!(q.stats.boxed_calls, 0);
+    }
+
+    /// Naive reference model: a Vec of live `(time, seq)` events, popped by
+    /// linear minimum scan. The arena + indexed heap + lane must match its
+    /// time-then-FIFO order under arbitrary schedule/cancel interleavings.
+    #[derive(Default)]
+    struct RefModel {
+        live: Vec<(u64, u64, usize)>, // (time, seq, tag)
+        next_seq: u64,
+    }
+
+    impl RefModel {
+        fn schedule(&mut self, time: u64, tag: usize) {
+            self.live.push((time, self.next_seq, tag));
+            self.next_seq += 1;
+        }
+        fn cancel(&mut self, tag: usize) {
+            self.live.retain(|&(_, _, t)| t != tag);
+        }
+        fn pop(&mut self) -> Option<(u64, usize)> {
+            let (i, _) = self
+                .live
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(time, seq, _))| (time, seq))?;
+            let (time, _, tag) = self.live.remove(i);
+            Some((time, tag))
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+        /// Random interleavings of schedule / cancel / pop against the
+        /// reference model. `op % 8`: 0..=4 schedule, 5..=6 cancel a random
+        /// outstanding id, 7 pop. Times are offset from a moving "clock"
+        /// (the last popped time) so the zero-delay lane is exercised too.
+        #[test]
+        fn matches_naive_reference_model(
+            ops in proptest::collection::vec((any::<u8>(), 0u64..6, 0u64..4096), 1..200)
+        ) {
+            let mut q = EventQueue::default();
+            let mut model = RefModel::default();
+            let mut ids: Vec<(usize, EventId)> = Vec::new();
+            let mut now = 0u64;
+            let mut tag = 0usize;
+            for &(op, dt, pick) in &ops {
+                match op % 8 {
+                    0..=4 => {
+                        let t = now + dt; // dt == 0 → lane
+                        let id = q.schedule(
+                            SimTime::from_nanos(now),
+                            SimTime::from_nanos(t),
+                            call(),
+                        );
+                        model.schedule(t, tag);
+                        ids.push((tag, id));
+                        tag += 1;
+                    }
+                    5 | 6 if !ids.is_empty() => {
+                        let (tag, id) = ids.swap_remove(pick as usize % ids.len());
+                        q.cancel(id);
+                        model.cancel(tag);
+                    }
+                    _ => {
+                        let got = q.pop();
+                        let want = model.pop();
+                        match (got, want) {
+                            (None, None) => {}
+                            (Some(ev), Some((t, want_tag))) => {
+                                prop_assert_eq!(ev.time.as_nanos(), t);
+                                now = t;
+                                let i = ids
+                                    .iter()
+                                    .position(|&(_, id)| id == ev.id)
+                                    .expect("popped id is not outstanding");
+                                prop_assert_eq!(ids[i].0, want_tag, "FIFO mismatch");
+                                ids.remove(i);
+                            }
+                            (g, w) => panic!(
+                                "pop mismatch: got {:?}, want {:?}",
+                                g.map(|e| e.time),
+                                w
+                            ),
+                        }
+                    }
+                }
+            }
+            // Drain both: remaining events must agree exactly.
+            loop {
+                match (q.pop(), model.pop()) {
+                    (None, None) => break,
+                    (Some(ev), Some((t, want_tag))) => {
+                        prop_assert_eq!(ev.time.as_nanos(), t);
+                        let i = ids
+                            .iter()
+                            .position(|&(_, id)| id == ev.id)
+                            .expect("drained id is not outstanding");
+                        prop_assert_eq!(ids[i].0, want_tag, "FIFO mismatch");
+                        ids.remove(i);
+                    }
+                    (g, w) => panic!(
+                        "drain mismatch: got {:?}, want {:?}",
+                        g.map(|e| e.time),
+                        w
+                    ),
+                }
+            }
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! The simulation kernel: shared state, scheduling handle, and the
 //! event-loop driver.
 
-use crate::event::{EventId, EventKind, EventQueue, ScheduledEvent};
+use crate::event::{EventId, EventKind, EventQueue, FiredEvent, InlineCall, KernelStats};
 use crate::process::{ProcCtx, ProcId, ResumeMsg, ShutdownToken, YieldMsg};
 use crate::time::{SimDuration, SimTime};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -31,23 +31,41 @@ pub struct SimHandle {
 
 impl SimHandle {
     /// Current virtual time.
+    #[inline]
     pub fn now(&self) -> SimTime {
         SimTime::from_nanos(self.shared.clock.load(Ordering::Relaxed))
     }
 
     /// Schedule `f` to run on the kernel thread after delay `d`.
+    #[inline]
     pub fn schedule_in<F: FnOnce() + Send + 'static>(&self, d: SimDuration, f: F) -> EventId {
-        self.schedule_at(self.now() + d, f)
+        let now = self.now();
+        self.schedule_kind(now, now + d, Self::wrap(f))
     }
 
     /// Schedule `f` to run on the kernel thread at absolute time `t`.
     /// Panics if `t` is in the virtual past.
+    ///
+    /// Closures small enough for the inline fast path are stored directly
+    /// in the event arena; only larger captures cost a heap allocation.
+    #[inline]
     pub fn schedule_at<F: FnOnce() + Send + 'static>(&self, t: SimTime, f: F) -> EventId {
-        assert!(t >= self.now(), "cannot schedule an event in the past");
-        self.shared
-            .queue
-            .lock()
-            .schedule(t, EventKind::Call(Box::new(f)))
+        let now = self.now();
+        assert!(t >= now, "cannot schedule an event in the past");
+        self.schedule_kind(now, t, Self::wrap(f))
+    }
+
+    #[inline]
+    fn wrap<F: FnOnce() + Send + 'static>(f: F) -> EventKind {
+        match InlineCall::try_new(f) {
+            Ok(ic) => EventKind::Inline(ic),
+            Err(f) => EventKind::Call(Box::new(f)),
+        }
+    }
+
+    #[inline]
+    fn schedule_kind(&self, now: SimTime, t: SimTime, kind: EventKind) -> EventId {
+        self.shared.queue.lock().schedule(now, t, kind)
     }
 
     /// Cancel a scheduled event. No-op if it already fired.
@@ -58,12 +76,20 @@ impl SimHandle {
     /// Schedule a process resume at absolute time `t` (internal; used by the
     /// wait/notify primitives).
     pub(crate) fn schedule_resume(&self, pid: ProcId, t: SimTime) -> EventId {
-        self.shared.queue.lock().schedule(t, EventKind::Resume(pid))
+        self.shared
+            .queue
+            .lock()
+            .schedule(self.now(), t, EventKind::Resume(pid))
     }
 
     /// Number of events executed so far (diagnostics).
     pub fn events_executed(&self) -> u64 {
-        self.shared.queue.lock().executed
+        self.shared.queue.lock().stats.fired
+    }
+
+    /// Snapshot of this simulation's kernel hot-path counters.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.shared.queue.lock().stats
     }
 }
 
@@ -409,16 +435,27 @@ impl Simulation {
         partial: bool,
         wd: Option<&WatchdogConfig>,
     ) -> Result<SimTime, SimError> {
+        let result = self.run_loop(max_events, deadline, partial, wd);
+        // Flush per-sim kernel counters into the process-wide totals after
+        // every run (success or abort). Drop flushes too, but hardware
+        // models keep `SimHandle` clones alive in reference cycles, so
+        // many real simulations are never dropped at all — the run
+        // boundary is the reliable flush point.
+        self.shared.queue.lock().flush_global();
+        result
+    }
+
+    fn run_loop(
+        &mut self,
+        max_events: u64,
+        deadline: SimTime,
+        partial: bool,
+        wd: Option<&WatchdogConfig>,
+    ) -> Result<SimTime, SimError> {
         let mut executed: u64 = 0;
         let mut stalled: u64 = 0;
         loop {
-            let ev: Option<ScheduledEvent> = {
-                let mut q = self.shared.queue.lock();
-                match q.peek_time() {
-                    Some(t) if t > deadline => None,
-                    _ => q.pop(),
-                }
-            };
+            let ev: Option<FiredEvent> = self.shared.queue.lock().pop_due(deadline);
             let Some(ev) = ev else { break };
             executed += 1;
             if executed > max_events {
@@ -459,6 +496,7 @@ impl Simulation {
                 .clock
                 .store(ev.time.as_nanos(), Ordering::Relaxed);
             match ev.kind {
+                EventKind::Inline(ic) => ic.invoke(),
                 EventKind::Call(f) => f(),
                 EventKind::Resume(pid) => self.dispatch(pid)?,
             }

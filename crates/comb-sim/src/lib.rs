@@ -45,7 +45,7 @@ mod signal;
 pub mod stats;
 mod time;
 
-pub use event::EventId;
+pub use event::{EventId, KernelStats};
 pub use kernel::{Probe, SimError, SimHandle, Simulation, WatchdogConfig};
 pub use process::{ProcCtx, ProcId};
 pub use signal::{Condition, Signal};

@@ -1,0 +1,63 @@
+//! The kernel's typed fast path must not heap-allocate per event.
+//!
+//! Small closures ride the inline-call representation inside the slab
+//! arena, slots are recycled through the free list, and the queue regions
+//! reuse their buffers — so once the arena is warm, scheduling and firing
+//! events performs **zero** allocations. A counting global allocator makes
+//! that a hard regression test rather than a code-review promise.
+
+use comb_sim::{SimDuration, Simulation};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const EVENTS: u64 = 1024;
+
+fn schedule_batch(sim: &Simulation) {
+    let h = sim.handle();
+    for i in 0..EVENTS {
+        // Zero-capture closure: always fits the inline representation.
+        h.schedule_in(SimDuration::from_nanos(i + 1), || {});
+    }
+}
+
+#[test]
+fn warm_arena_schedules_and_fires_without_allocating() {
+    let mut sim = Simulation::new();
+    // Warm-up: grow the arena, free list, and sorted-tail buffer to their
+    // steady-state capacity.
+    schedule_batch(&sim);
+    sim.run().expect("warm-up run failed");
+
+    // Steady state: the same load must touch the allocator zero times.
+    COUNTING.store(true, Ordering::Relaxed);
+    schedule_batch(&sim);
+    sim.run().expect("measured run failed");
+    COUNTING.store(false, Ordering::Relaxed);
+
+    assert_eq!(
+        ALLOCS.load(Ordering::Relaxed),
+        0,
+        "typed fast path allocated on a warm arena"
+    );
+}

@@ -74,6 +74,28 @@ fn parallel_campaigns_are_byte_identical_to_serial() {
 }
 
 #[test]
+fn kernel_rewrite_era_csvs_match_committed_goldens_at_any_jobs() {
+    // fig04 (polling availability) and fig10 (PWW post time) smoke CSVs
+    // were snapshotted under tests/golden/ when the slab-arena/indexed-heap
+    // kernel and wire-burst batching landed — byte equality here proves the
+    // hot-path rewrite changed no simulated result, serial or parallel.
+    let golden = |name: &str| -> String {
+        let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(name);
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()))
+    };
+    for jobs in [1usize, 4] {
+        let mut campaigns = Campaigns::new(Fidelity::smoke().with_jobs(jobs));
+        let fig04 = generate(FigureId::Fig04, &mut campaigns).unwrap().to_csv();
+        let fig10 = generate(FigureId::Fig10, &mut campaigns).unwrap().to_csv();
+        assert_eq!(fig04, golden("fig04_smoke.csv"), "fig04 at jobs={jobs}");
+        assert_eq!(fig10, golden("fig10_smoke.csv"), "fig10 at jobs={jobs}");
+    }
+}
+
+#[test]
 fn faulted_sweeps_are_byte_identical_across_jobs_and_runs() {
     // The fault subsystem's acceptance bar: every fault source active at
     // once, and the sweep's samples (fault counters included) must not

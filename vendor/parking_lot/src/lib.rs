@@ -1,53 +1,127 @@
 //! Offline stand-in for the `parking_lot` crate (see `vendor/README.md`).
 //!
 //! Provides the subset the workspace uses: a `Mutex` whose `lock()`
-//! returns the guard directly (no poisoning `Result`). Implemented over
-//! `std::sync::Mutex`; a poisoned lock is recovered rather than
-//! propagated, matching parking_lot's no-poisoning semantics.
+//! returns the guard directly (no poisoning, matching parking_lot's
+//! semantics). Like the real crate, the uncontended path is a single
+//! compare-and-swap with the guard's drop a single release store — a
+//! fraction of `std::sync::Mutex`'s cost, which matters because the
+//! simulation kernel takes the event-queue lock twice per event. Under
+//! contention the lock spins briefly with exponential backoff, then
+//! yields; critical sections here are all nanosecond-scale and at most
+//! one simulation entity runs at a time, so contention is rare and short.
 
-use std::sync::MutexGuard as StdGuard;
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A mutex with parking_lot's panic-free locking API.
 pub struct Mutex<T: ?Sized> {
-    inner: std::sync::Mutex<T>,
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
 }
 
-/// Guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = StdGuard<'a, T>;
+// Safety: standard mutex bounds — the lock serializes all access to `value`.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+/// Guard returned by [`Mutex::lock`]; unlocks on drop (even on panic,
+/// so there is no poisoning).
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// Create a new mutex.
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
-            inner: std::sync::Mutex::new(value),
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
         }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+        self.value.into_inner()
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquire the lock, blocking until available. Unlike `std`, a
-    /// poisoned mutex is recovered instead of returning an error.
+    /// Acquire the lock, blocking until available.
+    #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+        if self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return MutexGuard { lock: self };
+        }
+        self.lock_contended()
+    }
+
+    #[cold]
+    fn lock_contended(&self) -> MutexGuard<'_, T> {
+        let mut spins = 0u32;
+        loop {
+            if !self.locked.load(Ordering::Relaxed)
+                && self
+                    .locked
+                    .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return MutexGuard { lock: self };
+            }
+            if spins < 10 {
+                for _ in 0..(1u32 << spins) {
+                    std::hint::spin_loop();
+                }
+                spins += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(MutexGuard { lock: self })
+        } else {
+            None
         }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
+        self.value.get_mut()
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // Safety: the guard holds the lock, so access is exclusive.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the guard holds the lock, so access is exclusive.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
     }
 }
 
@@ -80,15 +154,43 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_lock_recovers() {
+    fn panic_while_locked_unlocks() {
         let m = Arc::new(Mutex::new(0u32));
         let m2 = m.clone();
         let _ = std::thread::spawn(move || {
             let _g = m2.lock();
-            panic!("poison it");
+            panic!("no poisoning");
         })
         .join();
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn contended_counter_is_exact() {
+        let m = Arc::new(Mutex::new(0u64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 40_000);
+    }
+
+    #[test]
+    fn try_lock_respects_holder() {
+        let m = Mutex::new(5);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 5);
     }
 }
