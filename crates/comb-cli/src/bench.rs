@@ -1,7 +1,7 @@
 //! `comb bench` — the tracked performance baseline.
 //!
-//! Two layers of measurement, written to one JSON file (`BENCH_pr5.json`
-//! at the repo root is the committed baseline):
+//! Three layers of measurement, written to one JSON file (the newest
+//! `BENCH_pr<N>.json` at the repo root is the committed baseline):
 //!
 //! 1. **Kernel microbenches** — the event-queue hot paths (chained
 //!    self-schedules, bulk schedule/pop, schedule/cancel), timed with
@@ -9,16 +9,25 @@
 //!    hardcoded pre-overhaul baseline so the speedup is part of the record.
 //! 2. **Figure timings** — every data figure of the paper at the chosen
 //!    fidelity: wall-clock plus how many kernel events the run executed
-//!    (from [`KernelStats::global`]), i.e. end-to-end events/second.
+//!    (from [`KernelStats::global`]), i.e. end-to-end events/second. These
+//!    runs are deliberately uncached so they measure simulation, not I/O.
+//! 3. **Cache phase** — the full figure set run cold into a fresh
+//!    throwaway cell-cache store, then warm from it: cold/warm wall clock,
+//!    the speedup, and the warm hit rate.
 //!
-//! `--check <json>` compares the kernel microbenches against a previously
+//! `--check [json]` compares the kernel microbenches against a previously
 //! written file and fails (exit 2) when throughput regressed beyond
-//! `--tolerance` percent — the CI guardrail.
+//! `--tolerance` percent, or when the cache phase misses its gates (warm
+//! speedup >= 10x and a 100% warm hit rate) — the CI guardrail. With no
+//! file argument it discovers the newest committed `BENCH_pr<N>.json` in
+//! the current directory; the baseline is read before the new result is
+//! written, so checking against the file being regenerated is sound.
 
-use comb_core::CombError;
+use comb_core::{CacheMode, CellCache, CombError};
 use comb_report::{Fidelity, FigureId};
 use comb_sim::{KernelStats, SimDuration, Simulation};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One kernel microbench result.
@@ -125,6 +134,61 @@ fn bench_schedule_cancel() -> Result<MicroResult, CombError> {
     Ok(micro("schedule_cancel_100k", EVENTS, 4_425_660.0, best))
 }
 
+/// Cold-vs-warm cell-cache measurement over the full figure set.
+struct CacheResult {
+    cold_ms: f64,
+    warm_ms: f64,
+    speedup: f64,
+    warm_hit_rate: f64,
+    warm_hits: u64,
+    warm_misses: u64,
+    cold_stored: u64,
+    cold_joined: u64,
+}
+
+/// Run every figure cold into a fresh throwaway store, then warm from it.
+/// A new `CellCache` instance for the warm pass defeats the in-process
+/// memory tier, so the warm numbers measure the on-disk path.
+fn run_cache_phase(fidelity: Fidelity) -> Result<CacheResult, CombError> {
+    let dir = std::env::temp_dir().join(format!("comb-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold_cache = Arc::new(CellCache::new(dir.clone(), CacheMode::ReadWrite));
+    let t0 = Instant::now();
+    comb_report::run_figures_cached(
+        &FigureId::ALL,
+        fidelity,
+        None,
+        Some(Arc::clone(&cold_cache)),
+    )?;
+    let cold = t0.elapsed();
+    let cold_stats = cold_cache.stats();
+
+    let warm_cache = Arc::new(CellCache::new(dir.clone(), CacheMode::ReadWrite));
+    let t0 = Instant::now();
+    comb_report::run_figures_cached(
+        &FigureId::ALL,
+        fidelity,
+        None,
+        Some(Arc::clone(&warm_cache)),
+    )?;
+    let warm = t0.elapsed();
+    let warm_stats = warm_cache.stats();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_ms = cold.as_secs_f64() * 1e3;
+    let warm_ms = warm.as_secs_f64() * 1e3;
+    Ok(CacheResult {
+        cold_ms,
+        warm_ms,
+        speedup: cold_ms / warm_ms.max(f64::EPSILON),
+        warm_hit_rate: warm_stats.hit_rate(),
+        warm_hits: warm_stats.hits(),
+        warm_misses: warm_stats.misses,
+        cold_stored: cold_stats.stored,
+        cold_joined: cold_stats.joined,
+    })
+}
+
 fn run_figures(fidelity: Fidelity) -> Result<Vec<FigureResult>, CombError> {
     let mut out = Vec::new();
     for id in FigureId::ALL {
@@ -143,7 +207,12 @@ fn run_figures(fidelity: Fidelity) -> Result<Vec<FigureResult>, CombError> {
     Ok(out)
 }
 
-fn render_json(fidelity_name: &str, micros: &[MicroResult], figures: &[FigureResult]) -> String {
+fn render_json(
+    fidelity_name: &str,
+    micros: &[MicroResult],
+    figures: &[FigureResult],
+    cache: &CacheResult,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"comb-bench-v1\",\n");
@@ -177,6 +246,19 @@ fn render_json(fidelity_name: &str, micros: &[MicroResult], figures: &[FigureRes
         ));
     }
     s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"cache\": {{\"cold_ms\": {:.1}, \"warm_ms\": {:.1}, \"speedup\": {:.1}, \
+         \"warm_hit_rate\": {:.4}, \"warm_hits\": {}, \"warm_misses\": {}, \
+         \"cold_stored\": {}, \"cold_joined\": {}}},\n",
+        cache.cold_ms,
+        cache.warm_ms,
+        cache.speedup,
+        cache.warm_hit_rate,
+        cache.warm_hits,
+        cache.warm_misses,
+        cache.cold_stored,
+        cache.cold_joined,
+    ));
     let k = KernelStats::global();
     s.push_str(&format!(
         "  \"kernel_totals\": {{\"scheduled\": {}, \"fired\": {}, \"cancelled\": {}, \
@@ -194,6 +276,28 @@ fn render_json(fidelity_name: &str, micros: &[MicroResult], figures: &[FigureRes
     s
 }
 
+/// Newest committed baseline: the `BENCH_pr<N>.json` with the highest `N`
+/// in the current directory. Called before the new result is written, so
+/// the file being regenerated still counts with its committed contents.
+fn discover_baseline() -> Option<PathBuf> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(".").ok()?.flatten() {
+        let name = entry.file_name();
+        let Some(n) = name
+            .to_str()
+            .and_then(|s| s.strip_prefix("BENCH_pr"))
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, entry.path()));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
 /// Pull `"events_per_sec": <n>` for `name` out of a bench JSON file. The
 /// format is our own (written above), so positional string scanning is
 /// reliable and keeps the binary free of a JSON-parser dependency.
@@ -209,11 +313,12 @@ fn extract_events_per_sec(json: &str, name: &str) -> Option<f64> {
 pub fn cmd_bench(args: Vec<String>) -> Result<(), CombError> {
     let mut fidelity = Fidelity::smoke();
     let mut fidelity_name = "smoke".to_string();
-    let mut out = PathBuf::from("BENCH_pr5.json");
-    let mut check: Option<PathBuf> = None;
+    let mut out = PathBuf::from("BENCH_pr6.json");
+    // Some(None) = --check with no file: auto-discover the baseline.
+    let mut check: Option<Option<PathBuf>> = None;
     let mut tolerance: f64 = 25.0;
     let mut jobs: Option<usize> = None;
-    let mut it = args.into_iter();
+    let mut it = args.into_iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fidelity" => {
@@ -234,7 +339,11 @@ pub fn cmd_bench(args: Vec<String>) -> Result<(), CombError> {
             }
             "--jobs" => jobs = Some(crate::parse_jobs(it.next())?),
             "--out" => out = PathBuf::from(it.next().ok_or("--out needs a file")?),
-            "--check" => check = Some(PathBuf::from(it.next().ok_or("--check needs a file")?)),
+            "--check" => {
+                // An optional value: consume the next token only when it
+                // is not itself a flag.
+                check = Some(it.next_if(|next| !next.starts_with('-')).map(PathBuf::from));
+            }
             "--tolerance" => {
                 tolerance = it
                     .next()
@@ -248,6 +357,25 @@ pub fn cmd_bench(args: Vec<String>) -> Result<(), CombError> {
     if let Some(jobs) = jobs {
         fidelity.jobs = jobs;
     }
+    // Resolve and read the baseline before anything is written, so a
+    // bare `--check` can gate against the committed version of the very
+    // file this run regenerates.
+    let check: Option<(PathBuf, String)> = match check {
+        None => None,
+        Some(explicit) => {
+            let path = match explicit {
+                Some(p) => p,
+                None => discover_baseline().ok_or_else(|| {
+                    CombError::usage(
+                        "--check: no BENCH_pr<N>.json baseline in the current directory",
+                    )
+                })?,
+            };
+            let contents =
+                std::fs::read_to_string(&path).map_err(|e| CombError::io(path.display(), &e))?;
+            Some((path, contents))
+        }
+    };
 
     println!("kernel microbenches (best of {REPS} runs):");
     let micros = [
@@ -286,14 +414,28 @@ pub fn cmd_bench(args: Vec<String>) -> Result<(), CombError> {
         comb_hw::burst_batched_packets_total()
     );
 
-    let json = render_json(&fidelity_name, &micros, &figures);
+    println!();
+    println!("cell cache, full figure set at --fidelity {fidelity_name} (cold store -> warm):");
+    let cache = run_cache_phase(fidelity)?;
+    println!(
+        "  cold {:>9.1} ms ({} cells stored, {} joined in-flight)",
+        cache.cold_ms, cache.cold_stored, cache.cold_joined
+    );
+    println!(
+        "  warm {:>9.1} ms ({} hits, {} misses, hit rate {:.1}%)   {:.0}x speedup",
+        cache.warm_ms,
+        cache.warm_hits,
+        cache.warm_misses,
+        cache.warm_hit_rate * 100.0,
+        cache.speedup
+    );
+
+    let json = render_json(&fidelity_name, &micros, &figures, &cache);
     comb_trace::atomic_write_str(&out, &json).map_err(|e| CombError::io(out.display(), &e))?;
     println!();
     println!("wrote {}", out.display());
 
-    if let Some(path) = check {
-        let recorded =
-            std::fs::read_to_string(&path).map_err(|e| CombError::io(path.display(), &e))?;
+    if let Some((path, recorded)) = check {
         let mut regressed = Vec::new();
         for m in &micros {
             let Some(prior) = extract_events_per_sec(&recorded, m.name) else {
@@ -324,6 +466,25 @@ pub fn cmd_bench(args: Vec<String>) -> Result<(), CombError> {
         println!(
             "  all kernel microbenches within {tolerance}% of {}",
             path.display()
+        );
+        // Cache gates are absolute (not relative to the baseline): a warm
+        // rerun must be an order of magnitude faster and serve every cell
+        // from the store.
+        if cache.speedup < 10.0 {
+            return Err(CombError::internal(format!(
+                "cache warm speedup {:.1}x is below the 10x gate",
+                cache.speedup
+            )));
+        }
+        if cache.warm_misses > 0 {
+            return Err(CombError::internal(format!(
+                "warm cache run missed {} cells (expected 100% hits)",
+                cache.warm_misses
+            )));
+        }
+        println!(
+            "  cache gates ok: {:.0}x warm speedup, 100% warm hit rate",
+            cache.speedup
         );
     }
     Ok(())

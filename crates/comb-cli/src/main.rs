@@ -12,13 +12,15 @@
 mod bench;
 
 use comb_core::{
-    log_spaced, polling_sweep, pww_sweep, CombError, ErrorKind, MethodConfig, Transport,
+    default_cache_dir, log_spaced, polling_sweep, run_cell_cached, CacheMode, CellCache,
+    CellMethod, CombError, ErrorKind, MethodConfig, PointSample, Transport,
 };
 use comb_hw::FaultPlan;
-use comb_report::{generate_degradation, run_figures, Fidelity, FigureId};
+use comb_report::{generate_degradation, run_figures_cached, Fidelity, FigureId};
 use comb_sim::KernelStats;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +64,8 @@ USAGE:
                                            microbenches + per-figure wall
                                            clock and kernel events/sec,
                                            written as JSON
+    comb cache <stats|verify|gc|clear>     inspect or maintain the on-disk
+                                           sweep-cell result cache
 
 EXIT CODES:
     0  success (all requested work done, all checks passed)
@@ -84,6 +88,11 @@ OPTIONS (figure/all/report):
                        journaled there are restored instead of re-run, fresh
                        cells are journaled as they finish. Exports are
                        byte-identical to an uninterrupted run at any --jobs
+    --no-cache         disable the content-addressed sweep-cell cache
+    --cache-refresh    recompute every cell and overwrite its cache entry
+    --cache-dir <dir>  cache location (default: $COMB_CACHE_DIR, else
+                       $XDG_CACHE_HOME/comb, else ~/.cache/comb); cached
+                       campaigns are byte-identical to uncached ones
 
 OPTIONS (sweep):
     --transport <gm|portals|emp>   platform (default gm)
@@ -110,6 +119,10 @@ OPTIONS (sweep):
                                    journaled as they finish (not combinable
                                    with --trace); output is byte-identical to
                                    an uninterrupted sweep at any --jobs
+    --no-cache / --cache-refresh / --cache-dir <dir>
+                                   sweep-cell cache controls, as for figure;
+                                   plain (untraced, non-resumed) sweeps
+                                   resolve each point through the cache
 
 OPTIONS (soak):
     --iters <n>                    scenarios to run (default 25)
@@ -141,14 +154,23 @@ OPTIONS (degrade):
     --no-csv                               do not write CSVs
     --plot <WxH>                           ASCII plot size (default 72x20; 0x0 off)
 
+OPTIONS (cache):
+    --cache-dir <dir>  store to operate on (default: resolved as above)
+    --json             stats: machine-readable output (for CI artifacts)
+
 OPTIONS (bench):
     --fidelity <f> | --smoke | --quick | --paper   figure sweep density
                                                    (default: smoke)
     --jobs <n>                     worker threads for figure runs (default: auto)
-    --out <file>                   JSON output path (default: BENCH_pr5.json)
-    --check <file>                 compare kernel microbenches against a
+    --out <file>                   JSON output path (default: BENCH_pr6.json)
+    --check [file]                 compare kernel microbenches against a
                                    previously written JSON; exit 2 when
-                                   throughput regressed beyond --tolerance
+                                   throughput regressed beyond --tolerance,
+                                   or when the cache phase misses its gates
+                                   (warm speedup >= 10x, 100% warm hits).
+                                   Without a file, the newest committed
+                                   BENCH_pr<N>.json in the current
+                                   directory is the baseline
     --tolerance <pct>              allowed regression for --check (default: 25)
 ";
 
@@ -184,6 +206,7 @@ fn run(args: Vec<String>) -> Result<(), CombError> {
         Some("trace") => cmd_trace(it.collect()),
         Some("degrade") => cmd_degrade(it.collect()),
         Some("bench") => bench::cmd_bench(it.collect()),
+        Some("cache") => cmd_cache(it.collect()),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             Ok(())
@@ -236,6 +259,64 @@ fn cmd_info() -> Result<(), CombError> {
     Ok(())
 }
 
+/// Shared `--no-cache` / `--cache-refresh` / `--cache-dir` state.
+#[derive(Default)]
+struct CacheOpts {
+    no_cache: bool,
+    refresh: bool,
+    dir: Option<PathBuf>,
+}
+
+impl CacheOpts {
+    /// Consume one flag if it is a cache flag. Returns false otherwise.
+    fn consume(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--no-cache" => self.no_cache = true,
+            "--cache-refresh" => self.refresh = true,
+            "--cache-dir" => {
+                self.dir = Some(PathBuf::from(
+                    it.next().ok_or("--cache-dir needs a directory")?,
+                ))
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Build the cache these flags describe. `None` when caching is off
+    /// (explicitly, or because no cache directory resolves).
+    fn build(&self) -> Option<Arc<CellCache>> {
+        if self.no_cache {
+            return None;
+        }
+        let dir = self.dir.clone().or_else(default_cache_dir)?;
+        let mode = if self.refresh {
+            CacheMode::Refresh
+        } else {
+            CacheMode::ReadWrite
+        };
+        Some(Arc::new(CellCache::new(dir, mode)))
+    }
+}
+
+/// The greppable one-line cache summary commands print after a cached run.
+fn cache_summary(cache: &CellCache) -> String {
+    let s = cache.stats();
+    format!(
+        "cache: {} hits, {} misses, {} joined in-flight ({} stored, {} invalid, dir {})",
+        s.hits_mem + s.hits_disk,
+        s.misses,
+        s.joined,
+        s.stored,
+        s.invalid,
+        cache.dir().display()
+    )
+}
+
 struct FigureOpts {
     ids: Vec<FigureId>,
     fidelity: Fidelity,
@@ -243,6 +324,7 @@ struct FigureOpts {
     plot: (usize, usize),
     show_checks: bool,
     resume: Option<PathBuf>,
+    cache: CacheOpts,
 }
 
 fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String> {
@@ -253,6 +335,7 @@ fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String>
         plot: (72, 20),
         show_checks: false,
         resume: None,
+        cache: CacheOpts::default(),
     };
     let mut jobs: Option<usize> = None;
     let mut it = args.into_iter();
@@ -283,6 +366,7 @@ fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String>
                     h.parse().map_err(|_| "bad plot height")?,
                 );
             }
+            flag if opts.cache.consume(flag, &mut it)? => {}
             other if !all => {
                 opts.ids.push(other.parse::<FigureId>()?);
             }
@@ -300,14 +384,16 @@ fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String>
 
 fn cmd_figures(args: Vec<String>, all: bool) -> Result<(), CombError> {
     let opts = parse_figure_opts(args, all)?;
+    let cache = opts.cache.build();
     let started = std::time::Instant::now();
     let reports = match &opts.resume {
         Some(ckpt) => {
-            let (reports, stats) = comb_report::run_figures_checkpointed(
+            let (reports, stats) = comb_report::run_figures_checkpointed_cached(
                 &opts.ids,
                 opts.fidelity,
                 opts.out.as_deref(),
                 ckpt,
+                cache.clone(),
             )?;
             eprintln!(
                 "checkpoint {}: restored {} cells, executed {}",
@@ -317,7 +403,7 @@ fn cmd_figures(args: Vec<String>, all: bool) -> Result<(), CombError> {
             );
             reports
         }
-        None => run_figures(&opts.ids, opts.fidelity, opts.out.as_deref())?,
+        None => run_figures_cached(&opts.ids, opts.fidelity, opts.out.as_deref(), cache.clone())?,
     };
     let mut failed = 0usize;
     for r in &reports {
@@ -341,12 +427,21 @@ fn cmd_figures(args: Vec<String>, all: bool) -> Result<(), CombError> {
                 );
             }
         }
+        if let Some(c) = &r.cache {
+            println!(
+                "  cache: {} hits, {} misses, {} joined in-flight",
+                c.hits, c.misses, c.joined
+            );
+        }
         if let Some(p) = &r.csv_path {
             println!("  csv: {}", p.display());
         }
     }
     println!("================================================================");
     let total: usize = reports.iter().map(|r| r.checks.len()).sum();
+    if let Some(cache) = &cache {
+        println!("{}", cache_summary(cache));
+    }
     println!(
         "{} figures, {}/{} shape checks passed, {:.1}s",
         reports.len(),
@@ -365,6 +460,7 @@ fn cmd_report(args: Vec<String>) -> Result<(), CombError> {
     let mut fidelity = Fidelity::quick();
     let mut out: Option<PathBuf> = None;
     let mut resume: Option<PathBuf> = None;
+    let mut cache_opts = CacheOpts::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -381,17 +477,20 @@ fn cmd_report(args: Vec<String>) -> Result<(), CombError> {
                     it.next().ok_or("--resume needs a checkpoint file")?,
                 ))
             }
+            flag if cache_opts.consume(flag, &mut it)? => {}
             other => return Err(CombError::usage(format!("unknown option '{other}'"))),
         }
     }
+    let cache = cache_opts.build();
     let csv_dir = std::path::Path::new("results");
     let reports = match &resume {
         Some(ckpt) => {
-            let (reports, stats) = comb_report::run_figures_checkpointed(
+            let (reports, stats) = comb_report::run_figures_checkpointed_cached(
                 &FigureId::ALL,
                 fidelity,
                 Some(csv_dir),
                 ckpt,
+                cache.clone(),
             )?;
             eprintln!(
                 "checkpoint {}: restored {} cells, executed {}",
@@ -401,8 +500,11 @@ fn cmd_report(args: Vec<String>) -> Result<(), CombError> {
             );
             reports
         }
-        None => comb_report::run_all(fidelity, Some(csv_dir))?,
+        None => run_figures_cached(&FigureId::ALL, fidelity, Some(csv_dir), cache.clone())?,
     };
+    if let Some(c) = &cache {
+        eprintln!("{}", cache_summary(c));
+    }
     let md = comb_report::markdown_report(&reports);
     match out {
         Some(path) => {
@@ -765,6 +867,7 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), CombError> {
     let mut fault_seed: Option<u64> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut resume: Option<PathBuf> = None;
+    let mut cache_opts = CacheOpts::default();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--transport" => {
@@ -827,6 +930,7 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), CombError> {
                     range.2 = pd.parse().map_err(|_| "bad range per_decade")?;
                 }
             }
+            flag if cache_opts.consume(flag, &mut it)? => {}
             other => return Err(CombError::usage(format!("unknown option '{other}'"))),
         }
     }
@@ -842,6 +946,14 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), CombError> {
     cfg.cycles = cycles;
     cfg.jobs = jobs;
     cfg.fault = fault.clone();
+    // The cache only backs plain sweeps: traced runs capture records the
+    // cache cannot restore, and resumed sweeps already restore through
+    // their journal.
+    let cache = if trace_path.is_none() && resume.is_none() {
+        cache_opts.build()
+    } else {
+        None
+    };
     let xs = log_spaced(range.0, range.1, range.2);
     // Run the sweep once. With --trace the traced variant is used — the
     // samples it yields are identical to an untraced sweep's — and every
@@ -876,7 +988,13 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), CombError> {
                     },
                 )?;
             } else {
-                poll_samples = polling_sweep(&cfg, &xs)?;
+                poll_samples = cached_sweep(cache.as_deref(), &cfg, &xs, CellMethod::Polling)?
+                    .into_iter()
+                    .map(|s| match s {
+                        PointSample::Polling(p) => p,
+                        PointSample::Pww(_) => unreachable!("polling sweep"),
+                    })
+                    .collect();
             }
         }
         "pww" => {
@@ -905,7 +1023,18 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), CombError> {
                     },
                 )?;
             } else {
-                pww_samples = pww_sweep(&cfg, &xs, test_in_work)?;
+                pww_samples = cached_sweep(
+                    cache.as_deref(),
+                    &cfg,
+                    &xs,
+                    CellMethod::Pww { test_in_work },
+                )?
+                .into_iter()
+                .map(|s| match s {
+                    PointSample::Pww(p) => p,
+                    PointSample::Polling(_) => unreachable!("pww sweep"),
+                })
+                .collect();
             }
         }
         other => return Err(CombError::usage(format!("unknown sweep method '{other}'"))),
@@ -1000,7 +1129,113 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), CombError> {
         // Stderr so faulted-sweep CSV on stdout stays byte-diffable.
         eprintln!("{}", kernel_summary());
     }
+    if let Some(c) = &cache {
+        // Stderr for the same reason as the kernel summary above.
+        eprintln!("{}", cache_summary(c));
+    }
     Ok(())
+}
+
+/// Run a plain sweep through the cell cache: identical results to the
+/// uncached sweep functions (same resolved hardware, same executors),
+/// with entries shared with figure campaigns that use the same config.
+fn cached_sweep(
+    cache: Option<&CellCache>,
+    cfg: &MethodConfig,
+    xs: &[u64],
+    method: CellMethod,
+) -> Result<Vec<PointSample>, CombError> {
+    let hw = cfg.resolved_hw();
+    comb_core::run_ordered(cfg.jobs, xs, |&x| {
+        run_cell_cached(cache, &hw, cfg, method, x).map(|(s, _)| s)
+    })
+    .map_err(CombError::from)
+}
+
+fn cmd_cache(args: Vec<String>) -> Result<(), CombError> {
+    let mut it = args.into_iter();
+    let sub = it
+        .next()
+        .ok_or_else(|| CombError::usage("cache needs a subcommand: stats, verify, gc or clear"))?;
+    let mut dir: Option<PathBuf> = None;
+    let mut json = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache-dir" => {
+                dir = Some(PathBuf::from(
+                    it.next().ok_or("--cache-dir needs a directory")?,
+                ))
+            }
+            "--json" => json = true,
+            other => return Err(CombError::usage(format!("unknown option '{other}'"))),
+        }
+    }
+    let dir = dir.or_else(default_cache_dir).ok_or_else(|| {
+        CombError::usage(
+            "no cache directory (pass --cache-dir or set COMB_CACHE_DIR / XDG_CACHE_HOME / HOME)",
+        )
+    })?;
+    match sub.as_str() {
+        "stats" => {
+            let r = comb_core::cache::verify_store(&dir);
+            if json {
+                let escaped = dir
+                    .display()
+                    .to_string()
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"");
+                println!(
+                    "{{\"schema\":\"comb-cache-stats-v1\",\"dir\":\"{escaped}\",\
+                     \"entries\":{},\"bytes\":{},\"invalid\":{}}}",
+                    r.entries, r.bytes, r.invalid
+                );
+            } else {
+                println!(
+                    "cache store {}: {} entries, {} bytes, {} invalid",
+                    dir.display(),
+                    r.entries,
+                    r.bytes,
+                    r.invalid
+                );
+            }
+            Ok(())
+        }
+        "verify" => {
+            let r = comb_core::cache::verify_store(&dir);
+            println!(
+                "verified {}: {} valid entries, {} invalid",
+                dir.display(),
+                r.entries,
+                r.invalid
+            );
+            if r.invalid > 0 {
+                Err(CombError::internal(format!(
+                    "{} invalid cache entries (run `comb cache gc` to remove them)",
+                    r.invalid
+                )))
+            } else {
+                Ok(())
+            }
+        }
+        "gc" => {
+            let r = comb_core::cache::gc_store(&dir);
+            println!(
+                "gc {}: kept {} entries, removed {} files",
+                dir.display(),
+                r.entries,
+                r.removed
+            );
+            Ok(())
+        }
+        "clear" => {
+            let r = comb_core::cache::clear_store(&dir);
+            println!("cleared {}: removed {} entries", dir.display(), r.removed);
+            Ok(())
+        }
+        other => Err(CombError::usage(format!(
+            "unknown cache subcommand '{other}' (expected stats, verify, gc or clear)"
+        ))),
+    }
 }
 
 /// One-line simulation-kernel counter summary (process-wide totals).

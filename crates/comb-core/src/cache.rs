@@ -1,0 +1,1249 @@
+//! Content-addressed sweep-cell result cache with single-flight
+//! memoization.
+//!
+//! Every COMB sweep cell is a pure function of its simulated inputs: the
+//! resolved hardware description, the method knobs, the fault plan (seed
+//! included), the method variant, and the x value. [`cell_desc`] renders
+//! those inputs as one canonical line, [`CellKey`] is its SHA-256, and
+//! [`CellCache`] memoizes cell results under that key in two tiers:
+//!
+//! * **In-process map with single-flight dedup** — the first request for
+//!   a key computes (the *leader*); concurrent requests for the same key
+//!   block on the leader's slot and join its result instead of
+//!   recomputing. Completed results stay in the map, so repeated lookups
+//!   within one campaign are O(1).
+//! * **On-disk content-addressed store** — sharded `aa/bb/<hash>`
+//!   entries under the cache directory, written through the crash-safe
+//!   [`comb_trace::atomic_write`] path. Each entry carries a versioned
+//!   header, the full canonical description, and an FNV-1a checksum of
+//!   the payload; *any* mismatch (magic, version, key, description,
+//!   checksum, parse, truncation) makes the entry a miss — the cell is
+//!   recomputed and the entry atomically re-healed, never trusted and
+//!   never fatal.
+//!
+//! Results are serialized through [`crate::codec`], the same exact-bit
+//! codec the checkpoint journal uses, so a cache-restored sample is `==`
+//! to a recomputed one and cached campaigns export byte-identically.
+//!
+//! What the key deliberately **excludes**: `jobs` (worker count never
+//! affects results — the same rule the checkpoint fingerprint applies)
+//! and the watchdog (supervision observes a run without perturbing it).
+//! Faulted retries key on the hardware the caller actually resolved, so
+//! `FaultPlan::for_attempt` reseeding produces distinct keys per attempt.
+
+use crate::codec::{self, PointSample};
+use crate::runner::{run_polling_point_on, run_pww_point_on, RunError};
+use crate::sweep::MethodConfig;
+use comb_hw::HwConfig;
+use comb_sim::SimTime;
+use comb_trace::{atomic_write, Comp, TraceEvent, Tracer};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Magic + version line opening every on-disk entry. Bump the version to
+/// invalidate every existing entry (readers treat old versions as
+/// misses).
+const ENTRY_MAGIC: &str = "comb-cellcache v1";
+
+/// Version token inside [`cell_desc`]; bump when the meaning of any
+/// described field changes without its rendering changing.
+const DESC_VERSION: &str = "comb-cell v1";
+
+// --- canonical cell identity -------------------------------------------
+
+/// Which benchmark method a cell runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellMethod {
+    /// The polling method (x = poll interval).
+    Polling,
+    /// The post-work-wait method (x = work interval).
+    Pww {
+        /// The Section 4.3 modified variant with one `MPI_Test` in the
+        /// work phase.
+        test_in_work: bool,
+    },
+}
+
+impl fmt::Display for CellMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellMethod::Polling => f.write_str("polling"),
+            CellMethod::Pww {
+                test_in_work: false,
+            } => f.write_str("pww"),
+            CellMethod::Pww { test_in_work: true } => f.write_str("pww+test"),
+        }
+    }
+}
+
+/// Render a cell's exact simulated inputs as one canonical line.
+///
+/// The hardware description is the one the caller actually passes to the
+/// runner (faults resolved, per-attempt reseeding applied), rendered via
+/// `Debug` — any change to the hardware model's fields automatically
+/// changes the description and therefore invalidates stale entries.
+/// `jobs` and the watchdog are excluded on purpose (see module docs).
+pub fn cell_desc(hw: &HwConfig, cfg: &MethodConfig, method: CellMethod, x: u64) -> String {
+    format!(
+        "{DESC_VERSION} method={method} x={x} msg_bytes={} queue_depth={} batch={} \
+         cycles={} target_iters={} min_intervals={} max_intervals={} fault={:?} hw={:?}",
+        cfg.msg_bytes,
+        cfg.queue_depth,
+        cfg.batch,
+        cfg.cycles,
+        cfg.target_iters,
+        cfg.min_intervals,
+        cfg.max_intervals,
+        cfg.fault,
+        hw,
+    )
+}
+
+/// Content address of one sweep cell: the SHA-256 of its canonical
+/// description, in lowercase hex.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    hex: String,
+}
+
+impl CellKey {
+    /// Hash a canonical description produced by [`cell_desc`].
+    pub fn from_desc(desc: &str) -> Self {
+        CellKey {
+            hex: sha256_hex(desc.as_bytes()),
+        }
+    }
+
+    /// The 64-char lowercase hex digest.
+    pub fn hex(&self) -> &str {
+        &self.hex
+    }
+
+    /// The sharded on-disk path of this key's entry under `dir`:
+    /// `dir/aa/bb/<hash>` where `aa`/`bb` are the first two hash bytes.
+    pub fn entry_path(&self, dir: &Path) -> PathBuf {
+        dir.join(&self.hex[0..2])
+            .join(&self.hex[2..4])
+            .join(&self.hex)
+    }
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex)
+    }
+}
+
+// --- cache -------------------------------------------------------------
+
+/// How the cache treats the disk tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Normal operation: read entries, write back misses.
+    ReadWrite,
+    /// `--cache-refresh`: never read, recompute every cell and overwrite
+    /// its entry (repairs a store suspected stale without clearing it).
+    Refresh,
+}
+
+/// How one cell request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Computed fresh (and written back).
+    Miss,
+    /// Served from the in-process map.
+    HitMem,
+    /// Served from the on-disk store.
+    HitDisk,
+    /// Joined an identical computation already in flight.
+    Joined,
+    /// No cache was configured for this run.
+    Uncached,
+}
+
+impl CacheOutcome {
+    /// True for both hit tiers.
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::HitMem | CacheOutcome::HitDisk)
+    }
+}
+
+/// Snapshot of a cache's activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the in-process map.
+    pub hits_mem: u64,
+    /// Requests served from the on-disk store.
+    pub hits_disk: u64,
+    /// Requests computed fresh.
+    pub misses: u64,
+    /// Requests that joined an in-flight computation.
+    pub joined: u64,
+    /// Entries written to disk.
+    pub stored: u64,
+    /// Corrupt / version-skewed entries encountered (each also counted
+    /// as a miss once recomputed).
+    pub invalid: u64,
+    /// Disk writes that failed (the result is still returned; the entry
+    /// is simply not persisted).
+    pub write_errors: u64,
+}
+
+impl CacheStats {
+    /// Total requests resolved.
+    pub fn lookups(&self) -> u64 {
+        self.hits_mem + self.hits_disk + self.misses + self.joined
+    }
+
+    /// Requests served without a fresh simulation.
+    pub fn hits(&self) -> u64 {
+        self.hits_mem + self.hits_disk + self.joined
+    }
+
+    /// Fraction of requests served without a fresh simulation
+    /// (1.0 for an idle cache, so an empty campaign reads as fully warm).
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            1.0
+        } else {
+            self.hits() as f64 / n as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    hits_mem: AtomicU64,
+    hits_disk: AtomicU64,
+    misses: AtomicU64,
+    joined: AtomicU64,
+    stored: AtomicU64,
+    invalid: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+// One slot exists per distinct in-flight or completed cell; the sample
+// payload dominating the enum size is the point of the memo map, so the
+// indirection a box would add buys nothing.
+#[allow(clippy::large_enum_variant)]
+enum SlotState {
+    InFlight,
+    Ready(PointSample),
+    Failed,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::InFlight),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The two-tier memoization layer. Shared by reference across pool
+/// workers; all methods take `&self`.
+pub struct CellCache {
+    dir: PathBuf,
+    mode: CacheMode,
+    inflight: Mutex<HashMap<String, Arc<Slot>>>,
+    counters: Counters,
+    tracer: Tracer,
+    epoch: Instant,
+}
+
+impl fmt::Debug for CellCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CellCache")
+            .field("dir", &self.dir)
+            .field("mode", &self.mode)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CellCache {
+    /// A cache over the store at `dir` (created lazily on first write).
+    pub fn new(dir: impl Into<PathBuf>, mode: CacheMode) -> Self {
+        CellCache {
+            dir: dir.into(),
+            mode,
+            inflight: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            tracer: Tracer::new(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The disk-tier mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// Attach a tracer; every resolved request then emits a
+    /// [`TraceEvent::CacheLookup`] on the [`Comp::Cache`] lane,
+    /// timestamped with the wall-clock offset from cache creation.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Snapshot the activity counters.
+    pub fn stats(&self) -> CacheStats {
+        let c = &self.counters;
+        CacheStats {
+            hits_mem: c.hits_mem.load(Ordering::Relaxed),
+            hits_disk: c.hits_disk.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            joined: c.joined.load(Ordering::Relaxed),
+            stored: c.stored.load(Ordering::Relaxed),
+            invalid: c.invalid.load(Ordering::Relaxed),
+            write_errors: c.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resolve one cell: return the cached result, join an identical
+    /// in-flight computation, or run `compute` and persist its result.
+    ///
+    /// Errors are never cached: a failed leader wakes its waiters, the
+    /// first of which retries as the new leader with its own `compute`.
+    pub fn get_or_compute<F>(
+        &self,
+        desc: &str,
+        key: &CellKey,
+        compute: F,
+    ) -> Result<(PointSample, CacheOutcome), RunError>
+    where
+        F: FnOnce() -> Result<PointSample, RunError>,
+    {
+        let mut compute = Some(compute);
+        loop {
+            let (slot, leader) = {
+                let mut map = self.inflight.lock().expect("cache map poisoned");
+                match map.get(key.hex()) {
+                    Some(slot) => (Arc::clone(slot), false),
+                    None => {
+                        let slot = Arc::new(Slot::new());
+                        map.insert(key.hex().to_string(), Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+
+            if !leader {
+                let mut waited = false;
+                let mut state = slot.state.lock().expect("cache slot poisoned");
+                loop {
+                    match &*state {
+                        SlotState::InFlight => {
+                            waited = true;
+                            state = slot.cv.wait(state).expect("cache slot poisoned");
+                        }
+                        SlotState::Ready(sample) => {
+                            let sample = sample.clone();
+                            drop(state);
+                            let outcome = if waited {
+                                CacheOutcome::Joined
+                            } else {
+                                CacheOutcome::HitMem
+                            };
+                            return Ok((sample, self.note(outcome)));
+                        }
+                        // The leader failed and removed the slot from the
+                        // map; go around and race to become the new leader.
+                        SlotState::Failed => break,
+                    }
+                }
+                continue;
+            }
+
+            let compute = compute.take().expect("a caller leads at most once");
+            return match self.lead(desc, key, compute) {
+                Ok((sample, outcome)) => {
+                    *slot.state.lock().expect("cache slot poisoned") =
+                        SlotState::Ready(sample.clone());
+                    self.cv_wake(&slot);
+                    Ok((sample, self.note(outcome)))
+                }
+                Err(e) => {
+                    self.inflight
+                        .lock()
+                        .expect("cache map poisoned")
+                        .remove(key.hex());
+                    *slot.state.lock().expect("cache slot poisoned") = SlotState::Failed;
+                    self.cv_wake(&slot);
+                    Err(e)
+                }
+            };
+        }
+    }
+
+    fn cv_wake(&self, slot: &Slot) {
+        slot.cv.notify_all();
+    }
+
+    /// The leader's path: consult the disk tier, else compute and
+    /// write back.
+    fn lead<F>(
+        &self,
+        desc: &str,
+        key: &CellKey,
+        compute: F,
+    ) -> Result<(PointSample, CacheOutcome), RunError>
+    where
+        F: FnOnce() -> Result<PointSample, RunError>,
+    {
+        if self.mode == CacheMode::ReadWrite {
+            match read_entry(&key.entry_path(&self.dir), desc) {
+                ReadEntry::Ok(sample) => return Ok((sample, CacheOutcome::HitDisk)),
+                ReadEntry::Invalid => {
+                    self.counters.invalid.fetch_add(1, Ordering::Relaxed);
+                }
+                ReadEntry::Missing => {}
+            }
+        }
+        let sample = compute()?;
+        match atomic_write(
+            &key.entry_path(&self.dir),
+            encode_entry(key, desc, &sample).as_bytes(),
+        ) {
+            Ok(()) => {
+                self.counters.stored.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // A result we cannot persist is still a result; the next
+                // campaign recomputes this cell.
+                self.counters.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok((sample, CacheOutcome::Miss))
+    }
+
+    /// Count the outcome and emit its trace event.
+    fn note(&self, outcome: CacheOutcome) -> CacheOutcome {
+        let c = &self.counters;
+        match outcome {
+            CacheOutcome::Miss => c.misses.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::HitMem => c.hits_mem.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::HitDisk => c.hits_disk.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::Joined => c.joined.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::Uncached => 0,
+        };
+        let t = SimTime::from_nanos(self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        self.tracer
+            .emit(t, Comp::Cache, || TraceEvent::CacheLookup {
+                hit: outcome.is_hit(),
+                joined: outcome == CacheOutcome::Joined,
+            });
+        outcome
+    }
+}
+
+/// Run one sweep cell through the cache (when one is configured), or
+/// directly. This is the executor campaign planners and sweeps share:
+/// `hw` must be the hardware the caller resolved (fault plan applied,
+/// per-attempt reseeding included) so the key covers the exact inputs.
+pub fn run_cell_cached(
+    cache: Option<&CellCache>,
+    hw: &HwConfig,
+    cfg: &MethodConfig,
+    method: CellMethod,
+    x: u64,
+) -> Result<(PointSample, CacheOutcome), RunError> {
+    let compute = || match method {
+        CellMethod::Polling => run_polling_point_on(hw, cfg, x).map(PointSample::Polling),
+        CellMethod::Pww { test_in_work } => {
+            run_pww_point_on(hw, cfg, x, test_in_work).map(PointSample::Pww)
+        }
+    };
+    match cache {
+        None => Ok((compute()?, CacheOutcome::Uncached)),
+        Some(c) => {
+            let desc = cell_desc(hw, cfg, method, x);
+            let key = CellKey::from_desc(&desc);
+            c.get_or_compute(&desc, &key, compute)
+        }
+    }
+}
+
+// --- on-disk entry format ----------------------------------------------
+//
+//   comb-cellcache v1
+//   key <64-hex sha256 of desc>
+//   sum <16-hex fnv1a-64 of the payload fragment>
+//   desc <canonical cell description>
+//   data polling|pww <exact-bit fields...>
+
+fn encode_entry(key: &CellKey, desc: &str, sample: &PointSample) -> String {
+    let payload = codec::encode_sample(sample);
+    format!(
+        "{ENTRY_MAGIC}\nkey {}\nsum {:016x}\ndesc {desc}\ndata {payload}\n",
+        key.hex(),
+        fnv1a64(payload.as_bytes()),
+    )
+}
+
+// Short-lived return value of one disk probe — never stored in bulk.
+#[allow(clippy::large_enum_variant)]
+enum ReadEntry {
+    /// Entry validated end to end.
+    Ok(PointSample),
+    /// No entry on disk.
+    Missing,
+    /// An entry exists but failed any validation step.
+    Invalid,
+}
+
+fn read_entry(path: &Path, want_desc: &str) -> ReadEntry {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return ReadEntry::Missing,
+        Err(_) => return ReadEntry::Invalid,
+    };
+    match parse_entry(&text, Some(want_desc)) {
+        Some(sample) => ReadEntry::Ok(sample),
+        None => ReadEntry::Invalid,
+    }
+}
+
+/// Validate and decode one entry. With `want_desc`, the stored
+/// description must match the requested one exactly; without it (store
+/// verification), the key is recomputed from the stored description
+/// instead.
+fn parse_entry(text: &str, want_desc: Option<&str>) -> Option<PointSample> {
+    let mut lines = text.lines();
+    if lines.next()? != ENTRY_MAGIC {
+        return None;
+    }
+    let key = lines.next()?.strip_prefix("key ")?;
+    let sum = u64::from_str_radix(lines.next()?.strip_prefix("sum ")?, 16).ok()?;
+    let desc = lines.next()?.strip_prefix("desc ")?;
+    let payload = lines.next()?.strip_prefix("data ")?;
+    if lines.next().is_some() {
+        return None;
+    }
+    match want_desc {
+        Some(want) => {
+            if desc != want {
+                return None;
+            }
+        }
+        None => {
+            if sha256_hex(desc.as_bytes()) != key {
+                return None;
+            }
+        }
+    }
+    if fnv1a64(payload.as_bytes()) != sum {
+        return None;
+    }
+    codec::decode_sample(payload)
+}
+
+// --- store maintenance (`comb cache ...`) ------------------------------
+
+/// Result of scanning a store directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreReport {
+    /// Valid entries seen (or, for `clear`/`gc`, entries kept).
+    pub entries: u64,
+    /// Bytes across the entries seen/kept.
+    pub bytes: u64,
+    /// Entries that failed validation.
+    pub invalid: u64,
+    /// Files removed (gc/clear only).
+    pub removed: u64,
+}
+
+fn walk_entries(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(shards) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for shard in shards.flatten() {
+        let Ok(subs) = std::fs::read_dir(shard.path()) else {
+            continue;
+        };
+        for sub in subs.flatten() {
+            let Ok(files) = std::fs::read_dir(sub.path()) else {
+                continue;
+            };
+            for f in files.flatten() {
+                out.push(f.path());
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn looks_like_entry(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.len() == 64 && n.bytes().all(|b| b.is_ascii_hexdigit()))
+}
+
+/// Count entries and bytes without validating payloads.
+pub fn store_stats(dir: &Path) -> StoreReport {
+    let mut r = StoreReport::default();
+    for path in walk_entries(dir) {
+        if !looks_like_entry(&path) {
+            continue;
+        }
+        r.entries += 1;
+        r.bytes += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    }
+    r
+}
+
+/// Validate every entry end to end (magic, key↔description hash,
+/// payload checksum, exact-bit decode).
+pub fn verify_store(dir: &Path) -> StoreReport {
+    let mut r = StoreReport::default();
+    for path in walk_entries(dir) {
+        if !looks_like_entry(&path) {
+            continue;
+        }
+        let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let ok = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|t| {
+                let key_from_name = path.file_name()?.to_str()?.to_string();
+                let sample = parse_entry(&t, None)?;
+                // The filename must also be the content address.
+                t.lines()
+                    .nth(1)?
+                    .strip_prefix("key ")
+                    .filter(|k| *k == key_from_name)?;
+                Some(sample)
+            })
+            .is_some();
+        if ok {
+            r.entries += 1;
+            r.bytes += len;
+        } else {
+            r.invalid += 1;
+        }
+    }
+    r
+}
+
+/// Remove invalid entries, stray temp files, and anything that is not a
+/// content-addressed entry; keep valid entries.
+pub fn gc_store(dir: &Path) -> StoreReport {
+    let mut r = StoreReport::default();
+    for path in walk_entries(dir) {
+        let valid = looks_like_entry(&path)
+            && std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|t| parse_entry(&t, None))
+                .is_some();
+        if valid {
+            r.entries += 1;
+            r.bytes += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        } else {
+            r.invalid += 1;
+            if std::fs::remove_file(&path).is_ok() {
+                r.removed += 1;
+            }
+        }
+    }
+    r
+}
+
+/// Delete the entire store directory.
+pub fn clear_store(dir: &Path) -> StoreReport {
+    let mut r = StoreReport::default();
+    for path in walk_entries(dir) {
+        if std::fs::remove_file(&path).is_ok() {
+            r.removed += 1;
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+    r
+}
+
+/// The default store location: `$COMB_CACHE_DIR`, else
+/// `$XDG_CACHE_HOME/comb`, else `$HOME/.cache/comb`.
+pub fn default_cache_dir() -> Option<PathBuf> {
+    let non_empty =
+        |v: std::result::Result<String, std::env::VarError>| v.ok().filter(|s| !s.is_empty());
+    if let Some(d) = non_empty(std::env::var("COMB_CACHE_DIR")) {
+        return Some(PathBuf::from(d));
+    }
+    if let Some(x) = non_empty(std::env::var("XDG_CACHE_HOME")) {
+        return Some(PathBuf::from(x).join("comb"));
+    }
+    non_empty(std::env::var("HOME")).map(|h| PathBuf::from(h).join(".cache").join("comb"))
+}
+
+// --- hashing -----------------------------------------------------------
+
+/// FNV-1a 64-bit, used as the entry payload checksum (fast, no
+/// cryptographic requirement — corruption detection only).
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SHA-256 (FIPS 180-4), implemented here because the workspace
+/// deliberately carries no external hashing dependency. Keys only need
+/// to be collision-resistant content addresses; performance is
+/// irrelevant next to a cell simulation.
+fn sha256_hex(data: &[u8]) -> String {
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+
+    // Pad: message || 0x80 || zeros || 64-bit bit length.
+    let mut msg = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *slot = slot.wrapping_add(v);
+        }
+    }
+
+    let mut out = String::with_capacity(64);
+    for word in h {
+        out.push_str(&format!("{word:08x}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{FaultCounters, PollingSample};
+    use crate::sweep::Transport;
+    use comb_sim::SimDuration;
+    use std::sync::atomic::AtomicUsize;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("comb_cellcache_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(x: u64) -> PointSample {
+        PointSample::Polling(PollingSample {
+            poll_interval: x,
+            msg_bytes: 102_400,
+            total_iters: 500_000,
+            warmup_polls: 4,
+            work_only: SimDuration::from_nanos(123),
+            elapsed: SimDuration::from_nanos(456),
+            availability: 0.1 + 0.2,
+            bandwidth_mbs: 87.5,
+            messages_received: 9,
+            stolen: SimDuration::from_nanos(7),
+            faults: FaultCounters::default(),
+        })
+    }
+
+    #[test]
+    fn sha256_matches_fips_vectors() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Padding boundary cases: 55/56/64 bytes exercise one vs two blocks.
+        for n in [55, 56, 63, 64, 65] {
+            let v = vec![b'x'; n];
+            assert_eq!(sha256_hex(&v).len(), 64, "length {n}");
+        }
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn keys_separate_every_described_input() {
+        let cfg = MethodConfig::new(Transport::Gm, 102_400);
+        let hw = cfg.resolved_hw();
+        let base = cell_desc(&hw, &cfg, CellMethod::Polling, 1000);
+        let k = |d: &str| CellKey::from_desc(d).hex().to_string();
+
+        // Same inputs → same key.
+        assert_eq!(
+            k(&base),
+            k(&cell_desc(&hw, &cfg, CellMethod::Polling, 1000))
+        );
+
+        // x, method, and every config knob must separate.
+        assert_ne!(
+            k(&base),
+            k(&cell_desc(&hw, &cfg, CellMethod::Polling, 1001))
+        );
+        assert_ne!(
+            k(&base),
+            k(&cell_desc(
+                &hw,
+                &cfg,
+                CellMethod::Pww {
+                    test_in_work: false
+                },
+                1000
+            ))
+        );
+        let mut other = cfg.clone();
+        other.target_iters += 1;
+        assert_ne!(
+            k(&base),
+            k(&cell_desc(&hw, &other, CellMethod::Polling, 1000))
+        );
+
+        // jobs and watchdog are excluded on purpose.
+        let mut jobs = cfg.clone();
+        jobs.jobs = 7;
+        assert_eq!(
+            k(&base),
+            k(&cell_desc(&hw, &jobs, CellMethod::Polling, 1000))
+        );
+
+        // A different transport separates through the hw description.
+        let portals = MethodConfig::new(Transport::Portals, 102_400);
+        assert_ne!(
+            k(&base),
+            k(&cell_desc(
+                &portals.resolved_hw(),
+                &cfg,
+                CellMethod::Polling,
+                1000
+            ))
+        );
+    }
+
+    #[test]
+    fn fault_reseeding_separates_attempt_keys() {
+        let mut cfg = MethodConfig::new(Transport::Gm, 102_400);
+        cfg.fault = comb_hw::FaultPlan::from_specs(&["loss=uniform:0.01"], Some(42)).unwrap();
+        let hw0: HwConfig = {
+            let mut c = cfg.clone();
+            c.fault = c.fault.for_attempt(0);
+            c.resolved_hw()
+        };
+        let hw1: HwConfig = {
+            let mut c = cfg.clone();
+            c.fault = c.fault.for_attempt(1);
+            c.resolved_hw()
+        };
+        let d0 = cell_desc(&hw0, &cfg, CellMethod::Polling, 10);
+        let d1 = cell_desc(&hw1, &cfg, CellMethod::Polling, 10);
+        assert_ne!(
+            CellKey::from_desc(&d0),
+            CellKey::from_desc(&d1),
+            "reseeded attempts must be distinct cells"
+        );
+    }
+
+    #[test]
+    fn disk_roundtrip_and_cross_instance_hit() {
+        let dir = scratch("roundtrip");
+        let want = sample(1000);
+        let desc = "comb-cell v1 test-entry";
+        let key = CellKey::from_desc(desc);
+
+        let cold = CellCache::new(&dir, CacheMode::ReadWrite);
+        let (got, outcome) = cold
+            .get_or_compute(desc, &key, || Ok(want.clone()))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(got, want);
+        assert_eq!(cold.stats().stored, 1);
+
+        // Same instance: memory tier.
+        let (_, outcome) = cold
+            .get_or_compute(desc, &key, || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::HitMem);
+
+        // Fresh instance (fresh process, conceptually): disk tier,
+        // bit-exact.
+        let warm = CellCache::new(&dir, CacheMode::ReadWrite);
+        let (got, outcome) = warm
+            .get_or_compute(desc, &key, || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::HitDisk);
+        assert_eq!(got, want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_mode_recomputes_and_overwrites() {
+        let dir = scratch("refresh");
+        let desc = "comb-cell v1 refresh-entry";
+        let key = CellKey::from_desc(desc);
+        CellCache::new(&dir, CacheMode::ReadWrite)
+            .get_or_compute(desc, &key, || Ok(sample(1)))
+            .unwrap();
+
+        let refresh = CellCache::new(&dir, CacheMode::Refresh);
+        let (got, outcome) = refresh
+            .get_or_compute(desc, &key, || Ok(sample(2)))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss, "refresh never reads");
+        assert_eq!(got, sample(2));
+
+        // The overwrite is visible to a normal reader.
+        let (got, outcome) = CellCache::new(&dir, CacheMode::ReadWrite)
+            .get_or_compute(desc, &key, || panic!("must hit"))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::HitDisk);
+        assert_eq!(got, sample(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_fall_back_to_recompute_and_reheal() {
+        let dir = scratch("corrupt");
+        let desc = "comb-cell v1 corrupt-entry";
+        let key = CellKey::from_desc(desc);
+        let path = key.entry_path(&dir);
+        CellCache::new(&dir, CacheMode::ReadWrite)
+            .get_or_compute(desc, &key, || Ok(sample(5)))
+            .unwrap();
+        let pristine = std::fs::read_to_string(&path).unwrap();
+
+        let corruptions: Vec<(&str, String)> = vec![
+            ("truncated", pristine[..pristine.len() / 2].to_string()),
+            (
+                "bit-flipped payload",
+                pristine.replacen("data polling", "data pollinh", 1),
+            ),
+            (
+                "version skew",
+                pristine.replacen("comb-cellcache v1", "comb-cellcache v0", 1),
+            ),
+            ("empty", String::new()),
+            ("garbage", "not an entry at all\n".to_string()),
+        ];
+        for (label, text) in corruptions {
+            std::fs::write(&path, &text).unwrap();
+            let c = CellCache::new(&dir, CacheMode::ReadWrite);
+            let (got, outcome) = c
+                .get_or_compute(desc, &key, || Ok(sample(5)))
+                .unwrap_or_else(|e| panic!("{label}: cache must never fail: {e}"));
+            assert_eq!(outcome, CacheOutcome::Miss, "{label} must miss");
+            assert_eq!(got, sample(5), "{label}");
+            assert_eq!(c.stats().invalid, 1, "{label} must be counted");
+            // The store re-healed: the entry is pristine again.
+            assert_eq!(
+                std::fs::read_to_string(&path).unwrap(),
+                pristine,
+                "{label} must re-heal"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn desc_mismatch_under_same_path_is_invalid() {
+        // Paranoia: an entry whose stored desc differs from the requested
+        // one (hand-edited store) is rejected even if checksums hold.
+        let dir = scratch("desc-mismatch");
+        let desc = "comb-cell v1 original";
+        let key = CellKey::from_desc(desc);
+        CellCache::new(&dir, CacheMode::ReadWrite)
+            .get_or_compute(desc, &key, || Ok(sample(5)))
+            .unwrap();
+        let path = key.entry_path(&dir);
+        let edited = std::fs::read_to_string(&path)
+            .unwrap()
+            .replacen("original", "tampered", 1);
+        std::fs::write(&path, edited).unwrap();
+        let c = CellCache::new(&dir, CacheMode::ReadWrite);
+        let (_, outcome) = c.get_or_compute(desc, &key, || Ok(sample(5))).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_flight_computes_once_and_joins_waiters() {
+        let dir = scratch("single-flight");
+        let cache = Arc::new(CellCache::new(&dir, CacheMode::ReadWrite));
+        let desc = "comb-cell v1 single-flight";
+        let key = CellKey::from_desc(desc);
+        let computes = Arc::new(AtomicUsize::new(0));
+
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (cache, key, computes) = (Arc::clone(&cache), key.clone(), Arc::clone(&computes));
+            handles.push(std::thread::spawn(move || {
+                cache
+                    .get_or_compute(desc, &key, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        Ok(sample(7))
+                    })
+                    .unwrap()
+            }));
+        }
+        let results: Vec<(PointSample, CacheOutcome)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one leader");
+        for (s, _) in &results {
+            assert_eq!(*s, sample(7));
+        }
+        let st = cache.stats();
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.joined + st.hits_mem, 7, "everyone else joined or hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_instances_race_writes_without_corruption() {
+        // Two `CellCache` instances over one store directory model two
+        // comb processes sharing a cache. Single-flight dedup is
+        // per-process, so both sides compute the same cells and race
+        // their writes; the atomic tmp+rename protocol means the last
+        // rename wins, every entry stays valid, and a later reader gets
+        // bit-exact results.
+        let dir = scratch("write-race");
+        let left = Arc::new(CellCache::new(&dir, CacheMode::ReadWrite));
+        let right = Arc::new(CellCache::new(&dir, CacheMode::ReadWrite));
+
+        const CELLS: u64 = 16;
+        let mut handles = Vec::new();
+        for instance in [&left, &right] {
+            for _ in 0..2 {
+                let cache = Arc::clone(instance);
+                handles.push(std::thread::spawn(move || {
+                    (0..CELLS)
+                        .map(|x| {
+                            let desc = format!("comb-cell v1 race-{x}");
+                            let key = CellKey::from_desc(&desc);
+                            let (s, _) =
+                                cache.get_or_compute(&desc, &key, || Ok(sample(x))).unwrap();
+                            s
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+        }
+        for h in handles {
+            for (x, s) in h.join().unwrap().into_iter().enumerate() {
+                assert_eq!(s, sample(x as u64));
+            }
+        }
+
+        // Every entry on disk is valid despite the racing renames, and
+        // no stray temp files survive.
+        let report = verify_store(&dir);
+        assert_eq!(report.entries, 16);
+        assert_eq!(report.invalid, 0);
+
+        // A third "process" reads everything back from disk, bit-exact.
+        let reader = CellCache::new(&dir, CacheMode::ReadWrite);
+        for x in 0..CELLS {
+            let desc = format!("comb-cell v1 race-{x}");
+            let key = CellKey::from_desc(&desc);
+            let (s, outcome) = reader
+                .get_or_compute(&desc, &key, || panic!("must not recompute"))
+                .unwrap();
+            assert_eq!(outcome, CacheOutcome::HitDisk);
+            assert_eq!(s, sample(x));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_leader_does_not_poison_the_key() {
+        let dir = scratch("failure");
+        let cache = CellCache::new(&dir, CacheMode::ReadWrite);
+        let desc = "comb-cell v1 failing";
+        let key = CellKey::from_desc(desc);
+        let err = cache
+            .get_or_compute(desc, &key, || Err(RunError::NoResult))
+            .unwrap_err();
+        assert!(matches!(err, RunError::NoResult));
+        // The key is free again: a later request computes fresh.
+        let (got, outcome) = cache.get_or_compute(desc, &key, || Ok(sample(3))).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(got, sample(3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_maintenance_counts_verifies_and_collects() {
+        let dir = scratch("maintenance");
+        let cache = CellCache::new(&dir, CacheMode::ReadWrite);
+        for x in [1u64, 2, 3] {
+            let desc = format!("comb-cell v1 maint-{x}");
+            let key = CellKey::from_desc(&desc);
+            cache.get_or_compute(&desc, &key, || Ok(sample(x))).unwrap();
+        }
+        let st = store_stats(&dir);
+        assert_eq!(st.entries, 3);
+        assert!(st.bytes > 0);
+        assert_eq!(verify_store(&dir).entries, 3);
+        assert_eq!(verify_store(&dir).invalid, 0);
+
+        // Corrupt one entry and drop a stray temp file; gc removes both.
+        let victim_desc = "comb-cell v1 maint-1";
+        let victim = CellKey::from_desc(victim_desc).entry_path(&dir);
+        std::fs::write(&victim, "garbage").unwrap();
+        let stray = victim.with_file_name(".stray.tmp");
+        std::fs::write(&stray, "tmp").unwrap();
+        assert_eq!(verify_store(&dir).invalid, 1);
+        let gc = gc_store(&dir);
+        assert_eq!(gc.entries, 2);
+        assert_eq!(gc.removed, 2, "corrupt entry + stray tmp");
+        assert!(!victim.exists());
+        assert!(!stray.exists());
+
+        let cleared = clear_store(&dir);
+        assert_eq!(cleared.removed, 2);
+        assert!(!dir.exists());
+        assert_eq!(store_stats(&dir).entries, 0, "missing store reads as empty");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn executor_runs_real_cells_identically_with_and_without_cache() {
+        let dir = scratch("executor");
+        let mut cfg = MethodConfig::new(Transport::Gm, 10 * 1024);
+        cfg.target_iters = 200_000;
+        cfg.max_intervals = 300;
+        cfg.cycles = 2;
+        let hw = cfg.resolved_hw();
+
+        let (plain, outcome) =
+            run_cell_cached(None, &hw, &cfg, CellMethod::Polling, 10_000).unwrap();
+        assert_eq!(outcome, CacheOutcome::Uncached);
+
+        let cache = CellCache::new(&dir, CacheMode::ReadWrite);
+        let (cold, outcome) =
+            run_cell_cached(Some(&cache), &hw, &cfg, CellMethod::Polling, 10_000).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(cold, plain, "cached compute must equal direct compute");
+
+        // A fresh instance restores the identical sample from disk.
+        let warm = CellCache::new(&dir, CacheMode::ReadWrite);
+        let (restored, outcome) =
+            run_cell_cached(Some(&warm), &hw, &cfg, CellMethod::Polling, 10_000).unwrap();
+        assert_eq!(outcome, CacheOutcome::HitDisk);
+        assert_eq!(restored, plain, "disk restore must be bit-exact");
+
+        // PWW goes through the same path.
+        let (a, _) = run_cell_cached(
+            Some(&warm),
+            &hw,
+            &cfg,
+            CellMethod::Pww { test_in_work: true },
+            50_000,
+        )
+        .unwrap();
+        let (b, o) = run_cell_cached(
+            Some(&warm),
+            &hw,
+            &cfg,
+            CellMethod::Pww { test_in_work: true },
+            50_000,
+        )
+        .unwrap();
+        assert_eq!(o, CacheOutcome::HitMem);
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tracer_sees_lookup_events() {
+        let dir = scratch("traced");
+        let mut cache = CellCache::new(&dir, CacheMode::ReadWrite);
+        let tracer = Tracer::enabled();
+        cache.set_tracer(tracer.clone());
+        let desc = "comb-cell v1 traced";
+        let key = CellKey::from_desc(desc);
+        cache.get_or_compute(desc, &key, || Ok(sample(1))).unwrap();
+        cache.get_or_compute(desc, &key, || panic!("hit")).unwrap();
+        let kinds: Vec<&str> = tracer.records().iter().map(|r| r.event.kind()).collect();
+        assert_eq!(kinds, vec!["cache_miss", "cache_hit"]);
+        assert!(tracer.records().iter().all(|r| r.comp == Comp::Cache));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -27,6 +27,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod codec;
 pub mod degradation;
 pub mod error;
 pub mod latency;
@@ -38,6 +40,11 @@ pub mod runner;
 pub mod sweep;
 pub mod traced;
 
+pub use cache::{
+    default_cache_dir, run_cell_cached, CacheMode, CacheOutcome, CacheStats, CellCache, CellKey,
+    CellMethod,
+};
+pub use codec::PointSample;
 pub use degradation::{
     degradation_sweep, DegradationAxis, DegradationPoint, LOSS_RATES, STALL_DUTIES,
 };

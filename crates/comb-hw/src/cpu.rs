@@ -167,19 +167,14 @@ impl Cpu {
     /// Steal `d` of CPU time for an interrupt service routine: extends any
     /// computation in progress and accumulates the steal counters.
     pub fn steal(&self, d: SimDuration) {
-        if d.is_zero() {
-            return;
-        }
-        let mut inner = self.inner.lock();
-        inner.stats.stolen_total += d;
-        inner.stats.steal_events += 1;
-        if let Some(c) = inner.computing.as_mut() {
-            self.handle.cancel(c.completion);
-            c.deadline += d;
-            c.stolen += d;
-            let deadline = c.deadline;
-            let signal = c.signal.clone();
-            c.completion = arm_completion(&self.handle, &self.inner, deadline, &signal);
+        steal_from(&self.handle, &self.inner, d);
+    }
+
+    /// A two-word steal handle onto this CPU (see [`Stealer`]).
+    pub fn stealer(&self) -> Stealer {
+        Stealer {
+            handle: self.handle.clone(),
+            inner: Arc::clone(&self.inner),
         }
     }
 
@@ -191,6 +186,44 @@ impl Cpu {
     /// True if a computation is currently in progress.
     pub fn is_computing(&self) -> bool {
         self.inner.lock().computing.is_some()
+    }
+}
+
+/// A two-word handle for charging CPU steals from scheduled events.
+///
+/// `Cpu` itself is five words (config + handle + flags + shared state),
+/// which pushes any event closure that captures it past the simulator's
+/// three-word inline budget — boxing one closure per packet on the kernel
+/// NIC's send path. A `Stealer` carries only the scheduling handle and the
+/// shared state, so `Stealer` plus a `SimDuration` fits the budget exactly.
+#[derive(Clone)]
+pub struct Stealer {
+    handle: SimHandle,
+    inner: Arc<Mutex<CpuInner>>,
+}
+
+impl Stealer {
+    /// Steal `d` of CPU time, exactly like [`Cpu::steal`].
+    pub fn steal(&self, d: SimDuration) {
+        steal_from(&self.handle, &self.inner, d);
+    }
+}
+
+/// Shared body of [`Cpu::steal`] and [`Stealer::steal`].
+fn steal_from(handle: &SimHandle, inner: &Arc<Mutex<CpuInner>>, d: SimDuration) {
+    if d.is_zero() {
+        return;
+    }
+    let mut guard = inner.lock();
+    guard.stats.stolen_total += d;
+    guard.stats.steal_events += 1;
+    if let Some(c) = guard.computing.as_mut() {
+        handle.cancel(c.completion);
+        c.deadline += d;
+        c.stolen += d;
+        let deadline = c.deadline;
+        let signal = c.signal.clone();
+        c.completion = arm_completion(handle, inner, deadline, &signal);
     }
 }
 

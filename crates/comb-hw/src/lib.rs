@@ -19,13 +19,14 @@ pub mod loss;
 pub mod nic;
 pub mod node;
 pub mod packet;
+pub(crate) mod pending;
 pub mod switch;
 
 pub use config::{
     CpuConfig, HwConfig, LinkConfig, MpiCostConfig, NicConfig, NicKind, ProgressModel,
     RndvRetryConfig, SmpConfig,
 };
-pub use cpu::{ComputeSample, Cpu, CpuStats};
+pub use cpu::{ComputeSample, Cpu, CpuStats, Stealer};
 pub use fault::{DegradeSpec, FaultPlan, FaultStats, LossSpec, StallSpec, StormSpec};
 pub use nic::{
     burst_batched_packets_total, DeliveryClass, Nic, NicStats, NodeId, RxHandler, TxDone, WireMsg,

@@ -19,6 +19,7 @@ use crate::nic::{
     note_burst_batched, DeliveryClass, Nic, NicStats, NodeId, Packet, RxHandler, TxDone, WireMsg,
 };
 use crate::packet::packet_sizes;
+use crate::pending::PendingSlab;
 use crate::switch::Fabric;
 use comb_sim::{SimHandle, SimTime};
 use comb_trace::{Comp, TraceEvent, Tracer};
@@ -33,6 +34,9 @@ struct BypassInner {
     ring: VecDeque<(NodeId, WireMsg)>,
     handler: Option<RxHandler>,
     ring_notify: Option<Arc<dyn Fn() + Send + Sync>>,
+    /// Message deliveries parked until their ready event fires, so the
+    /// event captures `(inner, slot)` instead of boxing the message.
+    pending: PendingSlab<(NodeId, WireMsg, Option<RxHandler>)>,
     stats: NicStats,
 }
 
@@ -65,6 +69,7 @@ impl BypassNic {
                 ring: VecDeque::new(),
                 handler: None,
                 ring_notify: None,
+                pending: PendingSlab::default(),
                 stats: NicStats::default(),
             })),
         });
@@ -76,7 +81,9 @@ impl BypassNic {
 
     /// Hand a fully received message to the library at `end`: park it in
     /// the ring (waking any ring-notify hook) or push it straight to the
-    /// rx handler, per its delivery class.
+    /// rx handler, per its delivery class. The payload waits in the pending
+    /// slab so the scheduled event captures `(inner, slot)` — two words, on
+    /// the simulator's inline fast path.
     fn schedule_delivery(
         &self,
         src: NodeId,
@@ -84,21 +91,26 @@ impl BypassNic {
         end: SimTime,
         handler: Option<RxHandler>,
     ) {
-        let ring_ref = Arc::clone(&self.inner);
-        self.handle.schedule_at(end, move || match msg.class {
-            DeliveryClass::Ring => {
-                let notify = {
-                    let mut inner = ring_ref.lock();
+        let slot = self.inner.lock().pending.insert((src, msg, handler));
+        let inner_ref = Arc::clone(&self.inner);
+        self.handle.schedule_at(end, move || {
+            let mut inner = inner_ref.lock();
+            let (src, msg, handler) = inner.pending.take(slot);
+            match msg.class {
+                DeliveryClass::Ring => {
                     inner.ring.push_back((src, msg));
-                    inner.ring_notify.clone()
-                };
-                if let Some(notify) = notify {
-                    notify();
+                    let notify = inner.ring_notify.clone();
+                    drop(inner);
+                    if let Some(notify) = notify {
+                        notify();
+                    }
                 }
-            }
-            DeliveryClass::Direct => {
-                let handler = handler.expect("no rx handler installed");
-                handler(src, msg);
+                DeliveryClass::Direct => {
+                    // The handler may re-enter the NIC; call it unlocked.
+                    drop(inner);
+                    let handler = handler.expect("no rx handler installed");
+                    handler(src, msg);
+                }
             }
         });
     }

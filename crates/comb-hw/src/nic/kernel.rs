@@ -29,6 +29,7 @@ use crate::interrupt::InterruptController;
 use crate::link::Station;
 use crate::nic::{Nic, NicStats, NodeId, Packet, RxHandler, TxDone, WireMsg};
 use crate::packet::packet_sizes;
+use crate::pending::PendingSlab;
 use crate::switch::Fabric;
 use comb_sim::SimHandle;
 use comb_trace::{Comp, TraceEvent, Tracer};
@@ -40,6 +41,10 @@ struct KernelInner {
     fault: FaultModel,
     isr: InterruptController,
     handler: Option<RxHandler>,
+    /// Message handoffs parked until their post-ISR delivery event fires,
+    /// so the event captures `(inner, slot)` instead of boxing the handler
+    /// plus the message.
+    pending_rx: PendingSlab<(RxHandler, NodeId, WireMsg)>,
     stats: NicStats,
 }
 
@@ -79,6 +84,7 @@ impl KernelNic {
                 fault: FaultModel::from_link(fabric.link_config(), fabric.port_count() as u64),
                 isr: InterruptController::new(cpu.clone()),
                 handler: None,
+                pending_rx: PendingSlab::default(),
                 stats: NicStats::default(),
             })),
         });
@@ -113,6 +119,7 @@ impl Nic for KernelNic {
             packets: n as u64,
         });
         let tx_host = self.cfg.tx_host_per_packet;
+        let stealer = self.cpu.stealer();
         let expedited = msg.expedited;
         if expedited {
             assert!(n == 1, "expedited messages must fit one packet");
@@ -152,9 +159,12 @@ impl Nic for KernelNic {
             };
             if !tx_host.is_zero() {
                 // The kernel send path for this packet runs on the host.
+                // A `Stealer` plus the duration is three words, so the
+                // per-packet steal event stays on the inline fast path.
                 inner.stats.host_stolen += tx_host;
-                let cpu = self.cpu.clone();
-                self.handle.schedule_at(start, move || cpu.steal(tx_host));
+                let stealer = stealer.clone();
+                self.handle
+                    .schedule_at(start, move || stealer.steal(tx_host));
             }
             let pkt = Packet {
                 bytes,
@@ -232,8 +242,16 @@ impl Nic for KernelNic {
                 .handler
                 .clone()
                 .expect("no rx handler installed on kernel NIC");
+            // Park the handoff so the delivery event captures two words.
+            let slot = inner.pending_rx.insert((handler, src, msg));
             drop(inner);
-            self.handle.schedule_at(done, move || handler(src, msg));
+            let inner_ref = Arc::clone(&self.inner);
+            self.handle.schedule_at(done, move || {
+                // Take under the lock, then drop the guard before calling:
+                // the handler may re-enter the NIC (e.g. post a reply).
+                let (handler, src, msg) = inner_ref.lock().pending_rx.take(slot);
+                handler(src, msg);
+            });
         }
     }
 }

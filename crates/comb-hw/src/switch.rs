@@ -8,10 +8,26 @@
 
 use crate::config::LinkConfig;
 use crate::nic::{Nic, NodeId, Packet, WireMsg};
+use crate::pending::PendingSlab;
 use comb_sim::{SimHandle, SimTime};
 use comb_trace::{Comp, TraceEvent, Tracer};
 use parking_lot::Mutex;
 use std::sync::{Arc, Weak};
+
+/// A wire delivery parked until its arrival event fires.
+enum Delivery {
+    Packet {
+        nic: Weak<dyn Nic>,
+        src: NodeId,
+        pkt: Packet,
+    },
+    Burst {
+        nic: Weak<dyn Nic>,
+        src: NodeId,
+        arrivals: Vec<(SimTime, u64)>,
+        msg: WireMsg,
+    },
+}
 
 /// The cluster interconnect.
 pub struct Fabric {
@@ -19,6 +35,11 @@ pub struct Fabric {
     link: LinkConfig,
     ports: Mutex<Vec<Weak<dyn Nic>>>,
     tracer: Tracer,
+    /// Self-reference so arrival events capture a thin `(fabric, slot)`
+    /// pair — two words, on the simulator's inline fast path — instead of
+    /// boxing a `Packet` or `WireMsg` per event.
+    weak_self: Weak<Fabric>,
+    pending: Mutex<PendingSlab<Delivery>>,
 }
 
 impl Fabric {
@@ -30,11 +51,13 @@ impl Fabric {
     /// A fabric emitting per-packet trace records to `tracer` (when it is
     /// enabled).
     pub fn new_traced(handle: &SimHandle, link: LinkConfig, tracer: Tracer) -> Arc<Fabric> {
-        Arc::new(Fabric {
+        Arc::new_cyclic(|weak| Fabric {
             handle: handle.clone(),
             link,
             ports: Mutex::new(Vec::new()),
             tracer,
+            weak_self: weak.clone(),
+            pending: Mutex::new(PendingSlab::default()),
         })
     }
 
@@ -82,13 +105,42 @@ impl Fabric {
                 first: pkt.first,
                 last: pkt.tail.is_some(),
             });
+        self.schedule_delivery(arrival, Delivery::Packet { nic, src, pkt });
+    }
+
+    /// Park `delivery` and schedule its arrival event. The closure captures
+    /// only the fabric's weak self-pointer and the slab slot, keeping every
+    /// per-packet event inline. A fabric (or NIC) dropped before `arrival`
+    /// means the cluster is being torn down; the delivery simply evaporates.
+    fn schedule_delivery(&self, arrival: SimTime, delivery: Delivery) {
+        let slot = self.pending.lock().insert(delivery);
+        let fabric = self.weak_self.clone();
         self.handle.schedule_at(arrival, move || {
-            if let Some(nic) = nic.upgrade() {
-                nic.deliver_packet(src, pkt);
+            if let Some(fabric) = fabric.upgrade() {
+                fabric.fire_delivery(slot);
             }
-            // A dropped NIC means the cluster is being torn down; the
-            // packet simply evaporates.
         });
+    }
+
+    fn fire_delivery(&self, slot: usize) {
+        let delivery = self.pending.lock().take(slot);
+        match delivery {
+            Delivery::Packet { nic, src, pkt } => {
+                if let Some(nic) = nic.upgrade() {
+                    nic.deliver_packet(src, pkt);
+                }
+            }
+            Delivery::Burst {
+                nic,
+                src,
+                arrivals,
+                msg,
+            } => {
+                if let Some(nic) = nic.upgrade() {
+                    nic.deliver_burst(src, arrivals, msg);
+                }
+            }
+        }
     }
 
     /// Emit the `PacketOnWire` trace record for a packet whose delivery is
@@ -147,10 +199,14 @@ impl Fabric {
             .last()
             .unwrap_or_else(|| panic!("empty packet burst"))
             .0;
-        self.handle.schedule_at(last_arrival, move || {
-            if let Some(nic) = nic.upgrade() {
-                nic.deliver_burst(src, arrivals, msg);
-            }
-        });
+        self.schedule_delivery(
+            last_arrival,
+            Delivery::Burst {
+                nic,
+                src,
+                arrivals,
+                msg,
+            },
+        );
     }
 }

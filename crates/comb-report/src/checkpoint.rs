@@ -36,25 +36,16 @@
 //! `--jobs 1` (or vice versa).
 
 use crate::figures::Fidelity;
-use comb_core::{CombError, FaultCounters, PollingSample, PwwSample};
-use comb_sim::stats::DurationHistogram;
-use comb_sim::SimDuration;
+use comb_core::codec::{decode_point, encode_point};
+use comb_core::CombError;
 use std::collections::HashMap;
-use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-const MAGIC: &str = "comb-checkpoint v1";
+pub use comb_core::codec::PointSample;
 
-/// One finished sweep cell's result, either method.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PointSample {
-    /// A polling-method cell.
-    Polling(PollingSample),
-    /// A PWW-method cell (also used by the overhead campaigns).
-    Pww(PwwSample),
-}
+const MAGIC: &str = "comb-checkpoint v1";
 
 fn fingerprint(f: &Fidelity) -> String {
     format!(
@@ -186,194 +177,12 @@ fn parse_journal(text: &str, want_fingerprint: &str) -> Result<CheckpointState, 
     Ok(state)
 }
 
-// --- exact-bit field encoding ------------------------------------------
-
-fn f64_hex(v: f64) -> String {
-    format!("{:016x}", v.to_bits())
-}
-
-struct Fields<'a>(std::str::SplitWhitespace<'a>);
-
-impl<'a> Fields<'a> {
-    fn u64(&mut self) -> Option<u64> {
-        self.0.next()?.parse().ok()
-    }
-
-    fn u128(&mut self) -> Option<u128> {
-        self.0.next()?.parse().ok()
-    }
-
-    fn f64(&mut self) -> Option<f64> {
-        let tok = self.0.next()?;
-        if tok.len() != 16 {
-            return None;
-        }
-        u64::from_str_radix(tok, 16).ok().map(f64::from_bits)
-    }
-
-    fn dur(&mut self) -> Option<SimDuration> {
-        self.u64().map(SimDuration::from_nanos)
-    }
-
-    fn bool(&mut self) -> Option<bool> {
-        match self.0.next()? {
-            "0" => Some(false),
-            "1" => Some(true),
-            _ => None,
-        }
-    }
-
-    fn buckets(&mut self) -> Option<Vec<u64>> {
-        let tok = self.0.next()?;
-        if tok == "-" {
-            return Some(Vec::new());
-        }
-        tok.split(',').map(|b| b.parse().ok()).collect()
-    }
-
-    fn done(mut self) -> Option<()> {
-        match self.0.next() {
-            None => Some(()),
-            Some(_) => None,
-        }
-    }
-}
-
-fn push_faults(out: &mut String, f: &FaultCounters) {
-    let _ = write!(
-        out,
-        " {} {} {} {} {}",
-        f.lost_packets, f.retransmissions, f.ctl_dropped, f.storm_interrupts, f.rndv_retries
-    );
-}
-
-fn read_faults(f: &mut Fields) -> Option<FaultCounters> {
-    Some(FaultCounters {
-        lost_packets: f.u64()?,
-        retransmissions: f.u64()?,
-        ctl_dropped: f.u64()?,
-        storm_interrupts: f.u64()?,
-        rndv_retries: f.u64()?,
-    })
-}
-
-fn encode_point(key: &str, x: u64, sample: &PointSample) -> String {
-    let mut out = format!("point {key} {x}");
-    match sample {
-        PointSample::Polling(s) => {
-            let _ = write!(
-                out,
-                " polling {} {} {} {} {} {} {} {} {} {}",
-                s.poll_interval,
-                s.msg_bytes,
-                s.total_iters,
-                s.warmup_polls,
-                s.work_only.as_nanos(),
-                s.elapsed.as_nanos(),
-                f64_hex(s.availability),
-                f64_hex(s.bandwidth_mbs),
-                s.messages_received,
-                s.stolen.as_nanos(),
-            );
-            push_faults(&mut out, &s.faults);
-        }
-        PointSample::Pww(s) => {
-            let _ = write!(
-                out,
-                " pww {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
-                s.work_interval,
-                s.msg_bytes,
-                s.cycles,
-                s.batch,
-                u8::from(s.test_in_work),
-                s.post_phase.as_nanos(),
-                s.post_per_msg.as_nanos(),
-                s.work_with_mh.as_nanos(),
-                s.work_only.as_nanos(),
-                s.wait_phase.as_nanos(),
-                s.wait_per_msg.as_nanos(),
-                f64_hex(s.availability),
-                f64_hex(s.bandwidth_mbs),
-                s.stolen.as_nanos(),
-            );
-            let buckets = s.wait_histogram.raw_buckets();
-            if buckets.is_empty() {
-                out.push_str(" -");
-            } else {
-                out.push(' ');
-                for (i, b) in buckets.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    let _ = write!(out, "{b}");
-                }
-            }
-            let _ = write!(out, " {}", s.wait_histogram.sum_nanos());
-            push_faults(&mut out, &s.faults);
-        }
-    }
-    out.push('\n');
-    out
-}
-
-fn decode_point(line: &str) -> Option<(String, u64, PointSample)> {
-    let mut f = Fields(line.split_whitespace());
-    if f.0.next()? != "point" {
-        return None;
-    }
-    let key = f.0.next()?.to_string();
-    let x = f.u64()?;
-    let sample = match f.0.next()? {
-        "polling" => {
-            let s = PollingSample {
-                poll_interval: f.u64()?,
-                msg_bytes: f.u64()?,
-                total_iters: f.u64()?,
-                warmup_polls: f.u64()?,
-                work_only: f.dur()?,
-                elapsed: f.dur()?,
-                availability: f.f64()?,
-                bandwidth_mbs: f.f64()?,
-                messages_received: f.u64()?,
-                stolen: f.dur()?,
-                faults: read_faults(&mut f)?,
-            };
-            PointSample::Polling(s)
-        }
-        "pww" => {
-            let s = PwwSample {
-                work_interval: f.u64()?,
-                msg_bytes: f.u64()?,
-                cycles: f.u64()?,
-                batch: f.u64()?,
-                test_in_work: f.bool()?,
-                post_phase: f.dur()?,
-                post_per_msg: f.dur()?,
-                work_with_mh: f.dur()?,
-                work_only: f.dur()?,
-                wait_phase: f.dur()?,
-                wait_per_msg: f.dur()?,
-                availability: f.f64()?,
-                bandwidth_mbs: f.f64()?,
-                stolen: f.dur()?,
-                wait_histogram: {
-                    let buckets = f.buckets()?;
-                    let sum = f.u128()?;
-                    DurationHistogram::from_raw(buckets, sum)
-                },
-                faults: read_faults(&mut f)?,
-            };
-            PointSample::Pww(s)
-        }
-        _ => return None,
-    };
-    f.done()?;
-    Some((key, x, sample))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use comb_core::{FaultCounters, PollingSample, PwwSample};
+    use comb_sim::stats::DurationHistogram;
+    use comb_sim::SimDuration;
 
     fn polling_sample() -> PollingSample {
         PollingSample {

@@ -5,10 +5,11 @@
 use crate::ascii;
 use crate::checkpoint::Journal;
 use crate::expect::{check_figure, Check};
-use crate::figures::{generate, Campaigns, Fidelity, FigureId, ResumeStats};
+use crate::figures::{generate, CacheCounts, Campaigns, Fidelity, FigureId, ResumeStats};
 use crate::series::Dataset;
-use comb_core::CombError;
+use comb_core::{CellCache, CombError};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Result of regenerating one figure.
 pub struct FigureReport {
@@ -20,6 +21,9 @@ pub struct FigureReport {
     pub checks: Vec<Check>,
     /// Where the CSV was written, if requested.
     pub csv_path: Option<PathBuf>,
+    /// Cell-cache activity attributed to this figure (None when the run
+    /// had no cache).
+    pub cache: Option<CacheCounts>,
 }
 
 impl FigureReport {
@@ -55,7 +59,22 @@ pub fn run_figures(
     fidelity: Fidelity,
     out_dir: Option<&Path>,
 ) -> Result<Vec<FigureReport>, CombError> {
+    run_figures_cached(ids, fidelity, out_dir, None)
+}
+
+/// [`run_figures`] with an optional content-addressed cell cache: every
+/// campaign cell resolves through the cache (results are byte-identical
+/// either way) and each report carries its cache tallies.
+pub fn run_figures_cached(
+    ids: &[FigureId],
+    fidelity: Fidelity,
+    out_dir: Option<&Path>,
+    cache: Option<Arc<CellCache>>,
+) -> Result<Vec<FigureReport>, CombError> {
     let mut campaigns = Campaigns::new(fidelity);
+    if let Some(c) = cache {
+        campaigns.set_cache(c);
+    }
     campaigns.prepare(ids).map_err(CombError::from)?;
     render_reports(ids, &mut campaigns, out_dir)
 }
@@ -71,8 +90,24 @@ pub fn run_figures_checkpointed(
     out_dir: Option<&Path>,
     checkpoint_path: &Path,
 ) -> Result<(Vec<FigureReport>, ResumeStats), CombError> {
+    run_figures_checkpointed_cached(ids, fidelity, out_dir, checkpoint_path, None)
+}
+
+/// [`run_figures_checkpointed`] with an optional cell cache. Journal
+/// restores bypass the cache entirely; fresh cells resolve through it and
+/// are journaled either way, so the checkpoint stays complete.
+pub fn run_figures_checkpointed_cached(
+    ids: &[FigureId],
+    fidelity: Fidelity,
+    out_dir: Option<&Path>,
+    checkpoint_path: &Path,
+    cache: Option<Arc<CellCache>>,
+) -> Result<(Vec<FigureReport>, ResumeStats), CombError> {
     let (journal, state) = Journal::open(checkpoint_path, &fidelity)?;
     let mut campaigns = Campaigns::new(fidelity);
+    if let Some(c) = cache {
+        campaigns.set_cache(c);
+    }
     let stats = campaigns.prepare_checkpointed(ids, &journal, &state, None)?;
     let reports = render_reports(ids, &mut campaigns, out_dir)?;
     Ok((reports, stats))
@@ -100,6 +135,7 @@ fn render_reports(
             dataset,
             checks,
             csv_path,
+            cache: campaigns.figure_cache_counts(id),
         });
     }
     Ok(reports)
@@ -164,6 +200,13 @@ pub fn markdown_report(reports: &[FigureReport]) -> String {
         let _ = writeln!(out, "Series maxima:");
         for s in &r.dataset.series {
             let _ = writeln!(out, "* {}: max y = {:.3}", s.label, s.y_max());
+        }
+        if let Some(c) = &r.cache {
+            let _ = writeln!(
+                out,
+                "\nCell cache: {} hits, {} misses, {} joined in-flight",
+                c.hits, c.misses, c.joined
+            );
         }
         if let Some(p) = &r.csv_path {
             let _ = writeln!(out, "\nData: `{}`", p.display());

@@ -5,13 +5,15 @@
 use crate::checkpoint::{CheckpointState, Journal, PointSample};
 use crate::series::{Dataset, Series};
 use comb_core::{
-    lin_spaced, log_spaced, polling_sweep, pww_sweep, run_cells, run_ordered, run_polling_point_on,
-    run_pww_point_on, CellOutcome, CombError, MethodConfig, PollingSample, PwwSample, RetryPolicy,
-    RunError, Transport, PAPER_SIZES,
+    lin_spaced, log_spaced, polling_sweep, pww_sweep, run_cell_cached, run_cells, run_ordered,
+    CacheOutcome, CellCache, CellMethod, CellOutcome, CombError, MethodConfig, PollingSample,
+    PwwSample, RetryPolicy, RunError, Transport, PAPER_SIZES,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The paper's data figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -362,10 +364,53 @@ struct PlannedCampaign {
     xs: Vec<u64>,
 }
 
-/// One point's worth of result, tagged by method.
-enum PointResult {
-    Polling(PollingSample),
-    Pww(PwwSample),
+impl PlannedCampaign {
+    /// The cell-cache method tag for this campaign's points.
+    fn cell_method(&self) -> CellMethod {
+        match self.key {
+            CampaignKey::Polling { .. } => CellMethod::Polling,
+            CampaignKey::Pww { test_in_work, .. } => CellMethod::Pww { test_in_work },
+            CampaignKey::Overhead { .. } => CellMethod::Pww {
+                test_in_work: false,
+            },
+        }
+    }
+}
+
+/// Cell-cache activity attributed to one campaign (or one figure, summed
+/// over its campaigns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounts {
+    /// Cells served from the cache (memory or disk tier).
+    pub hits: u64,
+    /// Cells computed fresh.
+    pub misses: u64,
+    /// Cells that joined an identical in-flight computation.
+    pub joined: u64,
+}
+
+impl CacheCounts {
+    fn add(&mut self, other: CacheCounts) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.joined += other.joined;
+    }
+}
+
+/// Per-campaign [hits, misses, joined] tallies a prepare pass collects
+/// while its worker pool runs (plain-code fold into [`CacheCounts`]
+/// afterwards).
+fn new_tallies(n: usize) -> Vec<[AtomicU64; 3]> {
+    (0..n).map(|_| Default::default()).collect()
+}
+
+fn tally(tallies: &[[AtomicU64; 3]], campaign: usize, outcome: CacheOutcome) {
+    let slot = match outcome {
+        CacheOutcome::HitMem | CacheOutcome::HitDisk => 0,
+        CacheOutcome::Miss | CacheOutcome::Uncached => 1,
+        CacheOutcome::Joined => 2,
+    };
+    tallies[campaign][slot].fetch_add(1, Ordering::Relaxed);
 }
 
 /// What a checkpointed prepare pass did (for `--resume` progress lines).
@@ -392,6 +437,13 @@ pub struct Campaigns {
     polling: HashMap<(String, u64), Vec<PollingSample>>,
     pww: HashMap<(String, u64, bool), Vec<PwwSample>>,
     overhead: HashMap<String, Vec<PwwSample>>,
+    /// Optional content-addressed cell cache; when set, both prepare
+    /// paths resolve every cell through it (identical cells dedup
+    /// in-process via single-flight and across runs via the disk store).
+    cell_cache: Option<Arc<CellCache>>,
+    /// Cache activity per campaign canonical key, accumulated by the
+    /// prepare passes (empty without a cache).
+    cache_log: HashMap<String, CacheCounts>,
 }
 
 impl Campaigns {
@@ -402,6 +454,47 @@ impl Campaigns {
             polling: HashMap::new(),
             pww: HashMap::new(),
             overhead: HashMap::new(),
+            cell_cache: None,
+            cache_log: HashMap::new(),
+        }
+    }
+
+    /// Route every prepared cell through a content-addressed cache.
+    /// Results are unchanged — cached campaigns export byte-identically —
+    /// only wall time and the per-figure cache tallies differ.
+    pub fn set_cache(&mut self, cache: Arc<CellCache>) {
+        self.cell_cache = Some(cache);
+    }
+
+    /// Cache activity attributed to one figure: the sum over its required
+    /// campaigns of the tallies recorded while preparing them. `None`
+    /// when no cache is attached; campaigns shared between figures count
+    /// toward each figure that needs them.
+    pub fn figure_cache_counts(&self, id: FigureId) -> Option<CacheCounts> {
+        self.cell_cache.as_ref()?;
+        let mut total = CacheCounts::default();
+        for key in required_campaigns(id) {
+            if let Some(c) = self.cache_log.get(&key.canonical()) {
+                total.add(*c);
+            }
+        }
+        Some(total)
+    }
+
+    /// Fold one prepare pass's per-campaign tallies into the log.
+    fn absorb_tallies(&mut self, plan: &[PlannedCampaign], tallies: &[[AtomicU64; 3]]) {
+        if self.cell_cache.is_none() {
+            return;
+        }
+        for (pc, t) in plan.iter().zip(tallies) {
+            self.cache_log
+                .entry(pc.key.canonical())
+                .or_default()
+                .add(CacheCounts {
+                    hits: t[0].load(Ordering::Relaxed),
+                    misses: t[1].load(Ordering::Relaxed),
+                    joined: t[2].load(Ordering::Relaxed),
+                });
         }
     }
 
@@ -488,20 +581,16 @@ impl Campaigns {
             .flat_map(|(c, pc)| pc.xs.iter().map(move |&x| (c, x)))
             .collect();
 
+        let tallies = new_tallies(plan.len());
+        let cache = self.cell_cache.clone();
         let results = run_ordered(self.fidelity.jobs, &points, |&(c, x)| {
             let pc = &plan[c];
-            match pc.key {
-                CampaignKey::Polling { .. } => {
-                    run_polling_point_on(&pc.hw, &pc.cfg, x).map(PointResult::Polling)
-                }
-                CampaignKey::Pww { test_in_work, .. } => {
-                    run_pww_point_on(&pc.hw, &pc.cfg, x, test_in_work).map(PointResult::Pww)
-                }
-                CampaignKey::Overhead { .. } => {
-                    run_pww_point_on(&pc.hw, &pc.cfg, x, false).map(PointResult::Pww)
-                }
-            }
+            let (sample, outcome) =
+                run_cell_cached(cache.as_deref(), &pc.hw, &pc.cfg, pc.cell_method(), x)?;
+            tally(&tallies, c, outcome);
+            Ok(sample)
         })?;
+        self.absorb_tallies(&plan, &tallies);
 
         // Points were emitted campaign-by-campaign and run_ordered keeps
         // input order, so slicing the flat results reassembles each sweep.
@@ -517,8 +606,8 @@ impl Campaigns {
                     let v = samples
                         .into_iter()
                         .map(|r| match r {
-                            PointResult::Polling(s) => s,
-                            PointResult::Pww(_) => unreachable!("polling campaign"),
+                            PointSample::Polling(s) => s,
+                            PointSample::Pww(_) => unreachable!("polling campaign"),
                         })
                         .collect();
                     self.polling.insert((platform, msg_bytes), v);
@@ -531,8 +620,8 @@ impl Campaigns {
                     let v = samples
                         .into_iter()
                         .map(|r| match r {
-                            PointResult::Pww(s) => s,
-                            PointResult::Polling(_) => unreachable!("pww campaign"),
+                            PointSample::Pww(s) => s,
+                            PointSample::Polling(_) => unreachable!("pww campaign"),
                         })
                         .collect();
                     self.pww.insert((platform, msg_bytes, test_in_work), v);
@@ -541,8 +630,8 @@ impl Campaigns {
                     let v = samples
                         .into_iter()
                         .map(|r| match r {
-                            PointResult::Pww(s) => s,
-                            PointResult::Polling(_) => unreachable!("overhead campaign"),
+                            PointSample::Pww(s) => s,
+                            PointSample::Polling(_) => unreachable!("overhead campaign"),
                         })
                         .collect();
                     self.overhead.insert(platform, v);
@@ -604,28 +693,28 @@ impl Campaigns {
         let truncated = fresh.len() > budget;
         let run_now = &fresh[..fresh.len().min(budget)];
 
+        let tallies = new_tallies(plan.len());
+        let cache = self.cell_cache.clone();
         let outcomes = run_cells(
             self.fidelity.jobs,
             run_now,
             RetryPolicy::none(),
             |&(c, x), _| {
                 let pc = &plan[c];
-                let sample = match pc.key {
-                    CampaignKey::Polling { .. } => {
-                        run_polling_point_on(&pc.hw, &pc.cfg, x).map(PointSample::Polling)
-                    }
-                    CampaignKey::Pww { test_in_work, .. } => {
-                        run_pww_point_on(&pc.hw, &pc.cfg, x, test_in_work).map(PointSample::Pww)
-                    }
-                    CampaignKey::Overhead { .. } => {
-                        run_pww_point_on(&pc.hw, &pc.cfg, x, false).map(PointSample::Pww)
-                    }
-                }
-                .map_err(|e| CombError::from(e).with_cell(format!("{} @ x={x}", canon[c])))?;
+                // Cache hits still pass through `journal.record`, so a
+                // checkpoint journal stays complete (and resumable on a
+                // machine without the cache) no matter how cells resolve.
+                let (sample, outcome) =
+                    run_cell_cached(cache.as_deref(), &pc.hw, &pc.cfg, pc.cell_method(), x)
+                        .map_err(|e| {
+                            CombError::from(e).with_cell(format!("{} @ x={x}", canon[c]))
+                        })?;
+                tally(&tallies, c, outcome);
                 journal.record(&canon[c], x, &sample)?;
                 Ok(sample)
             },
         );
+        self.absorb_tallies(&plan, &tallies);
 
         let mut first_err: Option<CombError> = None;
         for (&slot, outcome) in fresh_slots.iter().zip(outcomes) {
@@ -961,6 +1050,47 @@ mod tests {
         assert!(c.polling.is_empty() && c.pww.is_empty());
         // Re-planning the same figure is now a no-op.
         assert!(c.plan(&[FigureId::Fig12]).is_empty());
+    }
+
+    #[test]
+    fn cached_prepare_is_byte_identical_and_warms() {
+        let dir = std::env::temp_dir().join("comb_figures_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let ids = [FigureId::Fig13];
+
+        let mut plain = Campaigns::new(Fidelity::smoke());
+        plain.prepare(&ids).unwrap();
+        let plain_csv = generate(FigureId::Fig13, &mut plain).unwrap().to_csv();
+        assert!(
+            plain.figure_cache_counts(FigureId::Fig13).is_none(),
+            "no cache attached, no tallies"
+        );
+
+        let mut cold = Campaigns::new(Fidelity::smoke());
+        cold.set_cache(Arc::new(CellCache::new(
+            &dir,
+            comb_core::CacheMode::ReadWrite,
+        )));
+        cold.prepare(&ids).unwrap();
+        let cold_csv = generate(FigureId::Fig13, &mut cold).unwrap().to_csv();
+        assert_eq!(plain_csv, cold_csv, "cached run must be byte-identical");
+        let cold_counts = cold.figure_cache_counts(FigureId::Fig13).unwrap();
+        assert_eq!(cold_counts.hits, 0);
+        assert!(cold_counts.misses > 0);
+
+        // A fresh process warms entirely from disk, byte-identically.
+        let mut warm = Campaigns::new(Fidelity::smoke());
+        warm.set_cache(Arc::new(CellCache::new(
+            &dir,
+            comb_core::CacheMode::ReadWrite,
+        )));
+        warm.prepare(&ids).unwrap();
+        let warm_csv = generate(FigureId::Fig13, &mut warm).unwrap().to_csv();
+        assert_eq!(plain_csv, warm_csv, "warm run must be byte-identical");
+        let warm_counts = warm.figure_cache_counts(FigureId::Fig13).unwrap();
+        assert_eq!(warm_counts.misses, 0, "fully warm");
+        assert_eq!(warm_counts.hits, cold_counts.misses);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -31,11 +31,12 @@ pub use checkpoint::{CheckpointState, Journal, PointSample};
 pub use degradation::{generate_degradation, DEGRADATION_IDS};
 pub use expect::{check_figure, Check};
 pub use experiments::{
-    markdown_report, run_all, run_figures, run_figures_checkpointed, FigureReport,
+    markdown_report, run_all, run_figures, run_figures_cached, run_figures_checkpointed,
+    run_figures_checkpointed_cached, FigureReport,
 };
 pub use figures::{
-    generate, generate_all, required_campaigns, CampaignKey, Campaigns, Fidelity, FigureId,
-    ResumeStats,
+    generate, generate_all, required_campaigns, CacheCounts, CampaignKey, Campaigns, Fidelity,
+    FigureId, ResumeStats,
 };
 pub use series::{Dataset, Point, Series};
 pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -38,6 +38,13 @@ fn schedule_batch(sim: &Simulation) {
     for i in 0..EVENTS {
         // Zero-capture closure: always fits the inline representation.
         h.schedule_in(SimDuration::from_nanos(i + 1), || {});
+        // Budget-edge closure: exactly three words of capture — the shape
+        // of the hardware hot paths (slab owner + slot, stealer +
+        // duration) — must ride inline too.
+        let cap = [i as usize, 1, 2];
+        h.schedule_in(SimDuration::from_nanos(i + 1), move || {
+            std::hint::black_box(cap);
+        });
     }
 }
 
@@ -60,4 +67,23 @@ fn warm_arena_schedules_and_fires_without_allocating() {
         0,
         "typed fast path allocated on a warm arena"
     );
+    assert_eq!(
+        sim.handle().kernel_stats().boxed_calls,
+        0,
+        "closures at the inline budget must never fall back to boxing"
+    );
+}
+
+#[test]
+fn over_budget_captures_fall_back_to_exactly_one_box() {
+    // Sanity check on the counter the hot-path regression tests rely on:
+    // one word past the inline budget means exactly one boxed closure.
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let cap = [0usize, 1, 2, 3];
+    h.schedule_in(SimDuration::from_nanos(1), move || {
+        std::hint::black_box(cap);
+    });
+    sim.run().expect("run failed");
+    assert_eq!(sim.handle().kernel_stats().boxed_calls, 1);
 }

@@ -95,6 +95,12 @@ pub struct TraceAnalysis {
     pub retries: u64,
     /// Dropped control messages.
     pub drops: u64,
+    /// Sweep-cell cache hits (memory or disk tier).
+    pub cache_hits: u64,
+    /// Sweep-cell cache misses (cells computed fresh).
+    pub cache_misses: u64,
+    /// Requests that joined an identical in-flight computation.
+    pub cache_joins: u64,
 }
 
 impl TraceAnalysis {
@@ -181,6 +187,9 @@ impl TraceAnalysis {
         let mut stall_time = SimDuration::ZERO;
         let mut retries = 0u64;
         let mut drops = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut cache_joins = 0u64;
         for r in records {
             match r.event {
                 TraceEvent::Interrupt { cost } => {
@@ -193,6 +202,11 @@ impl TraceAnalysis {
                 }
                 TraceEvent::Retried { .. } => retries += 1,
                 TraceEvent::Dropped { .. } => drops += 1,
+                TraceEvent::CacheLookup { hit, joined } => match (joined, hit) {
+                    (true, _) => cache_joins += 1,
+                    (false, true) => cache_hits += 1,
+                    (false, false) => cache_misses += 1,
+                },
                 _ => {}
             }
         }
@@ -215,6 +229,9 @@ impl TraceAnalysis {
             stall_time,
             retries,
             drops,
+            cache_hits,
+            cache_misses,
+            cache_joins,
         }
     }
 
@@ -276,6 +293,16 @@ impl TraceAnalysis {
             self.drops
         )
         .expect("write to String cannot fail");
+        // Only campaigns running under the cell cache emit lookups; keep
+        // plain single-run reports unchanged.
+        if self.cache_hits + self.cache_misses + self.cache_joins > 0 {
+            writeln!(
+                out,
+                "cell cache: {} hits, {} misses, {} joined in-flight",
+                self.cache_hits, self.cache_misses, self.cache_joins
+            )
+            .expect("write to String cannot fail");
+        }
         out
     }
 }
@@ -350,6 +377,27 @@ mod tests {
         assert!((a.overlap_efficiency - 0.5).abs() < 1e-9);
         assert_eq!(a.total_bytes, 1000);
         assert_eq!(a.overlapped_bytes, 500);
+    }
+
+    #[test]
+    fn cache_lookups_are_counted_and_reported() {
+        let c = Comp::Cache;
+        let look = |hit, joined| TraceEvent::CacheLookup { hit, joined };
+        let records = vec![
+            rec(0, c, look(true, false)),
+            rec(1, c, look(true, false)),
+            rec(2, c, look(false, false)),
+            rec(3, c, look(false, true)),
+        ];
+        let a = TraceAnalysis::from_records(&records);
+        assert_eq!((a.cache_hits, a.cache_misses, a.cache_joins), (2, 1, 1));
+        assert!(a
+            .render()
+            .contains("cell cache: 2 hits, 1 misses, 1 joined in-flight"));
+        // Uncached runs keep their report format unchanged.
+        assert!(!TraceAnalysis::from_records(&[])
+            .render()
+            .contains("cell cache"));
     }
 
     #[test]

@@ -49,6 +49,7 @@ impl ChromeTrace {
         let name_for = |comp: Comp| -> String {
             let base = match comp {
                 Comp::Fabric => "fabric".to_string(),
+                Comp::Cache => "cache".to_string(),
                 c => format!("rank{}", c.pid()),
             };
             if label.is_empty() {

@@ -60,6 +60,7 @@ fn fields(e: &TraceEvent) -> (u64, String) {
             bytes,
             format!("src={src} dst={dst} first={first} last={last}"),
         ),
+        TraceEvent::CacheLookup { hit, joined } => (0, format!("hit={hit} joined={joined}")),
         TraceEvent::Custom(s) => (0, s.to_string()),
     }
 }

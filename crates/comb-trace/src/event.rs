@@ -92,6 +92,9 @@ pub enum Comp {
     Cpu(u32),
     /// The switch fabric (no per-node identity).
     Fabric,
+    /// The sweep-cell result cache (process-wide, outside any simulation;
+    /// timestamps are wall-clock offsets from campaign start).
+    Cache,
 }
 
 impl Comp {
@@ -101,6 +104,7 @@ impl Comp {
         match self {
             Comp::App(r) | Comp::Mpi(r) | Comp::Nic(r) | Comp::Cpu(r) => r,
             Comp::Fabric => FABRIC_PID,
+            Comp::Cache => CACHE_PID,
         }
     }
 
@@ -112,6 +116,7 @@ impl Comp {
             Comp::Nic(_) => 2,
             Comp::Cpu(_) => 3,
             Comp::Fabric => 0,
+            Comp::Cache => 0,
         }
     }
 
@@ -123,6 +128,7 @@ impl Comp {
             Comp::Nic(_) => "nic",
             Comp::Cpu(_) => "cpu",
             Comp::Fabric => "fabric",
+            Comp::Cache => "cache",
         }
     }
 }
@@ -130,10 +136,14 @@ impl Comp {
 /// Synthetic pid used for the fabric lane in exports.
 pub const FABRIC_PID: u32 = 999;
 
+/// Synthetic pid used for the sweep-cell cache lane in exports.
+pub const CACHE_PID: u32 = 998;
+
 impl fmt::Display for Comp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Comp::Fabric => f.write_str("fabric"),
+            Comp::Cache => f.write_str("cache"),
             c => write!(f, "{}{}", c.lane_name(), c.pid()),
         }
     }
@@ -281,6 +291,17 @@ pub enum TraceEvent {
         last: bool,
     },
 
+    // -- sweep-cell cache ------------------------------------------------
+    /// The sweep-cell result cache resolved one cell request.
+    CacheLookup {
+        /// The cell's result came from the cache (memory or disk tier)
+        /// rather than a fresh simulation.
+        hit: bool,
+        /// The request joined an identical in-flight computation
+        /// (single-flight dedup) instead of computing or reading itself.
+        joined: bool,
+    },
+
     // -- escape hatch ---------------------------------------------------
     /// Free-form marker for ad-hoc debugging; static so the off-path stays
     /// allocation-free.
@@ -325,6 +346,11 @@ impl TraceEvent {
             TraceEvent::Interrupt { .. } => "interrupt",
             TraceEvent::NicStall { .. } => "nic_stall",
             TraceEvent::PacketOnWire { .. } => "packet",
+            TraceEvent::CacheLookup { hit, joined } => match (joined, hit) {
+                (true, _) => "cache_join",
+                (false, true) => "cache_hit",
+                (false, false) => "cache_miss",
+            },
             TraceEvent::Custom(_) => "custom",
         }
     }

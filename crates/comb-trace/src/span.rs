@@ -250,6 +250,12 @@ pub fn build_spans(records: &[TraceRecord]) -> SpanSet {
                 time: r.time,
                 msg: None,
             }),
+            TraceEvent::CacheLookup { .. } => set.instants.push(InstantEvent {
+                name: r.event.kind(),
+                comp: r.comp,
+                time: r.time,
+                msg: None,
+            }),
             TraceEvent::Custom(name) => set.instants.push(InstantEvent {
                 name,
                 comp: r.comp,
