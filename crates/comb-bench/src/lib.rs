@@ -30,6 +30,7 @@ pub fn bench_fidelity() -> Fidelity {
         target_iters: 200_000,
         max_intervals: 300,
         jobs: 1,
+        adaptive: None,
     }
 }
 

@@ -276,26 +276,38 @@ fn render_json(
     s
 }
 
-/// Newest committed baseline: the `BENCH_pr<N>.json` with the highest `N`
-/// in the current directory. Called before the new result is written, so
-/// the file being regenerated still counts with its committed contents.
-fn discover_baseline() -> Option<PathBuf> {
-    let mut best: Option<(u64, PathBuf)> = None;
-    for entry in std::fs::read_dir(".").ok()?.flatten() {
-        let name = entry.file_name();
+/// Pick the newest baseline — the `BENCH_pr<N>.json` with the highest `N`
+/// — from a list of file names. Ordering is numeric, never lexicographic:
+/// `BENCH_pr10.json` beats `BENCH_pr9.json`. Names that do not match the
+/// pattern exactly are ignored. Pure so the ordering is unit-testable
+/// without touching the filesystem.
+fn newest_baseline<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Option<String> {
+    let mut best: Option<(u64, String)> = None;
+    for name in names {
+        let name = name.as_ref();
         let Some(n) = name
-            .to_str()
-            .and_then(|s| s.strip_prefix("BENCH_pr"))
+            .strip_prefix("BENCH_pr")
             .and_then(|s| s.strip_suffix(".json"))
             .and_then(|s| s.parse::<u64>().ok())
         else {
             continue;
         };
         if best.as_ref().is_none_or(|(b, _)| n > *b) {
-            best = Some((n, entry.path()));
+            best = Some((n, name.to_string()));
         }
     }
-    best.map(|(_, p)| p)
+    best.map(|(_, name)| name)
+}
+
+/// Newest committed baseline in the current directory. Called before the
+/// new result is written, so the file being regenerated still counts with
+/// its committed contents.
+fn discover_baseline() -> Option<PathBuf> {
+    let names = std::fs::read_dir(".")
+        .ok()?
+        .flatten()
+        .filter_map(|e| e.file_name().to_str().map(String::from));
+    newest_baseline(names).map(PathBuf::from)
 }
 
 /// Pull `"events_per_sec": <n>` for `name` out of a bench JSON file. The
@@ -488,4 +500,49 @@ pub fn cmd_bench(args: Vec<String>) -> Result<(), CombError> {
         );
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_discovery_orders_numerically() {
+        // pr10 must beat pr9: the lexicographic order would pick pr9.
+        let names = [
+            "BENCH_pr9.json",
+            "BENCH_pr10.json",
+            "BENCH_pr2.json",
+            "README.md",
+        ];
+        assert_eq!(newest_baseline(names).as_deref(), Some("BENCH_pr10.json"));
+    }
+
+    #[test]
+    fn baseline_discovery_ignores_near_misses() {
+        let names = [
+            "BENCH_prX.json",  // non-numeric
+            "BENCH_pr7.json5", // wrong suffix
+            "xBENCH_pr8.json", // wrong prefix
+            "BENCH_pr.json",   // empty number
+            "BENCH_pr6.json.bak",
+        ];
+        assert_eq!(newest_baseline(names), None);
+        assert_eq!(newest_baseline(Vec::<String>::new()), None);
+        assert_eq!(
+            newest_baseline(["BENCH_pr6.json"]).as_deref(),
+            Some("BENCH_pr6.json")
+        );
+    }
+
+    #[test]
+    fn events_per_sec_extraction_reads_own_format() {
+        let json = "{\"name\": \"event_chain_10k\", \"events\": 10000, \
+                    \"events_per_sec\": 12345678, \"speedup\": 1.11}";
+        assert_eq!(
+            extract_events_per_sec(json, "event_chain_10k"),
+            Some(12_345_678.0)
+        );
+        assert_eq!(extract_events_per_sec(json, "missing"), None);
+    }
 }

@@ -12,8 +12,8 @@
 mod bench;
 
 use comb_core::{
-    default_cache_dir, log_spaced, polling_sweep, run_cell_cached, CacheMode, CellCache,
-    CellMethod, CombError, ErrorKind, MethodConfig, PointSample, Transport,
+    default_cache_dir, log_spaced, polling_sweep, run_cell_cached, AdaptiveParams, AdaptiveStats,
+    CacheMode, CellCache, CellMethod, CombError, ErrorKind, MethodConfig, PointSample, Transport,
 };
 use comb_hw::FaultPlan;
 use comb_report::{generate_degradation, run_figures_cached, Fidelity, FigureId};
@@ -88,6 +88,17 @@ OPTIONS (figure/all/report):
                        journaled there are restored instead of re-run, fresh
                        cells are journaled as they finish. Exports are
                        byte-identical to an uninterrupted run at any --jobs
+    --replicates <n>   adaptive sampling: repeat every sweep cell under
+                       seeded run-to-run perturbation, up to <n> replicates
+                       per cell, stopping each cell early once its CI
+                       target is met; figures plot per-cell means and CSVs
+                       gain y_lo,y_hi,n confidence-band columns. Results
+                       stay byte-identical for any --jobs and under
+                       --resume
+    --ci-target <f>    relative 95% CI half-width to stop at, as a fraction
+                       of the mean (default 0.02; needs --replicates)
+    --perturb-seed <n> master seed for the perturbation model (default
+                       fixed; needs --replicates)
     --no-cache         disable the content-addressed sweep-cell cache
     --cache-refresh    recompute every cell and overwrite its cache entry
     --cache-dir <dir>  cache location (default: $COMB_CACHE_DIR, else
@@ -303,6 +314,102 @@ impl CacheOpts {
     }
 }
 
+/// Shared `--replicates` / `--ci-target` / `--perturb-seed` state for the
+/// commands that can run adaptive replicate campaigns.
+#[derive(Default)]
+struct AdaptiveOpts {
+    replicates: Option<u32>,
+    ci_target: Option<f64>,
+    perturb_seed: Option<u64>,
+}
+
+impl AdaptiveOpts {
+    /// Consume one flag if it is an adaptive flag. Returns false otherwise.
+    fn consume(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--replicates" => {
+                let n: u32 = it
+                    .next()
+                    .ok_or("--replicates needs a count")?
+                    .parse()
+                    .map_err(|_| "bad --replicates (expected a positive integer)")?;
+                if n == 0 {
+                    return Err("--replicates must be at least 1".into());
+                }
+                self.replicates = Some(n);
+            }
+            "--ci-target" => {
+                let t: f64 = it
+                    .next()
+                    .ok_or("--ci-target needs a fraction")?
+                    .parse()
+                    .map_err(|_| "bad --ci-target (expected a number like 0.02)")?;
+                // Non-finite targets would also poison the checkpoint
+                // fingerprint and AdaptiveParams equality.
+                if !t.is_finite() || t < 0.0 {
+                    return Err("--ci-target must be a finite non-negative fraction".into());
+                }
+                self.ci_target = Some(t);
+            }
+            "--perturb-seed" => {
+                self.perturb_seed = Some(
+                    it.next()
+                        .ok_or("--perturb-seed needs n")?
+                        .parse()
+                        .map_err(|_| "bad --perturb-seed")?,
+                )
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The adaptive campaign these flags describe. `--replicates` enables
+    /// it; the refinement knobs are rejected on their own.
+    fn build(&self) -> Result<Option<AdaptiveParams>, String> {
+        let Some(replicates) = self.replicates else {
+            if self.ci_target.is_some() || self.perturb_seed.is_some() {
+                return Err(
+                    "--ci-target / --perturb-seed need --replicates to enable adaptive sampling"
+                        .into(),
+                );
+            }
+            return Ok(None);
+        };
+        let mut params = AdaptiveParams::new(replicates);
+        if let Some(t) = self.ci_target {
+            params.ci_target = t;
+        }
+        if let Some(s) = self.perturb_seed {
+            params.perturb_seed = s;
+        }
+        Ok(Some(params))
+    }
+}
+
+/// The greppable one-line summary an adaptive campaign prints: how much
+/// work the CI-driven stopping rule saved over fixed-N replication.
+fn adaptive_summary(params: &AdaptiveParams, stats: &AdaptiveStats) -> String {
+    let fixed = stats.cells * params.replicates as usize;
+    format!(
+        "adaptive: {} cells, {} replicates ({} executed, {} restored), \
+         {} converged, {} capped; fixed-N at cap {} would run {} (saved {})",
+        stats.cells,
+        stats.replicates,
+        stats.executed,
+        stats.restored,
+        stats.converged,
+        stats.capped,
+        params.replicates,
+        fixed,
+        fixed.saturating_sub(stats.replicates)
+    )
+}
+
 /// The greppable one-line cache summary commands print after a cached run.
 fn cache_summary(cache: &CellCache) -> String {
     let s = cache.stats();
@@ -337,6 +444,7 @@ fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String>
         resume: None,
         cache: CacheOpts::default(),
     };
+    let mut adaptive = AdaptiveOpts::default();
     let mut jobs: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -366,6 +474,7 @@ fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String>
                     h.parse().map_err(|_| "bad plot height")?,
                 );
             }
+            flag if adaptive.consume(flag, &mut it)? => {}
             flag if opts.cache.consume(flag, &mut it)? => {}
             other if !all => {
                 opts.ids.push(other.parse::<FigureId>()?);
@@ -375,6 +484,11 @@ fn parse_figure_opts(args: Vec<String>, all: bool) -> Result<FigureOpts, String>
     }
     if let Some(jobs) = jobs {
         opts.fidelity.jobs = jobs;
+    }
+    // Applied after the loop: `--fidelity` resets the whole struct, so an
+    // adaptive flag given before it must not be clobbered.
+    if let Some(params) = adaptive.build()? {
+        opts.fidelity = opts.fidelity.with_adaptive(params);
     }
     if opts.ids.is_empty() {
         return Err("no figure ids given (try `comb list`)".into());
@@ -386,24 +500,48 @@ fn cmd_figures(args: Vec<String>, all: bool) -> Result<(), CombError> {
     let opts = parse_figure_opts(args, all)?;
     let cache = opts.cache.build();
     let started = std::time::Instant::now();
-    let reports = match &opts.resume {
-        Some(ckpt) => {
-            let (reports, stats) = comb_report::run_figures_checkpointed_cached(
-                &opts.ids,
-                opts.fidelity,
-                opts.out.as_deref(),
-                ckpt,
-                cache.clone(),
-            )?;
+    let reports = if let Some(params) = opts.fidelity.adaptive {
+        let (reports, stats) = comb_report::run_figures_adaptive(
+            &opts.ids,
+            opts.fidelity,
+            opts.out.as_deref(),
+            opts.resume.as_deref(),
+            cache.clone(),
+            &comb_trace::Tracer::default(),
+            None,
+        )?;
+        if let Some(ckpt) = &opts.resume {
             eprintln!(
-                "checkpoint {}: restored {} cells, executed {}",
+                "checkpoint {}: restored {} replicates, executed {}",
                 ckpt.display(),
                 stats.restored,
                 stats.executed
             );
-            reports
         }
-        None => run_figures_cached(&opts.ids, opts.fidelity, opts.out.as_deref(), cache.clone())?,
+        println!("{}", adaptive_summary(&params, &stats));
+        reports
+    } else {
+        match &opts.resume {
+            Some(ckpt) => {
+                let (reports, stats) = comb_report::run_figures_checkpointed_cached(
+                    &opts.ids,
+                    opts.fidelity,
+                    opts.out.as_deref(),
+                    ckpt,
+                    cache.clone(),
+                )?;
+                eprintln!(
+                    "checkpoint {}: restored {} cells, executed {}",
+                    ckpt.display(),
+                    stats.restored,
+                    stats.executed
+                );
+                reports
+            }
+            None => {
+                run_figures_cached(&opts.ids, opts.fidelity, opts.out.as_deref(), cache.clone())?
+            }
+        }
     };
     let mut failed = 0usize;
     for r in &reports {
@@ -461,6 +599,7 @@ fn cmd_report(args: Vec<String>) -> Result<(), CombError> {
     let mut out: Option<PathBuf> = None;
     let mut resume: Option<PathBuf> = None;
     let mut cache_opts = CacheOpts::default();
+    let mut adaptive_opts = AdaptiveOpts::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -477,30 +616,48 @@ fn cmd_report(args: Vec<String>) -> Result<(), CombError> {
                     it.next().ok_or("--resume needs a checkpoint file")?,
                 ))
             }
+            flag if adaptive_opts.consume(flag, &mut it)? => {}
             flag if cache_opts.consume(flag, &mut it)? => {}
             other => return Err(CombError::usage(format!("unknown option '{other}'"))),
         }
     }
+    if let Some(params) = adaptive_opts.build()? {
+        fidelity = fidelity.with_adaptive(params);
+    }
     let cache = cache_opts.build();
     let csv_dir = std::path::Path::new("results");
-    let reports = match &resume {
-        Some(ckpt) => {
-            let (reports, stats) = comb_report::run_figures_checkpointed_cached(
-                &FigureId::ALL,
-                fidelity,
-                Some(csv_dir),
-                ckpt,
-                cache.clone(),
-            )?;
-            eprintln!(
-                "checkpoint {}: restored {} cells, executed {}",
-                ckpt.display(),
-                stats.restored,
-                stats.executed
-            );
-            reports
+    let reports = if let Some(params) = fidelity.adaptive {
+        let (reports, stats) = comb_report::run_figures_adaptive(
+            &FigureId::ALL,
+            fidelity,
+            Some(csv_dir),
+            resume.as_deref(),
+            cache.clone(),
+            &comb_trace::Tracer::default(),
+            None,
+        )?;
+        eprintln!("{}", adaptive_summary(&params, &stats));
+        reports
+    } else {
+        match &resume {
+            Some(ckpt) => {
+                let (reports, stats) = comb_report::run_figures_checkpointed_cached(
+                    &FigureId::ALL,
+                    fidelity,
+                    Some(csv_dir),
+                    ckpt,
+                    cache.clone(),
+                )?;
+                eprintln!(
+                    "checkpoint {}: restored {} cells, executed {}",
+                    ckpt.display(),
+                    stats.restored,
+                    stats.executed
+                );
+                reports
+            }
+            None => run_figures_cached(&FigureId::ALL, fidelity, Some(csv_dir), cache.clone())?,
         }
-        None => run_figures_cached(&FigureId::ALL, fidelity, Some(csv_dir), cache.clone())?,
     };
     if let Some(c) = &cache {
         eprintln!("{}", cache_summary(c));
@@ -760,6 +917,7 @@ fn sweep_fingerprint(cfg: &MethodConfig, per_decade: u32) -> Fidelity {
         target_iters: cfg.target_iters,
         max_intervals: cfg.max_intervals,
         jobs: 0, // worker count never affects results; excluded on purpose
+        adaptive: None,
     }
 }
 
@@ -1418,6 +1576,82 @@ mod tests {
         assert_eq!(opts.fidelity.jobs, 0, "default is auto");
         assert!(parse_figure_opts(vec!["--jobs".into(), "-1".into()], true).is_err());
         assert!(parse_figure_opts(vec!["--fidelity".into(), "warp".into()], true).is_err());
+    }
+
+    #[test]
+    fn adaptive_flags_enable_replicate_campaigns() {
+        let opts = parse_figure_opts(
+            vec![
+                "--replicates".into(),
+                "6".into(),
+                "--ci-target".into(),
+                "0.1".into(),
+                "--perturb-seed".into(),
+                "99".into(),
+            ],
+            true,
+        )
+        .unwrap();
+        let params = opts.fidelity.adaptive.expect("adaptive enabled");
+        assert_eq!(params.replicates, 6);
+        assert_eq!(params.ci_target, 0.1);
+        assert_eq!(params.perturb_seed, 99);
+        // Flag order does not matter: `--fidelity` after `--replicates`
+        // must not clobber the adaptive knobs.
+        let opts = parse_figure_opts(
+            vec![
+                "--replicates".into(),
+                "3".into(),
+                "--fidelity".into(),
+                "smoke".into(),
+            ],
+            true,
+        )
+        .unwrap();
+        assert_eq!(opts.fidelity.adaptive.map(|a| a.replicates), Some(3));
+        // Defaults flow from AdaptiveParams::new.
+        let opts = parse_figure_opts(vec!["--replicates".into(), "4".into()], true).unwrap();
+        assert_eq!(
+            opts.fidelity.adaptive,
+            Some(AdaptiveParams::new(4)),
+            "unrefined flags take the stock target and seed"
+        );
+        assert!(parse_figure_opts(vec!["--replicates".into(), "0".into()], true).is_err());
+        assert!(parse_figure_opts(vec!["--ci-target".into(), "0.1".into()], true).is_err());
+        assert!(parse_figure_opts(vec!["--perturb-seed".into(), "7".into()], true).is_err());
+        assert!(
+            parse_figure_opts(
+                vec![
+                    "--replicates".into(),
+                    "2".into(),
+                    "--ci-target".into(),
+                    "nan".into()
+                ],
+                true
+            )
+            .is_err(),
+            "non-finite targets are rejected at the parser"
+        );
+    }
+
+    #[test]
+    fn adaptive_summary_reports_savings() {
+        let params = AdaptiveParams::new(5);
+        let stats = AdaptiveStats {
+            cells: 4,
+            replicates: 11,
+            restored: 3,
+            executed: 8,
+            converged: 3,
+            capped: 1,
+        };
+        let line = adaptive_summary(&params, &stats);
+        assert!(line.contains("4 cells"), "{line}");
+        assert!(
+            line.contains("11 replicates (8 executed, 3 restored)"),
+            "{line}"
+        );
+        assert!(line.contains("would run 20 (saved 9)"), "{line}");
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! Adaptive replicate execution: run each sweep cell until its confidence
+//! interval is tight enough, deterministically.
+//!
+//! A fixed replicate count wastes work on quiet cells and under-samples
+//! noisy ones. The adaptive executor instead runs cells in *rounds*: every
+//! round adds one replicate to every cell whose availability estimate has
+//! not yet met the [`StoppingRule`] (relative CI half-width under the
+//! target, between a floor of two replicates and a hard cap). Because the
+//! decision for round `k+1` is a pure function of the samples from rounds
+//! `0..=k` — and every replicate's result is a pure function of
+//! `(cell, perturbation plan, replicate index)` via
+//! [`comb_hw::PerturbPlan`] — the whole campaign is deterministic: same
+//! inputs, same replicate schedule, same bytes, at any `--jobs`.
+//!
+//! Three properties the rest of the repo depends on:
+//!
+//! * **Cache keys are free.** Replicate `r` runs on
+//!   [`PerturbPlan::hw_for_replicate`]`(base, r)`, whose `Debug` rendering
+//!   differs per replicate, so the content-addressed cell cache
+//!   automatically keys each `(cell, r)` distinctly — a warm rerun replays
+//!   every replicate as a hit and never collapses two replicates into one
+//!   entry.
+//! * **The journal is a prefix.** The coordinator records finished
+//!   replicates in input order at the end of each round, so the journal an
+//!   interrupted run leaves behind is always a byte prefix of the journal
+//!   an uninterrupted run would write. `--resume` restores that prefix via
+//!   the `restore` hook and continues with identical bytes.
+//! * **Errors are deterministic.** Within a round, the lowest-input-index
+//!   failure wins regardless of worker scheduling; successes that precede
+//!   it in input order are recorded first, so no finished work is lost.
+
+use crate::cache::{run_cell_cached, CellCache, CellMethod};
+use crate::codec::PointSample;
+use crate::error::CombError;
+use crate::runner::pool::{run_cells, CellOutcome, RetryPolicy};
+use crate::stats::{StopDecision, StoppingRule, Welford};
+use crate::sweep::MethodConfig;
+use comb_hw::{HwConfig, PerturbPlan};
+use comb_sim::SimTime;
+use comb_trace::{Comp, TraceEvent, Tracer};
+use std::time::Instant;
+
+/// The user-facing knobs of an adaptive campaign, as one value so the
+/// checkpoint fingerprint, the CLI, and the executor cannot disagree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveParams {
+    /// Hard cap on replicates per cell (the fixed-N budget the adaptive
+    /// rule tries to beat).
+    pub replicates: u32,
+    /// Relative CI half-width target (e.g. `0.02` = ±2% of the mean).
+    pub ci_target: f64,
+    /// Root seed of the perturbation model.
+    pub perturb_seed: u64,
+}
+
+// `ci_target` comes from CLI parsing which rejects non-finite values, so
+// reflexivity holds and params can key derived-Eq containers.
+impl Eq for AdaptiveParams {}
+
+impl AdaptiveParams {
+    /// Standard params: cap at `replicates`, stop at ±2% of the mean.
+    pub fn new(replicates: u32) -> AdaptiveParams {
+        AdaptiveParams {
+            replicates,
+            ci_target: 0.02,
+            perturb_seed: comb_hw::DEFAULT_PERTURB_SEED,
+        }
+    }
+
+    /// The stopping rule these params describe.
+    pub fn rule(&self) -> StoppingRule {
+        StoppingRule::new(self.replicates, self.ci_target)
+    }
+
+    /// The perturbation model these params describe.
+    pub fn perturb(&self) -> PerturbPlan {
+        PerturbPlan::new(self.perturb_seed)
+    }
+}
+
+/// Journal key for replicate `idx` of the campaign cell keyed `base`:
+/// `polling|GM|102400#r2`. Replicate 0 keeps the legacy bare key so
+/// single-replicate journals are byte-compatible with pre-adaptive ones.
+pub fn replicate_key(base: &str, idx: u32) -> String {
+    if idx == 0 {
+        base.to_string()
+    } else {
+        format!("{base}#r{idx}")
+    }
+}
+
+/// Inverse of [`replicate_key`]: `(base, replicate index)`. A bare key is
+/// replicate 0; a trailing `#r<idx>` names a later replicate.
+pub fn parse_replicate_key(key: &str) -> (&str, u32) {
+    if let Some((base, idx)) = key.rsplit_once("#r") {
+        if let Ok(idx) = idx.parse::<u32>() {
+            return (base, idx);
+        }
+    }
+    (key, 0)
+}
+
+/// One sweep cell of an adaptive campaign: everything needed to run any
+/// replicate of it. `hw` must be the caller-resolved hardware (fault plan
+/// applied), exactly as [`run_cell_cached`] expects.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCell {
+    /// Resolved base hardware (replicate 0 runs on exactly this).
+    pub hw: HwConfig,
+    /// Method configuration of the cell's sweep.
+    pub cfg: MethodConfig,
+    /// Which method the cell runs.
+    pub method: CellMethod,
+    /// The cell's x-axis value (poll interval or work interval).
+    pub x: u64,
+}
+
+/// One cell's finished estimate: every replicate sample in replicate
+/// order, plus how the stopping rule settled it.
+#[derive(Debug, Clone)]
+pub struct CellEstimate {
+    /// Replicate samples, index `r` produced by replicate `r`.
+    pub samples: Vec<PointSample>,
+    /// True if the CI target was met; false if the replicate cap stopped
+    /// the cell first.
+    pub converged: bool,
+}
+
+impl CellEstimate {
+    /// Streaming accumulator over a derived metric of the samples, for
+    /// interval estimation (`welford(|s| s.availability())`).
+    pub fn welford(&self, metric: impl Fn(&PointSample) -> f64) -> Welford {
+        let mut w = Welford::new();
+        for s in &self.samples {
+            w.push(metric(s));
+        }
+        w
+    }
+}
+
+/// What an adaptive pass did, for progress lines and the savings report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// Cells in the campaign.
+    pub cells: usize,
+    /// Total replicates across all cells (restored + executed).
+    pub replicates: usize,
+    /// Replicates restored from a checkpoint without simulating.
+    pub restored: usize,
+    /// Replicates simulated (and journaled) by this pass.
+    pub executed: usize,
+    /// Cells that met the CI target before the cap.
+    pub converged: usize,
+    /// Cells stopped by the replicate cap with the target unmet.
+    pub capped: usize,
+}
+
+/// Run an adaptive campaign over `cells`, returning one [`CellEstimate`]
+/// per cell (input order) and the pass's [`AdaptiveStats`].
+///
+/// `restore(cell, r)` gives the executor a previously journaled replicate
+/// (a resumed run's prefix); restored replicates are not re-recorded, not
+/// traced, and do not count against `stop_after`. `record(cell, r,
+/// sample)` is called by the coordinator — in input order, once per fresh
+/// replicate — to journal results; it must persist synchronously for the
+/// prefix guarantee to hold. `stop_after` caps fresh replicates before the
+/// pass returns [`crate::ErrorKind::Interrupted`] (the deterministic
+/// interruption hook the resume tests use); `None` runs to completion.
+#[allow(clippy::too_many_arguments)]
+pub fn run_adaptive_cells(
+    jobs: usize,
+    cells: &[AdaptiveCell],
+    params: AdaptiveParams,
+    cache: Option<&CellCache>,
+    tracer: &Tracer,
+    policy: RetryPolicy,
+    stop_after: Option<usize>,
+    mut restore: impl FnMut(usize, u32) -> Option<PointSample>,
+    mut record: impl FnMut(usize, u32, &PointSample) -> Result<(), CombError>,
+) -> Result<(Vec<CellEstimate>, AdaptiveStats), CombError> {
+    let rule = params.rule();
+    let perturb = params.perturb();
+    let n = cells.len();
+    // Replicate trace events carry wall-clock-offset times like the cell
+    // cache's do: these are campaign-level events, not simulation events.
+    let epoch = Instant::now();
+    let now = |epoch: &Instant| {
+        SimTime::from_nanos(epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    };
+
+    let mut acc: Vec<Welford> = vec![Welford::new(); n];
+    let mut samples: Vec<Vec<PointSample>> = vec![Vec::new(); n];
+    // `Some(converged)` once the stopping rule has settled the cell.
+    let mut settled: Vec<Option<bool>> = vec![None; n];
+    let mut stats = AdaptiveStats {
+        cells: n,
+        ..AdaptiveStats::default()
+    };
+
+    // Phase 1: restore each cell's journaled prefix, stopping exactly
+    // where a live run would have stopped scheduling. Replicates past the
+    // stopping point (possible if the rule was loosened between runs) are
+    // deliberately not consumed, keeping the schedule a pure function of
+    // the current rule.
+    for ci in 0..n {
+        while rule.decide(&acc[ci]) == StopDecision::Continue {
+            let next = samples[ci].len() as u32;
+            match restore(ci, next) {
+                Some(s) => {
+                    acc[ci].push(s.availability());
+                    samples[ci].push(s);
+                    stats.restored += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    // Rounds are indexed globally: replicate `r` of every cell runs in
+    // round `r`. A cell whose prefix was restored past the current round
+    // sits the round out, so a resumed run reproduces the uninterrupted
+    // run's exact record sequence — not just its set.
+    let mut round: u32 = 0;
+    loop {
+        // Settle what the rule has decided; collect this round's fresh
+        // replicates, in input order.
+        let mut work: Vec<(usize, u32)> = Vec::new();
+        let mut open = 0usize;
+        for ci in 0..n {
+            if settled[ci].is_some() {
+                continue;
+            }
+            match rule.decide(&acc[ci]) {
+                StopDecision::Continue => {
+                    open += 1;
+                    if samples[ci].len() as u32 == round {
+                        work.push((ci, round));
+                    }
+                }
+                decision => {
+                    let converged = decision == StopDecision::Converged;
+                    settled[ci] = Some(converged);
+                    if converged {
+                        stats.converged += 1;
+                    } else {
+                        stats.capped += 1;
+                    }
+                    tracer.emit(now(&epoch), Comp::Adaptive, || TraceEvent::CellSettled {
+                        replicates: samples[ci].len() as u32,
+                        converged,
+                    });
+                }
+            }
+        }
+        if open == 0 {
+            break;
+        }
+        if work.is_empty() {
+            // Every open cell was restored past this round; catch up.
+            round += 1;
+            continue;
+        }
+
+        // The interruption budget truncates the round; whatever ran is
+        // still recorded so the journal prefix reflects all finished work.
+        let budget = stop_after.map_or(usize::MAX, |b| b.saturating_sub(stats.executed));
+        let truncated = work.len() > budget;
+        let run_now = &work[..work.len().min(budget)];
+
+        let outcomes = run_cells(jobs, run_now, policy, |&(ci, rep), attempt| {
+            let cell = &cells[ci];
+            // Retries reseed the fault plan (the established per-attempt
+            // idiom) *before* perturbation, so the replicate's noise spec
+            // survives and the cache key covers the reseeded plan.
+            let mut cfg = cell.cfg.clone();
+            let mut base = cell.hw.clone();
+            if attempt > 0 {
+                cfg.fault = cfg.fault.for_attempt(attempt);
+                cfg.fault.apply_to(&mut base);
+            }
+            let hw = perturb.hw_for_replicate(&base, rep);
+            let (sample, _) =
+                run_cell_cached(cache, &hw, &cfg, cell.method, cell.x).map_err(|e| {
+                    CombError::from(e).with_cell(format!("cell {ci} @ x={} r{rep}", cell.x))
+                })?;
+            Ok(sample)
+        });
+
+        // Coordinator-ordered fold: successes before the first failure
+        // (by input index) are recorded; the first failure is returned.
+        // Worker scheduling cannot change either.
+        let mut first_err: Option<CombError> = None;
+        for (&(ci, rep), outcome) in run_now.iter().zip(outcomes) {
+            if first_err.is_some() {
+                break;
+            }
+            match outcome {
+                CellOutcome::Done { value, .. } => {
+                    record(ci, rep, &value)?;
+                    stats.executed += 1;
+                    tracer.emit(now(&epoch), Comp::Adaptive, || TraceEvent::ReplicateDone {
+                        replicate: rep,
+                    });
+                    acc[ci].push(value.availability());
+                    samples[ci].push(value);
+                }
+                CellOutcome::Failed { error, .. } => first_err = Some(error),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if truncated {
+            return Err(CombError::interrupted(format!(
+                "adaptive campaign stopped after {} fresh replicates \
+                 ({} recorded in total); rerun with the same checkpoint to resume",
+                stats.executed,
+                stats.restored + stats.executed,
+            )));
+        }
+        round += 1;
+    }
+
+    stats.replicates = stats.restored + stats.executed;
+    let estimates = samples
+        .into_iter()
+        .zip(settled)
+        .map(|(samples, s)| CellEstimate {
+            samples,
+            converged: s.unwrap_or_else(|| unreachable!("loop exits only when all cells settle")),
+        })
+        .collect();
+    Ok((estimates, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::Transport;
+    use std::cell::RefCell;
+
+    fn smoke_cfg(transport: Transport) -> MethodConfig {
+        let mut cfg = MethodConfig::new(transport, 100 * 1024);
+        cfg.cycles = 2;
+        cfg.target_iters = 500_000;
+        cfg.max_intervals = 1_000;
+        cfg
+    }
+
+    fn cell(transport: Transport, x: u64) -> AdaptiveCell {
+        let cfg = smoke_cfg(transport);
+        AdaptiveCell {
+            hw: cfg.resolved_hw(),
+            cfg,
+            method: CellMethod::Polling,
+            x,
+        }
+    }
+
+    /// The record log: (cell index, replicate, encoded sample) triples.
+    type RecordLog = Vec<(usize, u32, String)>;
+
+    /// Run with no checkpoint interaction, collecting the record log.
+    fn run_plain(
+        jobs: usize,
+        cells: &[AdaptiveCell],
+        params: AdaptiveParams,
+        stop_after: Option<usize>,
+    ) -> Result<(Vec<CellEstimate>, AdaptiveStats, RecordLog), CombError> {
+        let log = RefCell::new(Vec::new());
+        let tracer = Tracer::default();
+        let (est, stats) = run_adaptive_cells(
+            jobs,
+            cells,
+            params,
+            None,
+            &tracer,
+            RetryPolicy::none(),
+            stop_after,
+            |_, _| None,
+            |ci, rep, s| {
+                log.borrow_mut()
+                    .push((ci, rep, crate::codec::encode_sample(s)));
+                Ok(())
+            },
+        )?;
+        Ok((est, stats, log.into_inner()))
+    }
+
+    #[test]
+    fn replicate_keys_roundtrip_and_keep_legacy_base() {
+        assert_eq!(replicate_key("polling|GM|102400", 0), "polling|GM|102400");
+        assert_eq!(
+            replicate_key("polling|GM|102400", 3),
+            "polling|GM|102400#r3"
+        );
+        assert_eq!(
+            parse_replicate_key("polling|GM|102400#r3"),
+            ("polling|GM|102400", 3)
+        );
+        assert_eq!(
+            parse_replicate_key("polling|GM|102400"),
+            ("polling|GM|102400", 0)
+        );
+        // Junk after #r is not a replicate suffix.
+        assert_eq!(parse_replicate_key("a#rxyz"), ("a#rxyz", 0));
+    }
+
+    #[test]
+    fn adaptive_campaign_is_identical_across_job_counts() {
+        let cells = [cell(Transport::Gm, 10_000), cell(Transport::Portals, 1_000)];
+        let params = AdaptiveParams {
+            replicates: 4,
+            ci_target: 0.05,
+            perturb_seed: 11,
+        };
+        let (e1, s1, log1) = run_plain(1, &cells, params, None).unwrap();
+        let (e4, s4, log4) = run_plain(4, &cells, params, None).unwrap();
+        assert_eq!(s1, s4);
+        assert_eq!(log1, log4, "journal sequence must not depend on jobs");
+        for (a, b) in e1.iter().zip(&e4) {
+            assert_eq!(a.samples, b.samples);
+            assert_eq!(a.converged, b.converged);
+        }
+    }
+
+    #[test]
+    fn stopping_rule_bounds_replicates_and_identity_replicate_leads() {
+        let cells = [cell(Transport::Gm, 100_000)];
+        let params = AdaptiveParams {
+            replicates: 6,
+            ci_target: 0.5, // loose: two replicates should settle it
+            perturb_seed: 3,
+        };
+        let (est, stats, log) = run_plain(0, &cells, params, None).unwrap();
+        assert_eq!(est[0].samples.len(), 2, "loose target stops at the floor");
+        assert!(est[0].converged);
+        assert_eq!(stats.converged, 1);
+        // Replicate 0 is the unperturbed cell: same sample a plain sweep
+        // produces.
+        let (plain, _) = run_cell_cached(
+            None,
+            &cells[0].hw,
+            &cells[0].cfg,
+            CellMethod::Polling,
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(est[0].samples[0], plain);
+        assert_eq!(log[0].0, 0);
+        assert_eq!(log[0].1, 0);
+
+        // An unreachable target runs to the cap instead (on a cell whose
+        // availability actually varies under perturbation: a short poll
+        // interval keeps the worker timing-sensitive).
+        let cells = [cell(Transport::Portals, 1_000)];
+        let capped = AdaptiveParams {
+            ci_target: 0.0,
+            ..params
+        };
+        let (est, stats, _) = run_plain(0, &cells, capped, None).unwrap();
+        assert_eq!(est[0].samples.len(), 6);
+        assert!(!est[0].converged);
+        assert_eq!(stats.capped, 1);
+    }
+
+    #[test]
+    fn interrupt_and_resume_replays_the_same_replicates() {
+        let cells = [cell(Transport::Gm, 10_000), cell(Transport::Portals, 1_000)];
+        let params = AdaptiveParams {
+            replicates: 4,
+            ci_target: 0.0, // force the cap: 8 replicates total
+            perturb_seed: 7,
+        };
+        let (_, full_stats, full_log) = run_plain(0, &cells, params, None).unwrap();
+        assert_eq!(full_stats.executed, 8);
+
+        // Interrupt after 3 fresh replicates…
+        let err = run_plain(0, &cells, params, Some(3)).unwrap_err();
+        assert_eq!(err.kind, crate::ErrorKind::Interrupted);
+
+        // …then resume from the 3-replicate journal prefix.
+        let journal: Vec<(usize, u32, String)> = full_log[..3].to_vec();
+        let restored = RefCell::new(0usize);
+        let log = RefCell::new(Vec::new());
+        let tracer = Tracer::default();
+        let (est, stats) = run_adaptive_cells(
+            0,
+            &cells,
+            params,
+            None,
+            &tracer,
+            RetryPolicy::none(),
+            None,
+            |ci, rep| {
+                let s = journal
+                    .iter()
+                    .find(|(c, r, _)| (*c, *r) == (ci, rep))
+                    .map(|(_, _, enc)| crate::codec::decode_sample(enc).unwrap());
+                if s.is_some() {
+                    *restored.borrow_mut() += 1;
+                }
+                s
+            },
+            |ci, rep, s| {
+                log.borrow_mut()
+                    .push((ci, rep, crate::codec::encode_sample(s)));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.restored, 3, "journaled prefix is not re-run");
+        assert_eq!(stats.executed, 5);
+        // The resumed journal continues exactly where the full run's
+        // sequence left off: prefix + continuation == uninterrupted log.
+        let mut resumed = journal;
+        resumed.extend(log.into_inner());
+        assert_eq!(resumed, full_log);
+        assert_eq!(est.len(), 2);
+        assert!(est.iter().all(|e| e.samples.len() == 4));
+    }
+}

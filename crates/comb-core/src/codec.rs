@@ -23,6 +23,25 @@ pub enum PointSample {
     Pww(PwwSample),
 }
 
+impl PointSample {
+    /// CPU availability, the metric both methods report and the one the
+    /// adaptive stopping rule converges on.
+    pub fn availability(&self) -> f64 {
+        match self {
+            PointSample::Polling(s) => s.availability,
+            PointSample::Pww(s) => s.availability,
+        }
+    }
+
+    /// Delivered bandwidth in MB/s (both methods report it).
+    pub fn bandwidth_mbs(&self) -> f64 {
+        match self {
+            PointSample::Polling(s) => s.bandwidth_mbs,
+            PointSample::Pww(s) => s.bandwidth_mbs,
+        }
+    }
+}
+
 fn f64_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }

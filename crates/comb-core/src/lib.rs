@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod cache;
 pub mod codec;
 pub mod degradation;
@@ -37,9 +38,14 @@ pub mod netperf;
 pub mod polling;
 pub mod pww;
 pub mod runner;
+pub mod stats;
 pub mod sweep;
 pub mod traced;
 
+pub use adaptive::{
+    parse_replicate_key, replicate_key, run_adaptive_cells, AdaptiveCell, AdaptiveParams,
+    AdaptiveStats, CellEstimate,
+};
 pub use cache::{
     default_cache_dir, run_cell_cached, CacheMode, CacheOutcome, CacheStats, CellCache, CellKey,
     CellMethod,
@@ -61,6 +67,7 @@ pub use runner::{
     polling_sweep, polling_sweep_parallel, pww_sweep, pww_sweep_parallel, run_polling_point,
     run_polling_point_on, run_pww_interleaved, run_pww_point, run_pww_point_on, RunError,
 };
+pub use stats::{mean_ci, t_cdf, t_quantile, MeanCi, StopDecision, StoppingRule, Welford};
 pub use sweep::{lin_spaced, log_spaced, ConfigSummary, MethodConfig, Transport, PAPER_SIZES};
 pub use traced::{
     polling_sweep_traced, pww_sweep_traced, run_polling_point_traced, run_pww_point_traced,

@@ -65,6 +65,7 @@ const TAG_DROP_CTL: u64 = 2;
 /// Stream tag for deriving per-retry-attempt plan seeds
 /// ([`FaultPlan::for_attempt`]).
 const TAG_ATTEMPT: u64 = 3;
+const TAG_NOISE: u64 = 4;
 
 /// Packet-loss process selection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -138,6 +139,23 @@ pub struct DegradeSpec {
     pub factor: f64,
 }
 
+/// Background OS/fabric noise: with probability `rate`, one packet's
+/// transmission pays `cost` extra delay — the seeded stand-in for the
+/// run-to-run jitter (daemons, cache pollution, fabric crosstalk) that a
+/// real machine injects and a deterministic simulator otherwise lacks.
+/// The replicate perturbation model (`comb_hw::perturb`) installs one of
+/// these per replicate with a derived seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseSpec {
+    /// Per-packet probability of a noise event, in [0, 1).
+    pub rate: f64,
+    /// Extra transmit delay charged per noise event.
+    pub cost: SimDuration,
+    /// Private seed for the noise stream; `None` derives from the plan
+    /// seed, so a bare `noise=...` spec stays reproducible from the plan.
+    pub seed: Option<u64>,
+}
+
 /// A deterministic, seeded fault-injection plan. The default plan injects
 /// nothing and costs nothing.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +173,8 @@ pub struct FaultPlan {
     /// outright, in [0, 1). Recovery is the MPI layer's retry/backoff
     /// protocol, armed automatically by [`FaultPlan::apply_to`].
     pub drop_ctl: Option<f64>,
+    /// Background per-packet noise events.
+    pub noise: Option<NoiseSpec>,
     /// Seed for every fault source's stream.
     pub seed: u64,
 }
@@ -174,6 +194,7 @@ impl FaultPlan {
             storm: None,
             degrade: None,
             drop_ctl: None,
+            noise: None,
             seed: 0x000F_A017_5EED,
         }
     }
@@ -206,6 +227,7 @@ impl FaultPlan {
             && self.storm.is_none()
             && self.degrade.is_none()
             && self.drop_ctl.is_none()
+            && self.noise.is_none()
     }
 
     /// Build a plan from CLI-style specs (see [`FaultPlan::parse_spec`]),
@@ -230,6 +252,7 @@ impl FaultPlan {
     /// * `storm=PERIOD_US:COST_US`
     /// * `degrade=PERIOD_US:DUTY:FACTOR`
     /// * `dropctl=RATE`
+    /// * `noise=RATE:COST_US[:SEED]` (default seed: derived from the plan)
     /// * `seed=N`
     pub fn parse_spec(&mut self, spec: &str) -> Result<(), String> {
         let (key, val) = spec
@@ -310,6 +333,30 @@ impl FaultPlan {
                 let rate = parse_rate(parts.first(), spec)?;
                 self.drop_ctl = Some(rate);
             }
+            "noise" => {
+                let rate = parse_rate(parts.first(), spec)?;
+                let cost_us = parse_f64(
+                    parts
+                        .get(1)
+                        .ok_or_else(|| format!("noise spec `{spec}` missing cost"))?,
+                    spec,
+                )?;
+                if cost_us <= 0.0 {
+                    return Err(format!("noise cost {cost_us} must be positive"));
+                }
+                let seed = match parts.get(2) {
+                    Some(s) => Some(
+                        s.parse::<u64>()
+                            .map_err(|_| format!("bad noise seed `{s}` in `{spec}`"))?,
+                    ),
+                    None => None,
+                };
+                self.noise = Some(NoiseSpec {
+                    rate,
+                    cost: SimDuration::from_nanos((cost_us * 1000.0).round() as u64),
+                    seed,
+                });
+            }
             "seed" => {
                 self.seed = val
                     .parse::<u64>()
@@ -318,7 +365,7 @@ impl FaultPlan {
             other => {
                 return Err(format!(
                     "unknown fault source `{other}` \
-                     (expected loss|stall|storm|degrade|dropctl|seed)"
+                     (expected loss|stall|storm|degrade|dropctl|noise|seed)"
                 ))
             }
         }
@@ -362,6 +409,12 @@ impl std::fmt::Display for FaultPlan {
         }
         if let Some(r) = self.drop_ctl {
             parts.push(format!("dropctl={r}"));
+        }
+        if let Some(n) = self.noise {
+            match n.seed {
+                Some(seed) => parts.push(format!("noise={}:{}:{seed}", n.rate, us(n.cost))),
+                None => parts.push(format!("noise={}:{}", n.rate, us(n.cost))),
+            }
         }
         parts.push(format!("seed={}", self.seed));
         write!(f, "{}", parts.join(" "))
@@ -418,6 +471,10 @@ pub struct FaultStats {
     pub stall_delay: SimDuration,
     /// Total transmit delay added by bandwidth degradation.
     pub degrade_delay: SimDuration,
+    /// Background noise events charged.
+    pub noise_events: u64,
+    /// Total transmit delay added by background noise.
+    pub noise_delay: SimDuration,
 }
 
 struct StormState {
@@ -431,6 +488,11 @@ struct DropCtlState {
     rng: DetRng,
 }
 
+struct NoiseState {
+    spec: NoiseSpec,
+    rng: DetRng,
+}
+
 /// Per-NIC fault runtime: owns the loss process and the plan's other
 /// sources, each on an independent stream. Deterministic: all decisions are
 /// a pure function of `(plan, salt)` and the packet sequence.
@@ -440,6 +502,7 @@ pub struct FaultModel {
     degrade: Option<DegradeSpec>,
     storm: Option<StormState>,
     drop_ctl: Option<DropCtlState>,
+    noise: Option<NoiseState>,
     stats: FaultStats,
 }
 
@@ -473,19 +536,27 @@ impl FaultModel {
             rate,
             rng: DetRng::new(stream_seed(plan.seed, salt, TAG_DROP_CTL)),
         });
+        // Noise gets its own tag (and optionally its own seed, so replicate
+        // perturbation can reseed it without shifting any other stream).
+        let noise = plan.noise.filter(|n| n.rate > 0.0).map(|spec| NoiseState {
+            rng: DetRng::new(stream_seed(spec.seed.unwrap_or(plan.seed), salt, TAG_NOISE)),
+            spec,
+        });
         FaultModel {
             loss,
             stall: plan.stall,
             degrade: plan.degrade,
             storm: plan.storm.map(|spec| StormState { spec, last_tick: 0 }),
             drop_ctl,
+            noise,
             stats: FaultStats::default(),
         }
     }
 
     /// Extra transmit delay for one packet whose transmission would start
     /// at `start` and take `service`: link-loss recovery, stall-window
-    /// deferral, and degradation stretch, composed additively.
+    /// deferral, degradation stretch, and background noise, composed
+    /// additively.
     pub fn tx_penalty(&mut self, start: SimTime, service: SimDuration) -> SimDuration {
         let mut pen = self.loss.packet_penalty(service);
         if let Some(stall) = self.stall {
@@ -508,6 +579,15 @@ impl FaultModel {
                 );
                 self.stats.degrade_delay += extra;
                 pen += extra;
+            }
+        }
+        if let Some(n) = self.noise.as_mut() {
+            // Exactly one draw per packet, so the decision sequence is a
+            // pure function of the packet index regardless of timing.
+            if n.rng.next_f64() < n.spec.rate {
+                self.stats.noise_events += 1;
+                self.stats.noise_delay += n.spec.cost;
+                pen += n.spec.cost;
             }
         }
         pen
@@ -594,6 +674,7 @@ mod tests {
                 "storm=500:20",
                 "degrade=2000:0.5:4",
                 "dropctl=0.05",
+                "noise=0.02:25:11",
                 "seed=7",
             ],
             None,
@@ -624,6 +705,10 @@ mod tests {
             "stall=100:1.0",
             "degrade=100:0.5:0.5",
             "dropctl=2",
+            "noise=0.5",
+            "noise=1.5:20",
+            "noise=0.1:0",
+            "noise=0.1:20:nope",
             "frob=1",
             "seed=abc",
         ] {
@@ -652,12 +737,77 @@ mod tests {
         base.parse_spec("loss=uniform:0.05").unwrap();
         let mut extended = base.clone();
         extended.parse_spec("dropctl=0").unwrap();
+        extended.parse_spec("noise=0:20").unwrap();
         assert_eq!(seq(base.clone()), seq(extended));
         // And a zero-rate loss source draws nothing at all.
         let mut zero = FaultPlan::none();
         zero.parse_spec("loss=uniform:0").unwrap();
         zero.parse_spec("dropctl=0").unwrap();
+        zero.parse_spec("noise=0:20").unwrap();
         assert!(seq(zero).iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn noise_is_seeded_charged_and_independent() {
+        let seq = |spec: &str, salt| {
+            let mut plan = FaultPlan::none();
+            plan.parse_spec(spec).unwrap();
+            let mut m = FaultModel::from_link(&link_with(plan), salt);
+            (0..400)
+                .map(|i| {
+                    m.tx_penalty(SimTime::from_nanos(i * 7_001), SimDuration::from_micros(10))
+                        .as_nanos()
+                })
+                .collect::<Vec<_>>()
+        };
+        // Deterministic, salted, and each hit charges exactly the cost.
+        assert_eq!(seq("noise=0.1:20", 0), seq("noise=0.1:20", 0));
+        assert_ne!(seq("noise=0.1:20", 0), seq("noise=0.1:20", 1));
+        let hits = seq("noise=0.1:20", 0);
+        assert!(hits.iter().all(|&p| p == 0 || p == 20_000));
+        let count = hits.iter().filter(|&&p| p != 0).count();
+        assert!(
+            (15..90).contains(&count),
+            "noise count {count} far from 10%"
+        );
+        // A private seed decorrelates from the plan-derived stream without
+        // changing the rate, and stats see every event.
+        assert_ne!(seq("noise=0.1:20", 0), seq("noise=0.1:20:99", 0));
+        let mut plan = FaultPlan::none();
+        plan.parse_spec("noise=0.1:20:99").unwrap();
+        let mut m = FaultModel::from_link(&link_with(plan), 0);
+        for i in 0..400u64 {
+            m.tx_penalty(SimTime::from_nanos(i * 7_001), SimDuration::from_micros(10));
+        }
+        let stats = m.stats();
+        assert!(stats.noise_events > 0);
+        assert_eq!(
+            stats.noise_delay,
+            SimDuration::from_micros(20 * stats.noise_events)
+        );
+    }
+
+    #[test]
+    fn noise_does_not_shift_other_streams_when_added() {
+        // Adding an *armed* noise source must still leave the loss stream
+        // untouched: the draws come from a different tag.
+        let losses = |plan: FaultPlan| {
+            let mut m = FaultModel::from_link(&link_with(plan), 5);
+            (0..500)
+                .map(|i| {
+                    m.tx_penalty(
+                        SimTime::from_nanos(i * 13_001),
+                        SimDuration::from_micros(10),
+                    );
+                    m.loss_stats().lost_packets
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut base = FaultPlan::none();
+        base.parse_spec("loss=uniform:0.05").unwrap();
+        let mut with_noise = base.clone();
+        with_noise.parse_spec("noise=0.2:30").unwrap();
+        assert_eq!(losses(base), losses(with_noise));
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod nic;
 pub mod node;
 pub mod packet;
 pub(crate) mod pending;
+pub mod perturb;
 pub mod switch;
 
 pub use config::{
@@ -27,9 +28,10 @@ pub use config::{
     RndvRetryConfig, SmpConfig,
 };
 pub use cpu::{ComputeSample, Cpu, CpuStats, Stealer};
-pub use fault::{DegradeSpec, FaultPlan, FaultStats, LossSpec, StallSpec, StormSpec};
+pub use fault::{DegradeSpec, FaultPlan, FaultStats, LossSpec, NoiseSpec, StallSpec, StormSpec};
 pub use nic::{
     burst_batched_packets_total, DeliveryClass, Nic, NicStats, NodeId, RxHandler, TxDone, WireMsg,
 };
 pub use node::{Cluster, Node};
+pub use perturb::{PerturbPlan, DEFAULT_PERTURB_SEED};
 pub use switch::Fabric;

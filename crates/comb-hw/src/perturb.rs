@@ -1,0 +1,209 @@
+//! Seeded run-to-run perturbation for replicate campaigns.
+//!
+//! A deterministic simulator answers every question with exactly one
+//! number, which makes confidence intervals vacuous: re-running a sweep
+//! cell reproduces the same bits. Real machines do not behave that way —
+//! ISR costs, DMA rates, and wire latency drift run to run, and background
+//! activity steals cycles at random. A [`PerturbPlan`] reintroduces that
+//! variability *deterministically*: replicate `r` of a cell runs on a
+//! hardware configuration whose timing parameters are jittered by factors
+//! drawn from a stream derived purely from `(perturb seed, r)`, plus a
+//! seeded background-noise process ([`crate::fault::NoiseSpec`]) on the
+//! link. Every replicate is thus fully reproducible — same `(base config,
+//! plan, r)` in, same bits out — which is what lets adaptive campaigns
+//! keep the repo's byte-identity and caching guarantees while still
+//! having a genuine run-to-run distribution to estimate.
+//!
+//! Replicate `0` is the identity: the unperturbed configuration, byte for
+//! byte, so a single-replicate campaign reproduces the legacy single-shot
+//! numbers exactly.
+
+use crate::config::HwConfig;
+use crate::fault::{stream_seed, DetRng, NoiseSpec};
+use comb_sim::SimDuration;
+
+/// Stream tag for per-replicate perturbation streams, disjoint from the
+/// fault-source tags in [`crate::fault`] so arming perturbation can never
+/// shift a fault stream.
+const TAG_REPLICATE: u64 = 5;
+
+/// Default perturbation seed (any fixed value works; this one is baked
+/// into golden files, so changing it re-blesses them).
+pub const DEFAULT_PERTURB_SEED: u64 = 0x0ADA_0C0B_55ED;
+
+/// The replicate perturbation model: how much to jitter the deterministic
+/// timing parameters and how much background noise to inject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbPlan {
+    /// Root seed; every replicate's stream derives from `(seed, r)`.
+    pub seed: u64,
+    /// Half-width of the multiplicative jitter band: each jittered
+    /// parameter is scaled by an independent factor uniform in
+    /// `[1 - jitter, 1 + jitter]`. In [0, 1).
+    pub jitter: f64,
+    /// Per-packet probability of a background-noise event, in [0, 1).
+    pub noise_rate: f64,
+    /// Extra transmit delay per noise event.
+    pub noise_cost: SimDuration,
+}
+
+impl Default for PerturbPlan {
+    fn default() -> Self {
+        PerturbPlan::new(DEFAULT_PERTURB_SEED)
+    }
+}
+
+impl PerturbPlan {
+    /// The standard model with a caller-chosen seed: ±5% timing jitter
+    /// and a 1% / 20 µs background-noise process — enough run-to-run
+    /// spread for interval estimation without drowning the platform
+    /// signal the figures exist to show.
+    pub fn new(seed: u64) -> PerturbPlan {
+        PerturbPlan {
+            seed,
+            jitter: 0.05,
+            noise_rate: 0.01,
+            noise_cost: SimDuration::from_micros(20),
+        }
+    }
+
+    /// The hardware configuration replicate `replicate` runs on.
+    ///
+    /// Replicate `0` returns `base` unchanged (the identity replicate).
+    /// For `r > 0`, independent factors drawn from the `(seed, r)` stream
+    /// jitter the NIC's per-packet costs (ISR / firmware / kernel path),
+    /// its DMA bandwidths, and the wire latency — always in the same
+    /// order, so a replicate's configuration is a pure function of
+    /// `(base, plan, r)` — and a seeded [`NoiseSpec`] is installed on the
+    /// link. The perturbed config renders differently under `{:?}`, which
+    /// is what gives every replicate its own content-addressed cache key.
+    pub fn hw_for_replicate(&self, base: &HwConfig, replicate: u32) -> HwConfig {
+        let mut hw = base.clone();
+        if replicate == 0 {
+            return hw;
+        }
+        let mut rng = DetRng::new(stream_seed(self.seed, replicate as u64, TAG_REPLICATE));
+        let factor = |rng: &mut DetRng| 1.0 + self.jitter * (2.0 * rng.next_f64() - 1.0);
+        // Fixed draw order: ISR/host costs, DMA bandwidths, wire latency.
+        hw.nic.tx_per_packet = jitter_duration(hw.nic.tx_per_packet, factor(&mut rng));
+        hw.nic.rx_per_packet = jitter_duration(hw.nic.rx_per_packet, factor(&mut rng));
+        hw.nic.tx_host_per_packet = jitter_duration(hw.nic.tx_host_per_packet, factor(&mut rng));
+        hw.nic.rx_match_cost = jitter_duration(hw.nic.rx_match_cost, factor(&mut rng));
+        hw.nic.tx_bandwidth = jitter_u64(hw.nic.tx_bandwidth, factor(&mut rng));
+        hw.nic.rx_bandwidth = jitter_u64(hw.nic.rx_bandwidth, factor(&mut rng));
+        hw.link.latency = jitter_duration(hw.link.latency, factor(&mut rng));
+        if self.noise_rate > 0.0 {
+            hw.link.fault.noise = Some(NoiseSpec {
+                rate: self.noise_rate,
+                cost: self.noise_cost,
+                seed: Some(rng.next_u64()),
+            });
+        }
+        hw
+    }
+}
+
+fn jitter_duration(d: SimDuration, factor: f64) -> SimDuration {
+    SimDuration::from_nanos((d.as_nanos() as f64 * factor).round() as u64)
+}
+
+fn jitter_u64(v: u64, factor: f64) -> u64 {
+    (v as f64 * factor).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicate_zero_is_the_identity() {
+        let plan = PerturbPlan::default();
+        for base in [HwConfig::gm_myrinet(), HwConfig::portals_myrinet()] {
+            assert_eq!(plan.hw_for_replicate(&base, 0), base);
+        }
+    }
+
+    #[test]
+    fn replicates_are_deterministic_and_distinct() {
+        let plan = PerturbPlan::new(42);
+        let base = HwConfig::gm_myrinet();
+        let r1 = plan.hw_for_replicate(&base, 1);
+        let r2 = plan.hw_for_replicate(&base, 2);
+        assert_eq!(r1, plan.hw_for_replicate(&base, 1), "pure in (plan, r)");
+        assert_ne!(r1, base, "replicate 1 must differ from the base");
+        assert_ne!(r1, r2, "replicates must decorrelate");
+        // Distinct Debug renderings are the cache-key premise: the
+        // content-addressed cell key hashes `hw={:?}`.
+        assert_ne!(format!("{r1:?}"), format!("{r2:?}"));
+        // A different seed gives a different family.
+        let other = PerturbPlan::new(43).hw_for_replicate(&base, 1);
+        assert_ne!(other, r1, "seeds must decorrelate");
+    }
+
+    #[test]
+    fn jitter_stays_inside_the_band() {
+        let plan = PerturbPlan::new(7);
+        let base = HwConfig::portals_myrinet();
+        for r in 1..100u32 {
+            let hw = plan.hw_for_replicate(&base, r);
+            let check = |got: u64, base: u64, what: &str| {
+                let lo = base as f64 * (1.0 - plan.jitter) - 1.0;
+                let hi = base as f64 * (1.0 + plan.jitter) + 1.0;
+                assert!(
+                    (lo..=hi).contains(&(got as f64)),
+                    "replicate {r}: {what} {got} outside [{lo}, {hi}]"
+                );
+            };
+            check(
+                hw.nic.tx_per_packet.as_nanos(),
+                base.nic.tx_per_packet.as_nanos(),
+                "tx_per_packet",
+            );
+            check(
+                hw.nic.rx_per_packet.as_nanos(),
+                base.nic.rx_per_packet.as_nanos(),
+                "rx_per_packet",
+            );
+            check(hw.nic.tx_bandwidth, base.nic.tx_bandwidth, "tx_bandwidth");
+            check(hw.nic.rx_bandwidth, base.nic.rx_bandwidth, "rx_bandwidth");
+            check(
+                hw.link.latency.as_nanos(),
+                base.link.latency.as_nanos(),
+                "latency",
+            );
+        }
+    }
+
+    #[test]
+    fn noise_is_installed_per_replicate_with_distinct_seeds() {
+        let plan = PerturbPlan::new(9);
+        let base = HwConfig::gm_myrinet();
+        let n1 = plan.hw_for_replicate(&base, 1).link.fault.noise.unwrap();
+        let n2 = plan.hw_for_replicate(&base, 2).link.fault.noise.unwrap();
+        assert_eq!(n1.rate, plan.noise_rate);
+        assert_eq!(n1.cost, plan.noise_cost);
+        assert!(n1.seed.is_some());
+        assert_ne!(n1.seed, n2.seed, "noise streams must decorrelate");
+        // Zero noise rate installs nothing — the fault plan stays inert.
+        let quiet = PerturbPlan {
+            noise_rate: 0.0,
+            ..plan
+        };
+        let hw = quiet.hw_for_replicate(&base, 1);
+        assert!(hw.link.fault.noise.is_none());
+        assert!(hw.link.fault.is_none());
+    }
+
+    #[test]
+    fn perturbation_preserves_other_fault_sources() {
+        use crate::fault::FaultPlan;
+        let mut base = HwConfig::gm_myrinet();
+        let fp = FaultPlan::from_specs(&["loss=uniform:0.01", "dropctl=0.05"], Some(3)).unwrap();
+        fp.apply_to(&mut base);
+        let hw = PerturbPlan::new(5).hw_for_replicate(&base, 2);
+        assert_eq!(hw.link.fault.loss, base.link.fault.loss);
+        assert_eq!(hw.link.fault.drop_ctl, base.link.fault.drop_ctl);
+        assert_eq!(hw.link.fault.seed, base.link.fault.seed);
+        assert!(hw.link.fault.noise.is_some());
+    }
+}

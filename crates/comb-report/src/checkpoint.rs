@@ -48,10 +48,22 @@ pub use comb_core::codec::PointSample;
 const MAGIC: &str = "comb-checkpoint v1";
 
 fn fingerprint(f: &Fidelity) -> String {
-    format!(
+    use std::fmt::Write as _;
+    let mut fp = format!(
         "fidelity per_decade={} cycles={} target_iters={} max_intervals={}",
         f.per_decade, f.cycles, f.target_iters, f.max_intervals
-    )
+    );
+    // Adaptive knobs change every cell's replicate schedule and the
+    // perturbed hardware itself, so they are identity-bearing — but only
+    // when enabled, keeping legacy journals resumable byte-for-byte.
+    if let Some(a) = f.adaptive {
+        let _ = write!(
+            fp,
+            " replicates={} ci_target={} perturb_seed={}",
+            a.replicates, a.ci_target, a.perturb_seed
+        );
+    }
+    fp
 }
 
 /// The completed cells replayed from a journal.

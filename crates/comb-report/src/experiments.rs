@@ -7,7 +7,8 @@ use crate::checkpoint::Journal;
 use crate::expect::{check_figure, Check};
 use crate::figures::{generate, CacheCounts, Campaigns, Fidelity, FigureId, ResumeStats};
 use crate::series::Dataset;
-use comb_core::{CellCache, CombError};
+use comb_core::{AdaptiveStats, CellCache, CombError};
+use comb_trace::Tracer;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -109,6 +110,40 @@ pub fn run_figures_checkpointed_cached(
         campaigns.set_cache(c);
     }
     let stats = campaigns.prepare_checkpointed(ids, &journal, &state, None)?;
+    let reports = render_reports(ids, &mut campaigns, out_dir)?;
+    Ok((reports, stats))
+}
+
+/// [`run_figures`] with adaptive replicate sampling
+/// ([`Fidelity::adaptive`] must be set): every campaign cell is repeated
+/// under seeded perturbation until its CI target is met or the replicate
+/// cap stops it, figures plot per-cell means, and CSV exports carry
+/// `y_lo,y_hi,n` CI-band columns.
+///
+/// With `checkpoint_path`, replicates are journaled under
+/// replicate-suffixed keys and a rerun resumes the campaign
+/// byte-identically; `stop_after` caps fresh replicates for the
+/// interrupt/resume tests. `tracer` receives the replicate-level trace
+/// events (pass `&Tracer::default()` to discard them).
+pub fn run_figures_adaptive(
+    ids: &[FigureId],
+    fidelity: Fidelity,
+    out_dir: Option<&Path>,
+    checkpoint_path: Option<&Path>,
+    cache: Option<Arc<CellCache>>,
+    tracer: &Tracer,
+    stop_after: Option<usize>,
+) -> Result<(Vec<FigureReport>, AdaptiveStats), CombError> {
+    let mut campaigns = Campaigns::new(fidelity);
+    if let Some(c) = cache {
+        campaigns.set_cache(c);
+    }
+    let opened = match checkpoint_path {
+        Some(path) => Some(Journal::open(path, &fidelity)?),
+        None => None,
+    };
+    let journal = opened.as_ref().map(|(j, s)| (j, s));
+    let stats = campaigns.prepare_adaptive(ids, tracer, journal, stop_after)?;
     let reports = render_reports(ids, &mut campaigns, out_dir)?;
     Ok((reports, stats))
 }

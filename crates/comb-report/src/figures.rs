@@ -3,12 +3,14 @@
 //! them on the simulated platforms.
 
 use crate::checkpoint::{CheckpointState, Journal, PointSample};
-use crate::series::{Dataset, Series};
+use crate::series::{CiBand, Dataset, Series};
 use comb_core::{
-    lin_spaced, log_spaced, polling_sweep, pww_sweep, run_cell_cached, run_cells, run_ordered,
+    lin_spaced, log_spaced, mean_ci, polling_sweep, pww_sweep, replicate_key, run_adaptive_cells,
+    run_cell_cached, run_cells, run_ordered, AdaptiveCell, AdaptiveParams, AdaptiveStats,
     CacheOutcome, CellCache, CellMethod, CellOutcome, CombError, MethodConfig, PollingSample,
-    PwwSample, RetryPolicy, RunError, Transport, PAPER_SIZES,
+    PwwSample, RetryPolicy, RunError, Transport, Welford, PAPER_SIZES,
 };
+use comb_trace::Tracer;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::str::FromStr;
@@ -181,6 +183,12 @@ pub struct Fidelity {
     /// else available parallelism). Does not affect results, only wall
     /// time.
     pub jobs: usize,
+    /// Adaptive replicate sampling: when set, campaigns run each cell
+    /// until the CI target is met (or the cap), and exports carry CI
+    /// bands. `None` (the default) is the legacy single-shot mode with
+    /// byte-identical exports. Part of the checkpoint fingerprint:
+    /// changing these knobs changes every cell's result.
+    pub adaptive: Option<AdaptiveParams>,
 }
 
 impl Fidelity {
@@ -193,6 +201,7 @@ impl Fidelity {
             target_iters: 500_000,
             max_intervals: 1_000,
             jobs: 0,
+            adaptive: None,
         }
     }
 
@@ -204,6 +213,7 @@ impl Fidelity {
             target_iters: 2_000_000,
             max_intervals: 4_000,
             jobs: 0,
+            adaptive: None,
         }
     }
 
@@ -215,12 +225,19 @@ impl Fidelity {
             target_iters: 8_000_000,
             max_intervals: 20_000,
             jobs: 0,
+            adaptive: None,
         }
     }
 
     /// This fidelity with a specific worker count.
     pub fn with_jobs(mut self, jobs: usize) -> Fidelity {
         self.jobs = jobs;
+        self
+    }
+
+    /// This fidelity with adaptive replicate sampling enabled.
+    pub fn with_adaptive(mut self, params: AdaptiveParams) -> Fidelity {
+        self.adaptive = Some(params);
         self
     }
 
@@ -434,9 +451,15 @@ pub struct ResumeStats {
 ///   is swept on first use, so `generate` works standalone too.
 pub struct Campaigns {
     fidelity: Fidelity,
-    polling: HashMap<(String, u64), Vec<PollingSample>>,
-    pww: HashMap<(String, u64, bool), Vec<PwwSample>>,
-    overhead: HashMap<String, Vec<PwwSample>>,
+    // Each campaign is a Vec over x-axis points; each point a Vec over
+    // replicates. Single-shot campaigns store singletons, so the legacy
+    // path is the `n = 1` case of the replicate-aware one.
+    polling: HashMap<(String, u64), Vec<Vec<PollingSample>>>,
+    pww: HashMap<(String, u64, bool), Vec<Vec<PwwSample>>>,
+    overhead: HashMap<String, Vec<Vec<PwwSample>>>,
+    /// Per-campaign convergence flags (one per x point) from the adaptive
+    /// pass; absent for single-shot campaigns.
+    converged: HashMap<String, Vec<bool>>,
     /// Optional content-addressed cell cache; when set, both prepare
     /// paths resolve every cell through it (identical cells dedup
     /// in-process via single-flight and across runs via the disk store).
@@ -454,6 +477,7 @@ impl Campaigns {
             polling: HashMap::new(),
             pww: HashMap::new(),
             overhead: HashMap::new(),
+            converged: HashMap::new(),
             cell_cache: None,
             cache_log: HashMap::new(),
         }
@@ -598,45 +622,7 @@ impl Campaigns {
         for pc in plan {
             let tail = rest.split_off(pc.xs.len());
             let samples = std::mem::replace(&mut rest, tail);
-            match pc.key {
-                CampaignKey::Polling {
-                    platform,
-                    msg_bytes,
-                } => {
-                    let v = samples
-                        .into_iter()
-                        .map(|r| match r {
-                            PointSample::Polling(s) => s,
-                            PointSample::Pww(_) => unreachable!("polling campaign"),
-                        })
-                        .collect();
-                    self.polling.insert((platform, msg_bytes), v);
-                }
-                CampaignKey::Pww {
-                    platform,
-                    msg_bytes,
-                    test_in_work,
-                } => {
-                    let v = samples
-                        .into_iter()
-                        .map(|r| match r {
-                            PointSample::Pww(s) => s,
-                            PointSample::Polling(_) => unreachable!("pww campaign"),
-                        })
-                        .collect();
-                    self.pww.insert((platform, msg_bytes, test_in_work), v);
-                }
-                CampaignKey::Overhead { platform } => {
-                    let v = samples
-                        .into_iter()
-                        .map(|r| match r {
-                            PointSample::Pww(s) => s,
-                            PointSample::Polling(_) => unreachable!("overhead campaign"),
-                        })
-                        .collect();
-                    self.overhead.insert(platform, v);
-                }
-            }
+            self.store_campaign(pc.key, samples.into_iter().map(|s| vec![s]).collect());
         }
         Ok(())
     }
@@ -744,50 +730,14 @@ impl Campaigns {
         // Reassemble campaign-by-campaign, exactly as `prepare` does.
         let mut iter = results.into_iter();
         for pc in plan {
-            let samples: Vec<PointSample> = iter
+            let samples: Vec<Vec<PointSample>> = iter
                 .by_ref()
                 .take(pc.xs.len())
-                .map(|s| s.unwrap_or_else(|| unreachable!("every cell is restored or executed")))
+                .map(|s| {
+                    vec![s.unwrap_or_else(|| unreachable!("every cell is restored or executed"))]
+                })
                 .collect();
-            match pc.key {
-                CampaignKey::Polling {
-                    platform,
-                    msg_bytes,
-                } => {
-                    let v = samples
-                        .into_iter()
-                        .map(|r| match r {
-                            PointSample::Polling(s) => s,
-                            PointSample::Pww(_) => unreachable!("polling campaign"),
-                        })
-                        .collect();
-                    self.polling.insert((platform, msg_bytes), v);
-                }
-                CampaignKey::Pww {
-                    platform,
-                    msg_bytes,
-                    test_in_work,
-                } => {
-                    let v = samples
-                        .into_iter()
-                        .map(|r| match r {
-                            PointSample::Pww(s) => s,
-                            PointSample::Polling(_) => unreachable!("pww campaign"),
-                        })
-                        .collect();
-                    self.pww.insert((platform, msg_bytes, test_in_work), v);
-                }
-                CampaignKey::Overhead { platform } => {
-                    let v = samples
-                        .into_iter()
-                        .map(|r| match r {
-                            PointSample::Pww(s) => s,
-                            PointSample::Polling(_) => unreachable!("overhead campaign"),
-                        })
-                        .collect();
-                    self.overhead.insert(platform, v);
-                }
-            }
+            self.store_campaign(pc.key, samples);
         }
         Ok(ResumeStats {
             restored,
@@ -795,35 +745,171 @@ impl Campaigns {
         })
     }
 
-    fn polling(&mut self, t: &Transport, size: u64) -> Result<&[PollingSample], RunError> {
+    /// Adaptive prepare: run every campaign the given figures need with
+    /// seeded per-replicate perturbation, repeating each cell until the
+    /// stopping rule in [`Fidelity::adaptive`] settles it. Cells from all
+    /// campaigns share one round-based pool pass, and the resulting
+    /// replicate lists feed the CI bands the series builders attach.
+    ///
+    /// With a journal, replicate `r` of cell `(campaign, x)` is keyed
+    /// [`replicate_key`]`(canonical, r)`; previously journaled replicates
+    /// are restored without simulating and fresh ones are recorded by the
+    /// coordinator in schedule order, so the journal an interrupted run
+    /// leaves is a byte prefix of an uninterrupted run's (see
+    /// [`run_adaptive_cells`]). `stop_after` caps fresh replicates, then
+    /// the pass returns [`comb_core::ErrorKind::Interrupted`].
+    pub fn prepare_adaptive(
+        &mut self,
+        ids: &[FigureId],
+        tracer: &Tracer,
+        journal: Option<(&Journal, &CheckpointState)>,
+        stop_after: Option<usize>,
+    ) -> Result<AdaptiveStats, CombError> {
+        let Some(params) = self.fidelity.adaptive else {
+            return Err(CombError::usage(
+                "prepare_adaptive needs Fidelity::adaptive set (see --replicates)",
+            ));
+        };
+        let plan: Vec<PlannedCampaign> = self
+            .plan(ids)
+            .into_iter()
+            .map(|key| self.plan_campaign(key))
+            .collect();
+        let canon: Vec<String> = plan.iter().map(|pc| pc.key.canonical()).collect();
+        let points: Vec<(usize, u64)> = plan
+            .iter()
+            .enumerate()
+            .flat_map(|(c, pc)| pc.xs.iter().map(move |&x| (c, x)))
+            .collect();
+        let cells: Vec<AdaptiveCell> = points
+            .iter()
+            .map(|&(c, x)| AdaptiveCell {
+                hw: plan[c].hw.clone(),
+                cfg: plan[c].cfg.clone(),
+                method: plan[c].cell_method(),
+                x,
+            })
+            .collect();
+
+        let cache = self.cell_cache.clone();
+        let (estimates, stats) = run_adaptive_cells(
+            self.fidelity.jobs,
+            &cells,
+            params,
+            cache.as_deref(),
+            tracer,
+            RetryPolicy::none(),
+            stop_after,
+            |ci, rep| {
+                let (c, x) = points[ci];
+                journal.and_then(|(_, state)| state.get(&replicate_key(&canon[c], rep), x).cloned())
+            },
+            |ci, rep, sample| {
+                let (c, x) = points[ci];
+                match journal {
+                    Some((j, _)) => j.record(&replicate_key(&canon[c], rep), x, sample),
+                    None => Ok(()),
+                }
+            },
+        )?;
+
+        // Reassemble campaign-by-campaign, exactly as `prepare` does —
+        // but each point keeps its whole replicate list.
+        let mut iter = estimates.into_iter();
+        for (pc, canonical) in plan.into_iter().zip(canon) {
+            let ests: Vec<comb_core::CellEstimate> = iter.by_ref().take(pc.xs.len()).collect();
+            self.converged
+                .insert(canonical, ests.iter().map(|e| e.converged).collect());
+            self.store_campaign(pc.key, ests.into_iter().map(|e| e.samples).collect());
+        }
+        Ok(stats)
+    }
+
+    /// File one campaign's finished points (replicate lists) under its
+    /// key, unwrapping the method-specific sample type.
+    fn store_campaign(&mut self, key: CampaignKey, points: Vec<Vec<PointSample>>) {
+        let as_polling = |reps: Vec<PointSample>| -> Vec<PollingSample> {
+            reps.into_iter()
+                .map(|r| match r {
+                    PointSample::Polling(s) => s,
+                    PointSample::Pww(_) => unreachable!("polling campaign"),
+                })
+                .collect()
+        };
+        let as_pww = |reps: Vec<PointSample>| -> Vec<PwwSample> {
+            reps.into_iter()
+                .map(|r| match r {
+                    PointSample::Pww(s) => s,
+                    PointSample::Polling(_) => unreachable!("pww campaign"),
+                })
+                .collect()
+        };
+        match key {
+            CampaignKey::Polling {
+                platform,
+                msg_bytes,
+            } => {
+                self.polling.insert(
+                    (platform, msg_bytes),
+                    points.into_iter().map(as_polling).collect(),
+                );
+            }
+            CampaignKey::Pww {
+                platform,
+                msg_bytes,
+                test_in_work,
+            } => {
+                self.pww.insert(
+                    (platform, msg_bytes, test_in_work),
+                    points.into_iter().map(as_pww).collect(),
+                );
+            }
+            CampaignKey::Overhead { platform } => {
+                self.overhead
+                    .insert(platform, points.into_iter().map(as_pww).collect());
+            }
+        }
+    }
+
+    /// Per-point convergence flags of an adaptively prepared campaign
+    /// (true = CI target met, false = replicate cap). `None` for
+    /// single-shot campaigns.
+    pub fn campaign_converged(&self, key: &CampaignKey) -> Option<&[bool]> {
+        self.converged.get(&key.canonical()).map(Vec::as_slice)
+    }
+
+    fn polling(&mut self, t: &Transport, size: u64) -> Result<&[Vec<PollingSample>], RunError> {
         let key = (t.name(), size);
         if !self.polling.contains_key(&key) {
             let cfg = self.fidelity.method_config(t.clone(), size);
             let xs = log_spaced(POLL_RANGE.0, POLL_RANGE.1, self.fidelity.per_decade);
             let samples = polling_sweep(&cfg, &xs)?;
-            self.polling.insert(key.clone(), samples);
+            self.polling
+                .insert(key.clone(), samples.into_iter().map(|s| vec![s]).collect());
         }
         Ok(&self.polling[&key])
     }
 
-    fn pww(&mut self, t: &Transport, size: u64, test: bool) -> Result<&[PwwSample], RunError> {
+    fn pww(&mut self, t: &Transport, size: u64, test: bool) -> Result<&[Vec<PwwSample>], RunError> {
         let key = (t.name(), size, test);
         if !self.pww.contains_key(&key) {
             let cfg = self.fidelity.method_config(t.clone(), size);
             let xs = log_spaced(PWW_RANGE.0, PWW_RANGE.1, self.fidelity.per_decade);
             let samples = pww_sweep(&cfg, &xs, test)?;
-            self.pww.insert(key.clone(), samples);
+            self.pww
+                .insert(key.clone(), samples.into_iter().map(|s| vec![s]).collect());
         }
         Ok(&self.pww[&key])
     }
 
-    fn overhead(&mut self, t: &Transport) -> Result<&[PwwSample], RunError> {
+    fn overhead(&mut self, t: &Transport) -> Result<&[Vec<PwwSample>], RunError> {
         let key = t.name();
         if !self.overhead.contains_key(&key) {
             let cfg = self.fidelity.method_config(t.clone(), 100 * 1024);
             let xs = lin_spaced(OVERHEAD_RANGE.0, OVERHEAD_RANGE.1, OVERHEAD_POINTS);
             let samples = pww_sweep(&cfg, &xs, false)?;
-            self.overhead.insert(key.clone(), samples);
+            self.overhead
+                .insert(key.clone(), samples.into_iter().map(|s| vec![s]).collect());
         }
         Ok(&self.overhead[&key])
     }
@@ -833,20 +919,70 @@ fn size_label(size: u64) -> String {
     format!("{} KB", size / 1024)
 }
 
-fn polling_series(label: &str, s: &[PollingSample], y: impl Fn(&PollingSample) -> f64) -> Series {
-    Series::new(label, s.iter().map(|p| (p.poll_interval as f64, y(p))))
+/// Confidence level of the CI bands attached to replicate campaigns.
+const BAND_CONFIDENCE: f64 = 0.95;
+
+/// Build one series from replicate lists: each point's coordinates are
+/// the means of `x`/`y` over that cell's replicates, and when *every*
+/// cell has at least two replicates (an adaptive campaign — the floor is
+/// two) the series carries a 95% CI band on y. A single-replicate cell
+/// feeds the mean untouched ([`Welford`] with `n = 1` is bit-exact), so
+/// legacy campaigns produce byte-identical series with no bands.
+fn replicate_series<T>(
+    label: &str,
+    cells: &[Vec<T>],
+    x: impl Fn(&T) -> f64,
+    y: impl Fn(&T) -> f64,
+) -> Series {
+    let mut s = Series::new(label, std::iter::empty::<(f64, f64)>());
+    let banded = !cells.is_empty() && cells.iter().all(|reps| reps.len() >= 2);
+    for reps in cells {
+        let mut wx = Welford::new();
+        let mut wy = Welford::new();
+        for r in reps {
+            wx.push(x(r));
+            wy.push(y(r));
+        }
+        s.points.push(crate::series::Point {
+            x: wx.mean(),
+            y: wy.mean(),
+        });
+        if banded {
+            if let Some(ci) = mean_ci(&wy, BAND_CONFIDENCE) {
+                s.bands.push(CiBand {
+                    lo: ci.lo(),
+                    hi: ci.hi(),
+                    n: ci.n,
+                });
+            }
+        }
+    }
+    // A band for every point or none at all — a partially banded series
+    // would desynchronize the CSV columns.
+    if s.bands.len() != s.points.len() {
+        s.bands.clear();
+    }
+    s
 }
 
-fn pww_series(label: &str, s: &[PwwSample], y: impl Fn(&PwwSample) -> f64) -> Series {
-    Series::new(label, s.iter().map(|p| (p.work_interval as f64, y(p))))
+fn polling_series(
+    label: &str,
+    s: &[Vec<PollingSample>],
+    y: impl Fn(&PollingSample) -> f64,
+) -> Series {
+    replicate_series(label, s, |p| p.poll_interval as f64, y)
 }
 
-fn avail_vs_bw_series(label: &str, s: &[PollingSample]) -> Series {
-    Series::new(label, s.iter().map(|p| (p.availability, p.bandwidth_mbs)))
+fn pww_series(label: &str, s: &[Vec<PwwSample>], y: impl Fn(&PwwSample) -> f64) -> Series {
+    replicate_series(label, s, |p| p.work_interval as f64, y)
 }
 
-fn pww_avail_vs_bw_series(label: &str, s: &[PwwSample]) -> Series {
-    Series::new(label, s.iter().map(|p| (p.availability, p.bandwidth_mbs)))
+fn avail_vs_bw_series(label: &str, s: &[Vec<PollingSample>]) -> Series {
+    replicate_series(label, s, |p| p.availability, |p| p.bandwidth_mbs)
+}
+
+fn pww_avail_vs_bw_series(label: &str, s: &[Vec<PwwSample>]) -> Series {
+    replicate_series(label, s, |p| p.availability, |p| p.bandwidth_mbs)
 }
 
 /// Regenerate one figure, reusing any sweeps already in `campaigns`.
@@ -1091,6 +1227,51 @@ mod tests {
         assert_eq!(warm_counts.misses, 0, "fully warm");
         assert_eq!(warm_counts.hits, cold_counts.misses);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adaptive_prepare_attaches_bands_and_stops_early() {
+        let params = AdaptiveParams {
+            replicates: 5,
+            ci_target: 0.25,
+            perturb_seed: 77,
+        };
+        let mut c = Campaigns::new(Fidelity::smoke().with_adaptive(params));
+        let stats = c
+            .prepare_adaptive(&[FigureId::Fig13], &Tracer::default(), None, None)
+            .unwrap();
+        assert!(stats.replicates >= 2 * stats.cells, "two-replicate floor");
+        assert!(
+            stats.replicates < 5 * stats.cells,
+            "a loose CI target must settle some cells below the cap \
+             ({} replicates over {} cells)",
+            stats.replicates,
+            stats.cells,
+        );
+        assert_eq!(stats.converged + stats.capped, stats.cells);
+        let key = CampaignKey::Overhead {
+            platform: Transport::Gm.name(),
+        };
+        assert_eq!(
+            c.campaign_converged(&key).map(<[bool]>::len),
+            Some(OVERHEAD_POINTS)
+        );
+        let ds = generate(FigureId::Fig13, &mut c).unwrap();
+        for s in &ds.series {
+            assert_eq!(s.bands.len(), s.points.len(), "every point gets a band");
+            for (p, b) in s.points.iter().zip(&s.bands) {
+                assert!(b.lo <= p.y && p.y <= b.hi);
+                assert!(b.n >= 2);
+            }
+        }
+        assert!(ds.to_csv().starts_with("# fig13"));
+        assert!(ds.to_csv().contains("series,x,y,y_lo,y_hi,n"));
+        // Without adaptive params the call is a usage error.
+        let mut plain = Campaigns::new(Fidelity::smoke());
+        let err = plain
+            .prepare_adaptive(&[FigureId::Fig13], &Tracer::default(), None, None)
+            .unwrap_err();
+        assert_eq!(err.kind, comb_core::ErrorKind::Usage);
     }
 
     #[test]

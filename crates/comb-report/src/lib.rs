@@ -31,13 +31,13 @@ pub use checkpoint::{CheckpointState, Journal, PointSample};
 pub use degradation::{generate_degradation, DEGRADATION_IDS};
 pub use expect::{check_figure, Check};
 pub use experiments::{
-    markdown_report, run_all, run_figures, run_figures_cached, run_figures_checkpointed,
-    run_figures_checkpointed_cached, FigureReport,
+    markdown_report, run_all, run_figures, run_figures_adaptive, run_figures_cached,
+    run_figures_checkpointed, run_figures_checkpointed_cached, FigureReport,
 };
 pub use figures::{
     generate, generate_all, required_campaigns, CacheCounts, CampaignKey, Campaigns, Fidelity,
     FigureId, ResumeStats,
 };
-pub use series::{Dataset, Point, Series};
+pub use series::{CiBand, Dataset, Point, Series};
 pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use timeline::{render_pww_timeline, render_traced_run};

@@ -14,6 +14,17 @@ pub struct Point {
     pub y: f64,
 }
 
+/// Confidence band around one point's y value, estimated from replicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CiBand {
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+    /// Replicates the interval was estimated from.
+    pub n: u64,
+}
+
 /// A labelled series of points.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Series {
@@ -21,14 +32,18 @@ pub struct Series {
     pub label: String,
     /// The points, in sweep order.
     pub points: Vec<Point>,
+    /// Per-point confidence bands from replicate campaigns: either empty
+    /// (single-shot data) or exactly one band per point.
+    pub bands: Vec<CiBand>,
 }
 
 impl Series {
-    /// Build a series from (x, y) pairs.
+    /// Build a series from (x, y) pairs (no bands).
     pub fn new(label: impl Into<String>, points: impl IntoIterator<Item = (f64, f64)>) -> Series {
         Series {
             label: label.into(),
             points: points.into_iter().map(|(x, y)| Point { x, y }).collect(),
+            bands: Vec::new(),
         }
     }
 
@@ -67,15 +82,32 @@ pub struct Dataset {
 
 impl Dataset {
     /// Long-format CSV: `series,x,y` with a comment header carrying the
-    /// title and axis labels.
+    /// title and axis labels. When any series carries confidence bands
+    /// (replicate campaigns), three columns are appended — `y_lo,y_hi,n`
+    /// — and band-less series leave them empty; without bands the legacy
+    /// three-column format is emitted byte-identically.
     pub fn to_csv(&self) -> String {
+        let banded = self.series.iter().any(|s| !s.bands.is_empty());
         let mut out = String::new();
         let _ = writeln!(out, "# {}: {}", self.id, self.title);
         let _ = writeln!(out, "# x: {} | y: {}", self.x_label, self.y_label);
-        let _ = writeln!(out, "series,x,y");
+        let _ = writeln!(
+            out,
+            "series,x,y{}",
+            if banded { ",y_lo,y_hi,n" } else { "" }
+        );
         for s in &self.series {
-            for p in &s.points {
-                let _ = writeln!(out, "{},{},{}", csv_escape(&s.label), p.x, p.y);
+            for (i, p) in s.points.iter().enumerate() {
+                let _ = write!(out, "{},{},{}", csv_escape(&s.label), p.x, p.y);
+                if banded {
+                    match s.bands.get(i) {
+                        Some(b) => {
+                            let _ = write!(out, ",{},{},{}", b.lo, b.hi, b.n);
+                        }
+                        None => out.push_str(",,,"),
+                    }
+                }
+                out.push('\n');
             }
         }
         out
@@ -147,6 +179,34 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("10 KB,100,70"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn banded_series_add_ci_columns_and_bandless_stay_legacy() {
+        let mut ds = dataset();
+        assert!(
+            ds.to_csv().lines().nth(2) == Some("series,x,y"),
+            "band-free datasets keep the legacy header"
+        );
+        ds.series[0].bands = vec![
+            CiBand {
+                lo: 79.0,
+                hi: 81.0,
+                n: 4,
+            },
+            CiBand {
+                lo: 69.5,
+                hi: 70.5,
+                n: 2,
+            },
+        ];
+        let csv = ds.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[2], "series,x,y,y_lo,y_hi,n");
+        assert_eq!(lines[3], "10 KB,10,80,79,81,4");
+        assert_eq!(lines[4], "10 KB,100,70,69.5,70.5,2");
+        // A band-less series in a banded dataset leaves the columns empty.
+        assert_eq!(lines[5], "\"has,comma\",10,1,,,");
     }
 
     #[test]

@@ -61,6 +61,11 @@ fn fields(e: &TraceEvent) -> (u64, String) {
             format!("src={src} dst={dst} first={first} last={last}"),
         ),
         TraceEvent::CacheLookup { hit, joined } => (0, format!("hit={hit} joined={joined}")),
+        TraceEvent::ReplicateDone { replicate } => (0, format!("replicate={replicate}")),
+        TraceEvent::CellSettled {
+            replicates,
+            converged,
+        } => (0, format!("replicates={replicates} converged={converged}")),
         TraceEvent::Custom(s) => (0, s.to_string()),
     }
 }

@@ -95,6 +95,9 @@ pub enum Comp {
     /// The sweep-cell result cache (process-wide, outside any simulation;
     /// timestamps are wall-clock offsets from campaign start).
     Cache,
+    /// The adaptive replicate scheduler (process-wide, outside any
+    /// simulation; timestamps are wall-clock offsets from campaign start).
+    Adaptive,
 }
 
 impl Comp {
@@ -105,6 +108,7 @@ impl Comp {
             Comp::App(r) | Comp::Mpi(r) | Comp::Nic(r) | Comp::Cpu(r) => r,
             Comp::Fabric => FABRIC_PID,
             Comp::Cache => CACHE_PID,
+            Comp::Adaptive => ADAPTIVE_PID,
         }
     }
 
@@ -117,6 +121,7 @@ impl Comp {
             Comp::Cpu(_) => 3,
             Comp::Fabric => 0,
             Comp::Cache => 0,
+            Comp::Adaptive => 0,
         }
     }
 
@@ -129,6 +134,7 @@ impl Comp {
             Comp::Cpu(_) => "cpu",
             Comp::Fabric => "fabric",
             Comp::Cache => "cache",
+            Comp::Adaptive => "adaptive",
         }
     }
 }
@@ -139,11 +145,15 @@ pub const FABRIC_PID: u32 = 999;
 /// Synthetic pid used for the sweep-cell cache lane in exports.
 pub const CACHE_PID: u32 = 998;
 
+/// Synthetic pid used for the adaptive replicate scheduler lane in exports.
+pub const ADAPTIVE_PID: u32 = 997;
+
 impl fmt::Display for Comp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Comp::Fabric => f.write_str("fabric"),
             Comp::Cache => f.write_str("cache"),
+            Comp::Adaptive => f.write_str("adaptive"),
             c => write!(f, "{}{}", c.lane_name(), c.pid()),
         }
     }
@@ -302,6 +312,21 @@ pub enum TraceEvent {
         joined: bool,
     },
 
+    // -- adaptive replicate scheduler -------------------------------------
+    /// One replicate of a sweep cell finished and was folded into the
+    /// cell's running estimate.
+    ReplicateDone {
+        /// Replicate index within its cell (0 = the unperturbed run).
+        replicate: u32,
+    },
+    /// The stopping rule settled a cell: no more replicates will run.
+    CellSettled {
+        /// Replicates accumulated when the cell settled.
+        replicates: u32,
+        /// True when the CI target was met before the replicate cap.
+        converged: bool,
+    },
+
     // -- escape hatch ---------------------------------------------------
     /// Free-form marker for ad-hoc debugging; static so the off-path stays
     /// allocation-free.
@@ -351,6 +376,8 @@ impl TraceEvent {
                 (false, true) => "cache_hit",
                 (false, false) => "cache_miss",
             },
+            TraceEvent::ReplicateDone { .. } => "replicate_done",
+            TraceEvent::CellSettled { .. } => "cell_settled",
             TraceEvent::Custom(_) => "custom",
         }
     }

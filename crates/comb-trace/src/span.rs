@@ -250,7 +250,9 @@ pub fn build_spans(records: &[TraceRecord]) -> SpanSet {
                 time: r.time,
                 msg: None,
             }),
-            TraceEvent::CacheLookup { .. } => set.instants.push(InstantEvent {
+            TraceEvent::CacheLookup { .. }
+            | TraceEvent::ReplicateDone { .. }
+            | TraceEvent::CellSettled { .. } => set.instants.push(InstantEvent {
                 name: r.event.kind(),
                 comp: r.comp,
                 time: r.time,

@@ -47,6 +47,7 @@ fn figure_csv_bytes_are_stable() {
         target_iters: 500_000,
         max_intervals: 800,
         jobs: 0,
+        adaptive: None,
     };
     let make = || {
         let mut campaigns = Campaigns::new(fidelity);

@@ -10,6 +10,7 @@ fn tiny_fidelity() -> Fidelity {
         target_iters: 500_000,
         max_intervals: 800,
         jobs: 0,
+        adaptive: None,
     }
 }
 
