@@ -14,11 +14,18 @@
 //! 3. **Cache phase** — the full figure set run cold into a fresh
 //!    throwaway cell-cache store, then warm from it: cold/warm wall clock,
 //!    the speedup, and the warm hit rate.
+//! 4. **Serving phase** — an in-process `comb serve` instance on an
+//!    ephemeral loopback port with a fresh throwaway cache: closed-loop
+//!    clients issue a fixed set of distinct sweep requests cold, then the
+//!    identical set warm. Records cold/warm RPS and whether every warm
+//!    body was byte-identical to its cold counterpart.
 //!
 //! `--check [json]` compares the kernel microbenches against a previously
 //! written file and fails (exit 2) when throughput regressed beyond
 //! `--tolerance` percent, or when the cache phase misses its gates (warm
-//! speedup >= 10x and a 100% warm hit rate) — the CI guardrail. With no
+//! speedup >= 10x and a 100% warm hit rate), or when the serving phase
+//! misses its gates (warm RPS >= 10x cold, byte-identical bodies) — the
+//! CI guardrail. With no
 //! file argument it discovers the newest committed `BENCH_pr<N>.json` in
 //! the current directory; the baseline is read before the new result is
 //! written, so checking against the file being regenerated is sound.
@@ -189,6 +196,132 @@ fn run_cache_phase(fidelity: Fidelity) -> Result<CacheResult, CombError> {
     })
 }
 
+/// Loopback serving-throughput measurement.
+struct ServeResult {
+    requests: usize,
+    clients: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    cold_rps: f64,
+    warm_rps: f64,
+    speedup: f64,
+    bodies_identical: bool,
+}
+
+/// Distinct sweep requests issued per pass.
+const SERVE_REQUESTS: usize = 24;
+/// Closed-loop client threads.
+const SERVE_CLIENTS: usize = 6;
+
+/// One pass: every request body issued exactly once, spread over
+/// closed-loop client threads. Returns the wall time and the response
+/// bodies in request order.
+fn serve_pass(addr: &str, bodies: &[String]) -> Result<(f64, Vec<Vec<u8>>), CombError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let out: Vec<Mutex<Vec<u8>>> = bodies.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let failed: Mutex<Option<String>> = Mutex::new(None);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..SERVE_CLIENTS {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= bodies.len() {
+                    return;
+                }
+                match comb_serve::client_request(
+                    addr,
+                    "POST",
+                    "/v1/sweep",
+                    Some(bodies[i].as_bytes()),
+                ) {
+                    Ok(resp) if resp.status == 200 => {
+                        *out[i].lock().unwrap_or_else(|p| p.into_inner()) = resp.body;
+                    }
+                    Ok(resp) => {
+                        *failed.lock().unwrap_or_else(|p| p.into_inner()) =
+                            Some(format!("request {i}: status {}", resp.status));
+                        return;
+                    }
+                    Err(e) => {
+                        *failed.lock().unwrap_or_else(|p| p.into_inner()) =
+                            Some(format!("request {i}: {e}"));
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if let Some(msg) = failed.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(CombError::internal(format!("serve bench: {msg}")));
+    }
+    let results = out
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+        .collect();
+    Ok((wall_ms, results))
+}
+
+/// Cold-vs-warm serving throughput against an in-process server with a
+/// fresh throwaway cache. The warm pass reissues the identical request
+/// set against the same server, so every cell resolves from the cache's
+/// in-process memory tier.
+fn run_serve_phase() -> Result<ServeResult, CombError> {
+    let dir = std::env::temp_dir().join(format!("comb-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = comb_serve::ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: SERVE_CLIENTS,
+        queue: 2 * SERVE_CLIENTS,
+        jobs: 1,
+        cache: Some(Arc::new(CellCache::new(dir.clone(), CacheMode::ReadWrite))),
+        ..comb_serve::ServeConfig::default()
+    };
+    let server = comb_serve::Server::bind(cfg)?;
+    let addr = server.local_addr().to_string();
+    let (handle, join) = server.spawn();
+
+    // Distinct single-cell polling sweeps, sized like the kernel
+    // microbench cells: heavy enough that a cold request is dominated by
+    // simulation, cheap enough that the pass stays sub-minute.
+    let bodies: Vec<String> = (0..SERVE_REQUESTS)
+        .map(|i| {
+            format!(
+                "{{\"method\":\"polling\",\"msg_bytes\":10240,\"cycles\":3,\
+                 \"target_iters\":400000,\"max_intervals\":500,\"xs\":[{}]}}",
+                10_000 + i as u64 * 1_000
+            )
+        })
+        .collect();
+
+    let cold = serve_pass(&addr, &bodies);
+    let warm = cold.as_ref().ok().map(|_| serve_pass(&addr, &bodies));
+    handle.shutdown();
+    let _ = join.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (cold_ms, cold_bodies) = cold?;
+    let (warm_ms, warm_bodies) = match warm {
+        Some(w) => w?,
+        None => return Err(CombError::internal("serve bench: warm pass skipped")),
+    };
+    let bodies_identical = cold_bodies == warm_bodies && cold_bodies.iter().all(|b| !b.is_empty());
+    let cold_rps = SERVE_REQUESTS as f64 / (cold_ms / 1e3);
+    let warm_rps = SERVE_REQUESTS as f64 / (warm_ms / 1e3).max(f64::EPSILON);
+    Ok(ServeResult {
+        requests: SERVE_REQUESTS,
+        clients: SERVE_CLIENTS,
+        cold_ms,
+        warm_ms,
+        cold_rps,
+        warm_rps,
+        speedup: warm_rps / cold_rps.max(f64::EPSILON),
+        bodies_identical,
+    })
+}
+
 fn run_figures(fidelity: Fidelity) -> Result<Vec<FigureResult>, CombError> {
     let mut out = Vec::new();
     for id in FigureId::ALL {
@@ -212,6 +345,7 @@ fn render_json(
     micros: &[MicroResult],
     figures: &[FigureResult],
     cache: &CacheResult,
+    serve: &ServeResult,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -258,6 +392,19 @@ fn render_json(
         cache.warm_misses,
         cache.cold_stored,
         cache.cold_joined,
+    ));
+    s.push_str(&format!(
+        "  \"serve\": {{\"requests\": {}, \"clients\": {}, \"cold_ms\": {:.1}, \
+         \"warm_ms\": {:.1}, \"cold_rps\": {:.1}, \"warm_rps\": {:.1}, \
+         \"speedup\": {:.1}, \"bodies_identical\": {}}},\n",
+        serve.requests,
+        serve.clients,
+        serve.cold_ms,
+        serve.warm_ms,
+        serve.cold_rps,
+        serve.warm_rps,
+        serve.speedup,
+        serve.bodies_identical,
     ));
     let k = KernelStats::global();
     s.push_str(&format!(
@@ -325,7 +472,7 @@ fn extract_events_per_sec(json: &str, name: &str) -> Option<f64> {
 pub fn cmd_bench(args: Vec<String>) -> Result<(), CombError> {
     let mut fidelity = Fidelity::smoke();
     let mut fidelity_name = "smoke".to_string();
-    let mut out = PathBuf::from("BENCH_pr6.json");
+    let mut out = PathBuf::from("BENCH_pr8.json");
     // Some(None) = --check with no file: auto-discover the baseline.
     let mut check: Option<Option<PathBuf>> = None;
     let mut tolerance: f64 = 25.0;
@@ -442,7 +589,21 @@ pub fn cmd_bench(args: Vec<String>) -> Result<(), CombError> {
         cache.speedup
     );
 
-    let json = render_json(&fidelity_name, &micros, &figures, &cache);
+    println!();
+    println!(
+        "serving throughput ({SERVE_REQUESTS} distinct sweeps, {SERVE_CLIENTS} loopback clients, cold cache -> warm):"
+    );
+    let serve = run_serve_phase()?;
+    println!(
+        "  cold {:>9.1} ms   {:>8.1} req/s",
+        serve.cold_ms, serve.cold_rps
+    );
+    println!(
+        "  warm {:>9.1} ms   {:>8.1} req/s   {:.0}x speedup   bodies identical: {}",
+        serve.warm_ms, serve.warm_rps, serve.speedup, serve.bodies_identical
+    );
+
+    let json = render_json(&fidelity_name, &micros, &figures, &cache, &serve);
     comb_trace::atomic_write_str(&out, &json).map_err(|e| CombError::io(out.display(), &e))?;
     println!();
     println!("wrote {}", out.display());
@@ -497,6 +658,24 @@ pub fn cmd_bench(args: Vec<String>) -> Result<(), CombError> {
         println!(
             "  cache gates ok: {:.0}x warm speedup, 100% warm hit rate",
             cache.speedup
+        );
+        // Serving gates, also absolute: warm requests ride the in-process
+        // cache tier, so anything under 10x cold RPS (or any body drift)
+        // means the serving path broke.
+        if serve.speedup < 10.0 {
+            return Err(CombError::internal(format!(
+                "serve warm RPS speedup {:.1}x is below the 10x gate",
+                serve.speedup
+            )));
+        }
+        if !serve.bodies_identical {
+            return Err(CombError::internal(
+                "serve warm responses were not byte-identical to cold responses",
+            ));
+        }
+        println!(
+            "  serve gates ok: {:.0}x warm RPS speedup, byte-identical bodies",
+            serve.speedup
         );
     }
     Ok(())

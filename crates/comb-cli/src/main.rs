@@ -66,6 +66,10 @@ USAGE:
                                            written as JSON
     comb cache <stats|verify|gc|clear>     inspect or maintain the on-disk
                                            sweep-cell result cache
+    comb serve [options]                   HTTP serving front end: sweep and
+                                           figure requests scheduled onto the
+                                           shared pool and cell cache (see
+                                           README \"Serving\")
 
 EXIT CODES:
     0  success (all requested work done, all checks passed)
@@ -168,17 +172,41 @@ OPTIONS (degrade):
 OPTIONS (cache):
     --cache-dir <dir>  store to operate on (default: resolved as above)
     --json             stats: machine-readable output (for CI artifacts)
+    --max-age <days>   gc: also evict valid entries older than <days>
+                       (by file modification time; fractions allowed)
+
+OPTIONS (serve):
+    --addr <host:port>             bind address (default 127.0.0.1:8080;
+                                   port 0 picks an ephemeral port). The
+                                   resolved address is printed as a
+                                   parseable `serve: listening on <addr>`
+    --workers <n>                  connection worker threads (default 4)
+    --queue <n>                    connections allowed to wait beyond the
+                                   workers; past that, new connections get
+                                   429 + Retry-After (default 16)
+    --jobs <n>                     sweep pool width per request (default: auto)
+    --fidelity <f> | --smoke | --quick | --paper   figure fidelity served by
+                                   /v1/figures (default: quick, matching
+                                   `comb figure`)
+    --read-timeout <secs>          idle-connection reap timeout (default 5)
+    --no-cache / --cache-refresh / --cache-dir <dir>
+                                   cell cache controls, as for figure; the
+                                   cache is what makes repeated and
+                                   concurrent identical requests cheap
 
 OPTIONS (bench):
     --fidelity <f> | --smoke | --quick | --paper   figure sweep density
                                                    (default: smoke)
     --jobs <n>                     worker threads for figure runs (default: auto)
-    --out <file>                   JSON output path (default: BENCH_pr6.json)
+    --out <file>                   JSON output path (default: BENCH_pr8.json)
     --check [file]                 compare kernel microbenches against a
                                    previously written JSON; exit 2 when
                                    throughput regressed beyond --tolerance,
-                                   or when the cache phase misses its gates
-                                   (warm speedup >= 10x, 100% warm hits).
+                                   when the cache phase misses its gates
+                                   (warm speedup >= 10x, 100% warm hits), or
+                                   when the serving phase misses its gates
+                                   (warm RPS >= 10x cold, byte-identical
+                                   bodies).
                                    Without a file, the newest committed
                                    BENCH_pr<N>.json in the current
                                    directory is the baseline
@@ -218,6 +246,7 @@ fn run(args: Vec<String>) -> Result<(), CombError> {
         Some("degrade") => cmd_degrade(it.collect()),
         Some("bench") => bench::cmd_bench(it.collect()),
         Some("cache") => cmd_cache(it.collect()),
+        Some("serve") => cmd_serve(it.collect()),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             Ok(())
@@ -1199,87 +1228,12 @@ fn cmd_sweep(args: Vec<String>) -> Result<(), CombError> {
     }
     // Faulted sweeps print CSV (with the plan in the header) so runs can be
     // diffed byte-for-byte — the acceptance mode for fault determinism.
-    if !fault.is_none() {
-        println!(
-            "# comb sweep {} | platform: {} | msg_bytes: {}",
-            method,
-            cfg.transport.name(),
-            size
-        );
-        println!("# fault: {fault}");
-        if method == "polling" {
-            println!(
-                "poll_interval,bandwidth_mbs,availability,messages,\
-                 lost_packets,retransmissions,ctl_dropped,storm_interrupts,rndv_retries"
-            );
-            for s in &poll_samples {
-                println!(
-                    "{},{},{},{},{},{},{},{},{}",
-                    s.poll_interval,
-                    s.bandwidth_mbs,
-                    s.availability,
-                    s.messages_received,
-                    s.faults.lost_packets,
-                    s.faults.retransmissions,
-                    s.faults.ctl_dropped,
-                    s.faults.storm_interrupts,
-                    s.faults.rndv_retries
-                );
-            }
-        } else {
-            println!(
-                "work_interval,bandwidth_mbs,availability,post_per_msg_ns,wait_per_msg_ns,\
-                 lost_packets,retransmissions,ctl_dropped,storm_interrupts,rndv_retries"
-            );
-            for s in &pww_samples {
-                println!(
-                    "{},{},{},{},{},{},{},{},{},{}",
-                    s.work_interval,
-                    s.bandwidth_mbs,
-                    s.availability,
-                    s.post_per_msg.as_nanos(),
-                    s.wait_per_msg.as_nanos(),
-                    s.faults.lost_packets,
-                    s.faults.retransmissions,
-                    s.faults.ctl_dropped,
-                    s.faults.storm_interrupts,
-                    s.faults.rndv_retries
-                );
-            }
-        }
-    } else if method == "polling" {
-        println!(
-            "{:>12} {:>12} {:>10} {:>8} {:>12} {:>12}",
-            "poll_iters", "bw_MB/s", "avail", "msgs", "elapsed", "stolen"
-        );
-        for s in &poll_samples {
-            println!(
-                "{:>12} {:>12.2} {:>10.4} {:>8} {:>12} {:>12}",
-                s.poll_interval,
-                s.bandwidth_mbs,
-                s.availability,
-                s.messages_received,
-                s.elapsed.to_string(),
-                s.stolen.to_string()
-            );
-        }
+    // The shared renderer is the same one `comb serve` uses, which is what
+    // makes HTTP sweep bodies byte-identical to this stdout.
+    if method == "polling" {
+        print!("{}", comb_report::render_polling_sweep(&cfg, &poll_samples));
     } else {
-        println!(
-            "{:>12} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
-            "work_iters", "bw_MB/s", "avail", "post/msg", "wait/msg", "work+MH", "work_only"
-        );
-        for s in &pww_samples {
-            println!(
-                "{:>12} {:>10.2} {:>8.4} {:>12} {:>12} {:>12} {:>12}",
-                s.work_interval,
-                s.bandwidth_mbs,
-                s.availability,
-                s.post_per_msg.to_string(),
-                s.wait_per_msg.to_string(),
-                s.work_with_mh.to_string(),
-                s.work_only.to_string()
-            );
-        }
+        print!("{}", comb_report::render_pww_sweep(&cfg, &pww_samples));
     }
     if let (Some(path), Some(json)) = (&trace_path, &trace_json) {
         comb_trace::atomic_write_str(path, json).map_err(|e| CombError::io(path.display(), &e))?;
@@ -1317,6 +1271,7 @@ fn cmd_cache(args: Vec<String>) -> Result<(), CombError> {
         .ok_or_else(|| CombError::usage("cache needs a subcommand: stats, verify, gc or clear"))?;
     let mut dir: Option<PathBuf> = None;
     let mut json = false;
+    let mut max_age: Option<std::time::Duration> = None;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--cache-dir" => {
@@ -1325,8 +1280,22 @@ fn cmd_cache(args: Vec<String>) -> Result<(), CombError> {
                 ))
             }
             "--json" => json = true,
+            "--max-age" => {
+                let days: f64 = it
+                    .next()
+                    .ok_or("--max-age needs a day count")?
+                    .parse()
+                    .map_err(|_| "bad --max-age (expected days, fractions allowed)")?;
+                if !days.is_finite() || days < 0.0 {
+                    return Err(CombError::usage("--max-age must be >= 0"));
+                }
+                max_age = Some(std::time::Duration::from_secs_f64(days * 86_400.0));
+            }
             other => return Err(CombError::usage(format!("unknown option '{other}'"))),
         }
+    }
+    if max_age.is_some() && sub != "gc" {
+        return Err(CombError::usage("--max-age only applies to `cache gc`"));
     }
     let dir = dir.or_else(default_cache_dir).ok_or_else(|| {
         CombError::usage(
@@ -1376,12 +1345,13 @@ fn cmd_cache(args: Vec<String>) -> Result<(), CombError> {
             }
         }
         "gc" => {
-            let r = comb_core::cache::gc_store(&dir);
+            let r = comb_core::gc_store_with_max_age(&dir, max_age);
             println!(
-                "gc {}: kept {} entries, removed {} files",
+                "gc {}: kept {} entries, removed {} files ({} expired)",
                 dir.display(),
                 r.entries,
-                r.removed
+                r.removed,
+                r.expired
             );
             Ok(())
         }
@@ -1394,6 +1364,62 @@ fn cmd_cache(args: Vec<String>) -> Result<(), CombError> {
             "unknown cache subcommand '{other}' (expected stats, verify, gc or clear)"
         ))),
     }
+}
+
+fn cmd_serve(args: Vec<String>) -> Result<(), CombError> {
+    let mut cfg = comb_serve::ServeConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..comb_serve::ServeConfig::default()
+    };
+    let mut cache_opts = CacheOpts::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = it.next().ok_or("--addr needs host:port")?,
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .ok_or("--workers needs n")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("bad --workers (expected an integer >= 1)")?
+            }
+            "--queue" => {
+                cfg.queue = it
+                    .next()
+                    .ok_or("--queue needs n")?
+                    .parse()
+                    .map_err(|_| "bad --queue")?
+            }
+            "--jobs" => cfg.jobs = parse_jobs(it.next())?,
+            "--fidelity" => {
+                cfg.fidelity = parse_fidelity(&it.next().ok_or("--fidelity needs a name")?)?
+            }
+            "--smoke" => cfg.fidelity = Fidelity::smoke(),
+            "--quick" => cfg.fidelity = Fidelity::quick(),
+            "--paper" => cfg.fidelity = Fidelity::paper(),
+            "--read-timeout" => {
+                let secs: f64 = it
+                    .next()
+                    .ok_or("--read-timeout needs seconds")?
+                    .parse()
+                    .map_err(|_| "bad --read-timeout")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(CombError::usage("--read-timeout must be > 0"));
+                }
+                cfg.read_timeout = std::time::Duration::from_secs_f64(secs);
+            }
+            flag if cache_opts.consume(flag, &mut it)? => {}
+            other => return Err(CombError::usage(format!("unknown option '{other}'"))),
+        }
+    }
+    cfg.cache = cache_opts.build();
+    let server = comb_serve::Server::bind(cfg)?;
+    // The parseable line CI and loopback tests anchor on. Stdout is
+    // line-buffered, so this is visible even when redirected to a file.
+    println!("serve: listening on {}", server.local_addr());
+    server.run()
 }
 
 /// One-line simulation-kernel counter summary (process-wide totals).

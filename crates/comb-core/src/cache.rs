@@ -568,6 +568,8 @@ pub struct StoreReport {
     pub invalid: u64,
     /// Files removed (gc/clear only).
     pub removed: u64,
+    /// Valid entries removed because they exceeded the gc age limit.
+    pub expired: u64,
 }
 
 fn walk_entries(dir: &Path) -> Vec<PathBuf> {
@@ -646,6 +648,15 @@ pub fn verify_store(dir: &Path) -> StoreReport {
 /// Remove invalid entries, stray temp files, and anything that is not a
 /// content-addressed entry; keep valid entries.
 pub fn gc_store(dir: &Path) -> StoreReport {
+    gc_store_with_max_age(dir, None)
+}
+
+/// [`gc_store`], additionally evicting valid entries whose file
+/// modification time is older than `max_age` (serve workloads accrete
+/// entries indefinitely; age-based eviction bounds the store without
+/// nuking warm results). `None` keeps every valid entry.
+pub fn gc_store_with_max_age(dir: &Path, max_age: Option<std::time::Duration>) -> StoreReport {
+    let now = std::time::SystemTime::now();
     let mut r = StoreReport::default();
     for path in walk_entries(dir) {
         let valid = looks_like_entry(&path)
@@ -653,14 +664,30 @@ pub fn gc_store(dir: &Path) -> StoreReport {
                 .ok()
                 .and_then(|t| parse_entry(&t, None))
                 .is_some();
-        if valid {
-            r.entries += 1;
-            r.bytes += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-        } else {
+        if !valid {
             r.invalid += 1;
             if std::fs::remove_file(&path).is_ok() {
                 r.removed += 1;
             }
+            continue;
+        }
+        let age = std::fs::metadata(&path)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| now.duration_since(mtime).ok());
+        // An unreadable mtime counts as age zero: never evict on doubt.
+        let too_old = match (max_age, age) {
+            (Some(limit), Some(age)) => age > limit,
+            _ => false,
+        };
+        if too_old {
+            r.expired += 1;
+            if std::fs::remove_file(&path).is_ok() {
+                r.removed += 1;
+            }
+        } else {
+            r.entries += 1;
+            r.bytes += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         }
     }
     r
@@ -1180,6 +1207,34 @@ mod tests {
         assert_eq!(cleared.removed, 2);
         assert!(!dir.exists());
         assert_eq!(store_stats(&dir).entries, 0, "missing store reads as empty");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_max_age_evicts_only_stale_entries() {
+        let dir = scratch("max-age");
+        let cache = CellCache::new(&dir, CacheMode::ReadWrite);
+        for x in [1u64, 2, 3] {
+            let desc = format!("comb-cell v1 age-{x}");
+            let key = CellKey::from_desc(&desc);
+            cache.get_or_compute(&desc, &key, || Ok(sample(x))).unwrap();
+        }
+        // Backdate one entry two hours into the past.
+        let old = CellKey::from_desc("comb-cell v1 age-2").entry_path(&dir);
+        let then = std::time::SystemTime::now() - std::time::Duration::from_secs(7200);
+        let f = std::fs::File::options().write(true).open(&old).unwrap();
+        f.set_modified(then).unwrap();
+        drop(f);
+
+        // A generous limit keeps everything.
+        let keep = gc_store_with_max_age(&dir, Some(std::time::Duration::from_secs(86_400)));
+        assert_eq!((keep.entries, keep.expired, keep.removed), (3, 0, 0));
+
+        // A one-hour limit evicts exactly the backdated entry.
+        let gc = gc_store_with_max_age(&dir, Some(std::time::Duration::from_secs(3600)));
+        assert_eq!((gc.entries, gc.expired, gc.removed), (2, 1, 1));
+        assert!(!old.exists());
+        assert_eq!(verify_store(&dir).entries, 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -47,8 +47,8 @@ pub use adaptive::{
     AdaptiveStats, CellEstimate,
 };
 pub use cache::{
-    default_cache_dir, run_cell_cached, CacheMode, CacheOutcome, CacheStats, CellCache, CellKey,
-    CellMethod,
+    default_cache_dir, gc_store_with_max_age, run_cell_cached, CacheMode, CacheOutcome, CacheStats,
+    CellCache, CellKey, CellMethod,
 };
 pub use codec::PointSample;
 pub use degradation::{
@@ -61,13 +61,16 @@ pub use netperf::{run_netperf_point, NetperfSample};
 pub use polling::{PollingParams, DATA_TAG, STOP_TAG};
 pub use pww::{InterleavedParams, PwwParams};
 pub use runner::pool::{
-    available_jobs, effective_jobs, run_cells, run_ordered, CellOutcome, RetryPolicy,
+    available_jobs, effective_jobs, run_cells, run_ordered, AdmissionGate, AdmissionPermit,
+    CellOutcome, RetryPolicy,
 };
 pub use runner::{
     polling_sweep, polling_sweep_parallel, pww_sweep, pww_sweep_parallel, run_polling_point,
     run_polling_point_on, run_pww_interleaved, run_pww_point, run_pww_point_on, RunError,
 };
-pub use stats::{mean_ci, t_cdf, t_quantile, MeanCi, StopDecision, StoppingRule, Welford};
+pub use stats::{
+    mean_ci, t_cdf, t_quantile, MeanCi, QuantileWindow, StopDecision, StoppingRule, Welford,
+};
 pub use sweep::{lin_spaced, log_spaced, ConfigSummary, MethodConfig, Transport, PAPER_SIZES};
 pub use traced::{
     polling_sweep_traced, pww_sweep_traced, run_polling_point_traced, run_pww_point_traced,

@@ -269,6 +269,90 @@ where
         .collect()
 }
 
+/// Bounded admission control in front of a campaign pool.
+///
+/// A front end (e.g. `comb serve`) holds one [`AdmissionGate`] per pool
+/// and calls [`try_enter`](AdmissionGate::try_enter) before enqueueing a
+/// campaign. When all slots are taken the caller gets `None` immediately
+/// — the non-blocking answer that lets an HTTP acceptor turn saturation
+/// into `429 + Retry-After` instead of unbounded queue growth. Slots are
+/// released by dropping the returned [`AdmissionPermit`], so a panicking
+/// request path can never leak capacity. The gate is cheaply cloneable
+/// (clones share the same slots) and permits are owned values, so a
+/// permit can ride along with its connection through a queue and across
+/// threads.
+#[derive(Debug, Clone)]
+pub struct AdmissionGate {
+    inner: std::sync::Arc<GateInner>,
+}
+
+#[derive(Debug)]
+struct GateInner {
+    capacity: usize,
+    in_use: AtomicUsize,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `capacity` (≥ 1) concurrent holders.
+    pub fn new(capacity: usize) -> AdmissionGate {
+        AdmissionGate {
+            inner: std::sync::Arc::new(GateInner {
+                capacity: capacity.max(1),
+                in_use: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Maximum concurrent permits.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Permits currently held.
+    pub fn in_use(&self) -> usize {
+        self.inner
+            .in_use
+            .load(Ordering::Acquire)
+            .min(self.capacity())
+    }
+
+    /// Claim a slot without blocking; `None` when the gate is full.
+    pub fn try_enter(&self) -> Option<AdmissionPermit> {
+        let inner = &self.inner;
+        let mut cur = inner.in_use.load(Ordering::Relaxed);
+        loop {
+            if cur >= inner.capacity {
+                return None;
+            }
+            match inner.in_use.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(AdmissionPermit {
+                        gate: std::sync::Arc::clone(inner),
+                    })
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A held admission slot; dropping it releases the slot.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    gate: std::sync::Arc<GateInner>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.gate.in_use.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -283,6 +367,44 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 mod tests {
     use super::*;
     use crate::error::ErrorKind;
+
+    #[test]
+    fn admission_gate_caps_and_releases() {
+        let gate = AdmissionGate::new(2);
+        assert_eq!(gate.capacity(), 2);
+        let a = gate.try_enter().expect("slot 1");
+        let b = gate.try_enter().expect("slot 2");
+        assert_eq!(gate.in_use(), 2);
+        assert!(gate.try_enter().is_none(), "gate full");
+        drop(a);
+        assert_eq!(gate.in_use(), 1);
+        let c = gate.try_enter().expect("freed slot reusable");
+        drop(b);
+        drop(c);
+        assert_eq!(gate.in_use(), 0);
+    }
+
+    #[test]
+    fn admission_gate_is_race_free_under_contention() {
+        let gate = AdmissionGate::new(3);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..500 {
+                        if let Some(permit) = gate.try_enter() {
+                            let now = gate.in_use();
+                            peak.fetch_max(now, Ordering::Relaxed);
+                            assert!(now <= 3, "over-admitted: {now}");
+                            drop(permit);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(gate.in_use(), 0);
+        assert!(peak.load(Ordering::Relaxed) >= 1);
+    }
 
     #[test]
     fn preserves_input_order_for_any_job_count() {

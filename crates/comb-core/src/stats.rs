@@ -338,10 +338,108 @@ impl StoppingRule {
     }
 }
 
+/// Bounded sliding window over a latency-like series, answering
+/// nearest-rank quantile queries (`p50`, `p99`, ...) over the last `cap`
+/// observations.
+///
+/// `comb serve` feeds per-request latencies in and reads `p50`/`p99` back
+/// out on every `/metrics` scrape. The window is a plain ring buffer: O(1)
+/// insertion, O(n log n) per query on a sorted copy — the right trade for
+/// a metrics endpoint that is scraped far less often than it is fed.
+#[derive(Debug, Clone)]
+pub struct QuantileWindow {
+    buf: Vec<f64>,
+    cap: usize,
+    next: usize,
+    total: u64,
+}
+
+impl QuantileWindow {
+    /// A window retaining the most recent `cap` (≥ 1) observations.
+    pub fn new(cap: usize) -> QuantileWindow {
+        QuantileWindow {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Fold in one observation, evicting the oldest once full.
+    pub fn record(&mut self, x: f64) {
+        if self.buf.len() < self.cap {
+            self.buf.push(x);
+        } else {
+            self.buf[self.next] = x;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.total += 1;
+    }
+
+    /// Observations currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Observations recorded over the window's lifetime, including evicted
+    /// ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Nearest-rank quantile of the retained observations, `q` in [0, 1].
+    /// `None` while empty or when `q` is not finite.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.buf.is_empty() || !q.is_finite() {
+            return None;
+        }
+        let mut sorted = self.buf.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: smallest value with at least ceil(q*n) observations
+        // at or below it; q = 0 maps to the minimum.
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1)])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use comb_hw::fault::DetRng;
+
+    #[test]
+    fn quantile_window_nearest_rank() {
+        let mut w = QuantileWindow::new(100);
+        assert!(w.quantile(0.5).is_none());
+        for i in 1..=100 {
+            w.record(i as f64);
+        }
+        assert_eq!(w.quantile(0.0), Some(1.0));
+        assert_eq!(w.quantile(0.5), Some(50.0));
+        assert_eq!(w.quantile(0.99), Some(99.0));
+        assert_eq!(w.quantile(1.0), Some(100.0));
+        assert_eq!(w.len(), 100);
+        assert_eq!(w.total(), 100);
+    }
+
+    #[test]
+    fn quantile_window_evicts_oldest() {
+        let mut w = QuantileWindow::new(4);
+        for x in [100.0, 1.0, 2.0, 3.0, 4.0] {
+            w.record(x);
+        }
+        // 100.0 has been evicted; the window holds 1..=4.
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.total(), 5);
+        assert_eq!(w.quantile(1.0), Some(4.0));
+        assert_eq!(w.quantile(0.5), Some(2.0));
+    }
 
     fn two_pass(xs: &[f64]) -> (f64, f64) {
         let n = xs.len() as f64;

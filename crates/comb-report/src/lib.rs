@@ -25,6 +25,7 @@ pub mod experiments;
 pub mod figures;
 pub mod series;
 pub mod soak;
+pub mod sweeptext;
 pub mod timeline;
 
 pub use checkpoint::{CheckpointState, Journal, PointSample};
@@ -40,4 +41,5 @@ pub use figures::{
 };
 pub use series::{CiBand, Dataset, Point, Series};
 pub use soak::{run_soak, SoakConfig, SoakReport};
+pub use sweeptext::{render_polling_sweep, render_pww_sweep};
 pub use timeline::{render_pww_timeline, render_traced_run};

@@ -1,0 +1,461 @@
+//! HTTP/1.1 framing over `std::net` — request parsing, response writing,
+//! chunked streaming, and a small loopback client for tests and benches.
+//!
+//! Deliberately the minimum the serving API needs: `Content-Length`
+//! bodies, keep-alive, and chunked transfer-encoding on responses only.
+//! Limits are hard (16 KiB of headers, 1 MiB of body) so a misbehaving
+//! client cannot grow server memory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Method verb, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path + optional query), as received.
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// True for `HTTP/1.1` requests (keep-alive by default).
+    pub http11: bool,
+}
+
+impl Request {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this request.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Result of trying to read one request from a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request was parsed.
+    Request(Request),
+    /// The peer closed (or went idle past the read timeout) before
+    /// sending anything — reap silently.
+    Closed,
+    /// Bytes arrived but did not form a valid request — answer 400 and
+    /// close.
+    Malformed(String),
+}
+
+/// Read one request. The stream's read timeout doubles as the idle
+/// reaper: a timeout with zero buffered bytes is a clean [`ReadOutcome::Closed`].
+pub fn read_request(stream: &mut TcpStream) -> ReadOutcome {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(i) = find_head_end(&buf) {
+            break i;
+        }
+        if buf.len() > MAX_HEAD {
+            return ReadOutcome::Malformed("request head too large".to_string());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Malformed("connection closed mid-request".to_string())
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle reap: nothing (or only a partial head) arrived
+                // within the read timeout. Either way the connection is
+                // dead weight — close it without an error response.
+                return ReadOutcome::Closed;
+            }
+            Err(e) => return ReadOutcome::Malformed(format!("read error: {e}")),
+        }
+    };
+
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return ReadOutcome::Malformed("non-UTF-8 request head".to_string()),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return ReadOutcome::Malformed(format!("bad request line '{request_line}'")),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((k, v)) = line.split_once(':') else {
+            return ReadOutcome::Malformed(format!("bad header line '{line}'"));
+        };
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+
+    let content_len = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_len > MAX_BODY {
+        return ReadOutcome::Malformed("request body too large".to_string());
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_len {
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Malformed("connection closed mid-body".to_string()),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return ReadOutcome::Malformed(format!("body read error: {e}")),
+        }
+    }
+    body.truncate(content_len);
+
+    ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+        http11: version == "HTTP/1.1",
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write one complete (non-chunked) response.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Incremental chunked-transfer response writer (used by the job event
+/// stream). Always closes the connection when finished.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Write the response head and switch the connection to chunked mode.
+    pub fn start(
+        stream: &'a mut TcpStream,
+        content_type: &str,
+        extra_headers: &[(&str, String)],
+    ) -> std::io::Result<ChunkedWriter<'a>> {
+        let mut head = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\n\
+             Transfer-Encoding: chunked\r\nConnection: close\r\n"
+        );
+        for (k, v) in extra_headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Emit one chunk (empty input is skipped — an empty chunk would
+    /// terminate the stream).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminate the stream.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// A parsed client-side response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (chunked transfer-encoding is reassembled).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issue one request over a fresh connection and read the full response.
+/// This is the loopback client the tests, the CI smoke job (via curl
+/// equivalence) and the serving bench use.
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    send_request(&mut stream, method, path, body)?;
+    read_client_response(&mut stream)
+}
+
+/// Write one request on an existing connection (keep-alive friendly).
+pub fn send_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> std::io::Result<()> {
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: comb\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Read one response from an existing connection.
+pub fn read_client_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(i) = find_head_end(&buf) {
+            break i;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof before response head",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line '{status_line}'"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    let mut rest = buf[head_end + 4..].to_vec();
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        // Read until the zero-length terminator chunk, then decode.
+        while !has_chunked_end(&rest) {
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            rest.extend_from_slice(&chunk[..n]);
+        }
+        decode_chunked(&rest)?
+    } else {
+        let want: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        while rest.len() < want {
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            rest.extend_from_slice(&chunk[..n]);
+        }
+        rest.truncate(want);
+        rest
+    };
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn has_chunked_end(buf: &[u8]) -> bool {
+    // The terminator is `0\r\n\r\n`, possibly preceded by chunk data
+    // that could contain the same bytes — a full incremental parse is
+    // overkill for loopback tests, so decode speculatively instead.
+    decode_chunked(buf).is_ok()
+}
+
+fn decode_chunked(mut buf: &[u8]) -> std::io::Result<Vec<u8>> {
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let mut out = Vec::new();
+    loop {
+        let nl = buf
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| bad("missing chunk size line"))?;
+        let size_line = std::str::from_utf8(&buf[..nl]).map_err(|_| bad("bad chunk size"))?;
+        let size =
+            usize::from_str_radix(size_line.trim(), 16).map_err(|_| bad("bad chunk size"))?;
+        buf = &buf[nl + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if buf.len() < size + 2 {
+            return Err(bad("truncated chunk"));
+        }
+        out.extend_from_slice(&buf[..size]);
+        buf = &buf[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_chunked_bodies() {
+        let wire = b"5\r\nhello\r\n7\r\n, world\r\n0\r\n\r\n";
+        assert_eq!(decode_chunked(wire).unwrap(), b"hello, world");
+        assert!(decode_chunked(b"5\r\nhel").is_err());
+    }
+
+    #[test]
+    fn request_framing_round_trips_over_a_socket_pair() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            send_request(&mut s, "POST", "/v1/sweep", Some(b"{\"a\":1}")).unwrap();
+            read_client_response(&mut s).unwrap()
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = match read_request(&mut server_side) {
+            ReadOutcome::Request(r) => r,
+            other => panic!("expected request, got {other:?}"),
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/sweep");
+        assert_eq!(req.body, b"{\"a\":1}");
+        assert!(req.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+        write_response(
+            &mut server_side,
+            200,
+            "text/plain",
+            &[("X-Comb-Request", "1".to_string())],
+            b"ok\n",
+            false,
+        )
+        .unwrap();
+        let resp = client.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-comb-request"), Some("1"));
+        assert_eq!(resp.body, b"ok\n");
+    }
+
+    #[test]
+    fn idle_connection_reads_as_closed_after_timeout() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side
+            .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+            .unwrap();
+        assert!(matches!(
+            read_request(&mut server_side),
+            ReadOutcome::Closed
+        ));
+    }
+}

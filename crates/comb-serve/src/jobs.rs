@@ -1,0 +1,173 @@
+//! Job registry — every campaign request gets a job whose progress can be
+//! observed from other connections while it runs.
+//!
+//! A job is a tiny event log behind a `Mutex` + `Condvar`: the computing
+//! worker appends progress lines, streaming readers block on the condvar
+//! until new lines (or completion) arrive. Job ids are the request
+//! correlation ids, so a trace, a response header and a `/v1/jobs/<id>`
+//! poll all name the same thing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Mutable state of one job.
+#[derive(Debug, Clone)]
+pub struct JobState {
+    /// What the job is ("sweep", "figure").
+    pub kind: String,
+    /// Cells the job will compute.
+    pub total: u64,
+    /// Cells finished so far.
+    pub completed: u64,
+    /// True once the request finished (successfully or not).
+    pub done: bool,
+    /// Final status: "running", then "ok" or an error message.
+    pub status: String,
+    /// Progress lines, oldest first.
+    pub events: Vec<String>,
+}
+
+/// One observable request-scoped job.
+#[derive(Debug)]
+pub struct Job {
+    /// Correlation id (equals the request id that created the job).
+    pub id: u64,
+    state: Mutex<JobState>,
+    cv: Condvar,
+}
+
+impl Job {
+    fn new(id: u64, kind: &str, total: u64) -> Job {
+        Job {
+            id,
+            state: Mutex::new(JobState {
+                kind: kind.to_string(),
+                total,
+                completed: 0,
+                done: false,
+                status: "running".to_string(),
+                events: vec![format!("start kind={kind} total={total}")],
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Append a progress line.
+    pub fn push_event(&self, line: String) {
+        let mut st = self.lock();
+        st.events.push(line);
+        self.cv.notify_all();
+    }
+
+    /// Record one finished cell (with a progress line).
+    pub fn advance(&self, line: String) {
+        let mut st = self.lock();
+        st.completed += 1;
+        st.events.push(line);
+        self.cv.notify_all();
+    }
+
+    /// Mark the job finished with the given status line.
+    pub fn finish(&self, status: &str) {
+        let mut st = self.lock();
+        st.done = true;
+        st.status = status.to_string();
+        st.events.push(format!("done status={status}"));
+        self.cv.notify_all();
+    }
+
+    /// Copy of the current state.
+    pub fn snapshot(&self) -> JobState {
+        self.lock().clone()
+    }
+
+    /// Block until events beyond `from` exist (or the job is done), then
+    /// return the new events and whether the job has finished. Returns
+    /// immediately with `(vec![], true)` when fully drained.
+    pub fn wait_events(&self, from: usize) -> (Vec<String>, bool) {
+        let mut st = self.lock();
+        while st.events.len() <= from && !st.done {
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        let fresh = st.events.get(from..).unwrap_or(&[]).to_vec();
+        (fresh, st.done)
+    }
+}
+
+/// All jobs the server has seen, by id.
+#[derive(Debug, Default)]
+pub struct JobRegistry {
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+}
+
+impl JobRegistry {
+    /// An empty registry.
+    pub fn new() -> JobRegistry {
+        JobRegistry::default()
+    }
+
+    /// Create and register a job under the given correlation id.
+    pub fn create(&self, id: u64, kind: &str, total: u64) -> Arc<Job> {
+        let job = Arc::new(Job::new(id, kind, total));
+        self.jobs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(id, Arc::clone(&job));
+        job
+    }
+
+    /// Look a job up by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&id)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_lifecycle_and_event_streaming() {
+        let reg = JobRegistry::new();
+        let job = reg.create(7, "sweep", 2);
+        assert_eq!(reg.get(7).unwrap().id, 7);
+        assert!(reg.get(8).is_none());
+
+        let watcher = {
+            let job = Arc::clone(&job);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                let mut from = 0;
+                loop {
+                    let (fresh, done) = job.wait_events(from);
+                    from += fresh.len();
+                    seen.extend(fresh);
+                    if done {
+                        return seen;
+                    }
+                }
+            })
+        };
+
+        job.advance("cell x=1".to_string());
+        job.advance("cell x=2".to_string());
+        job.finish("ok");
+        let seen = watcher.join().unwrap();
+        assert_eq!(seen.len(), 4, "start + 2 cells + done: {seen:?}");
+        assert!(seen[0].starts_with("start kind=sweep"));
+        assert!(seen[3].contains("status=ok"));
+
+        let st = job.snapshot();
+        assert!(st.done);
+        assert_eq!(st.completed, 2);
+        assert_eq!(st.status, "ok");
+    }
+}

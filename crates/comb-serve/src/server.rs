@@ -1,0 +1,653 @@
+//! The HTTP server: a bounded acceptor/worker model in front of the
+//! resilient pool and the content-addressed cell cache.
+//!
+//! ## Threading model
+//!
+//! One acceptor thread owns the listener. Each accepted connection must
+//! claim an [`AdmissionPermit`] before it is queued; when the gate
+//! (capacity = `workers + queue`) is full the acceptor answers
+//! `429 Too Many Requests` with `Retry-After` and closes — saturation
+//! costs one refused connection, never unbounded queue growth. Permits
+//! ride through the queue with their connection and are released when the
+//! connection closes, so capacity can never leak.
+//!
+//! `workers` threads pop connections and run a keep-alive loop with a
+//! read timeout: an idle connection is reaped silently at the timeout
+//! instead of pinning its worker.
+//!
+//! ## Request canonicalization
+//!
+//! A sweep request body is JSON in any key order; it is re-derived into a
+//! [`MethodConfig`] whose canonical `cell_desc` line is hashed into the
+//! cache's [`CellKey`](comb_core::CellKey) — exactly the path `comb
+//! sweep` takes. Two textually different requests for the same cell
+//! therefore share cache entries, join in-flight computations, and return
+//! byte-identical bodies.
+
+use crate::http::{read_request, write_response, ChunkedWriter, ReadOutcome, Request};
+use crate::jobs::JobRegistry;
+use crate::metrics::ServeMetrics;
+use crate::sweepreq::SweepRequest;
+use comb_core::{AdmissionGate, AdmissionPermit, CellCache, CombError, ErrorKind};
+use comb_report::{Fidelity, FigureId};
+use comb_sim::SimTime;
+use comb_trace::{Comp, TraceEvent, Tracer};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration (see module docs for the threading model).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Connections allowed to wait beyond the ones being worked
+    /// (admission capacity = `workers + queue`).
+    pub queue: usize,
+    /// Pool width for each sweep request (`0` = auto).
+    pub jobs: usize,
+    /// Fidelity used by `/v1/figures/` requests.
+    pub fidelity: Fidelity,
+    /// Shared cell cache (single-flight map + disk store). `None` serves
+    /// every request uncached.
+    pub cache: Option<Arc<CellCache>>,
+    /// Idle-connection read timeout (the reaper interval).
+    pub read_timeout: Duration,
+    /// Trace sink for serve events (disabled tracers cost one atomic
+    /// load per emit).
+    pub tracer: Tracer,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue: 16,
+            jobs: 0,
+            fidelity: Fidelity::quick(),
+            cache: None,
+            read_timeout: Duration::from_secs(5),
+            tracer: Tracer::new(),
+        }
+    }
+}
+
+struct Shared {
+    addr: SocketAddr,
+    workers: usize,
+    jobs: usize,
+    fidelity: Fidelity,
+    cache: Option<Arc<CellCache>>,
+    read_timeout: Duration,
+    tracer: Tracer,
+    start: Instant,
+    gate: AdmissionGate,
+    queue: Mutex<VecDeque<(TcpStream, AdmissionPermit)>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    metrics: ServeMetrics,
+    jobs_reg: JobRegistry,
+    next_req: AtomicU64,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    fn trace(&self, f: impl FnOnce() -> TraceEvent) {
+        self.tracer.emit(self.now(), Comp::Serve, f);
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.queue_cv.notify_all();
+        // Wake the acceptor out of `accept()` with a throwaway dial.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Cheap handle onto a running (or about-to-run) server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The resolved local address (ephemeral port already filled in).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Ask the server to drain and stop (same effect as
+    /// `POST /admin/shutdown`).
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Snapshot of the shared cache stats, when a cache is configured.
+    pub fn cache_stats(&self) -> Option<comb_core::CacheStats> {
+        self.shared.cache.as_ref().map(|c| c.stats())
+    }
+}
+
+impl Server {
+    /// Bind the listener (resolving an ephemeral port) without accepting
+    /// yet. Fails with an [`ErrorKind::Io`] error on bind problems — exit
+    /// code 2 under the CLI's contract.
+    pub fn bind(cfg: ServeConfig) -> Result<Server, CombError> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| CombError::io(format!("bind {}", cfg.addr), &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| CombError::io("local_addr", &e))?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            addr,
+            workers,
+            jobs: cfg.jobs,
+            fidelity: cfg.fidelity,
+            cache: cfg.cache,
+            read_timeout: cfg.read_timeout,
+            tracer: cfg.tracer,
+            start: Instant::now(),
+            gate: AdmissionGate::new(workers + cfg.queue),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: ServeMetrics::new(),
+            jobs_reg: JobRegistry::new(),
+            next_req: AtomicU64::new(0),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The resolved local address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle usable from other threads while the server runs.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Run until a shutdown is requested (`POST /admin/shutdown` or
+    /// [`ServerHandle::shutdown`]), then drain queued connections and
+    /// join the workers. Returns `Ok(())` on a clean drain.
+    pub fn run(self) -> Result<(), CombError> {
+        let mut workers = Vec::with_capacity(self.shared.workers);
+        for i in 0..self.shared.workers {
+            let shared = Arc::clone(&self.shared);
+            let t = std::thread::Builder::new()
+                .name(format!("comb-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .map_err(|e| CombError::io("spawn worker", &e))?;
+            workers.push(t);
+        }
+
+        loop {
+            let (stream, _peer) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(_) => {
+                    if self.shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                // The wake-up dial (or a late client) lands here.
+                break;
+            }
+            match self.shared.gate.try_enter() {
+                Some(permit) => {
+                    let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+                    q.push_back((stream, permit));
+                    drop(q);
+                    self.shared.queue_cv.notify_one();
+                }
+                None => {
+                    self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.shared.trace(|| TraceEvent::ServeRejected);
+                    let mut stream = stream;
+                    let _ = write_response(
+                        &mut stream,
+                        429,
+                        "text/plain",
+                        &[("Retry-After", "1".to_string())],
+                        b"admission queue full\n",
+                        false,
+                    );
+                }
+            }
+        }
+
+        self.shared.queue_cv.notify_all();
+        for t in workers {
+            let _ = t.join();
+        }
+        Ok(())
+    }
+
+    /// [`Server::run`] on a background thread; returns the handle plus
+    /// the join handle for the run result.
+    pub fn spawn(self) -> (ServerHandle, std::thread::JoinHandle<Result<(), CombError>>) {
+        let handle = self.handle();
+        let join = std::thread::spawn(move || self.run());
+        (handle, join)
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(c) = q.pop_front() {
+                    break Some(c);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = shared.queue_cv.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        let Some((stream, permit)) = conn else {
+            return;
+        };
+        handle_connection(shared, stream);
+        drop(permit);
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match read_request(&mut stream) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed(msg) => {
+                let _ = write_response(
+                    &mut stream,
+                    400,
+                    "text/plain",
+                    &[],
+                    format!("{msg}\n").as_bytes(),
+                    false,
+                );
+                return;
+            }
+            ReadOutcome::Request(req) => {
+                let req_id = shared.next_req.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+                shared.trace(|| TraceEvent::ServeAdmitted { req: req_id });
+                let t0 = Instant::now();
+                let keep_wanted = req.keep_alive() && !shared.shutdown.load(Ordering::Acquire);
+                let done = route(shared, &req, &mut stream, req_id, keep_wanted);
+                shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .record_latency_us(t0.elapsed().as_secs_f64() * 1e6);
+                shared.trace(|| TraceEvent::ServeDone {
+                    req: req_id,
+                    status: done.status,
+                });
+                if !done.keep_open {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Write one complete response (tagging it with the correlation id) and
+/// report what happened to the connection.
+fn reply(
+    stream: &mut TcpStream,
+    req_id: u64,
+    status: u16,
+    ctype: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+    keep_open: bool,
+) -> RouteDone {
+    let mut headers = vec![("X-Comb-Request", req_id.to_string())];
+    headers.extend(extra.iter().cloned());
+    let ok = write_response(stream, status, ctype, &headers, body, keep_open).is_ok();
+    RouteDone {
+        status,
+        keep_open: keep_open && ok,
+    }
+}
+
+struct RouteDone {
+    status: u16,
+    keep_open: bool,
+}
+
+/// Dispatch one request, writing the response. `keep` is whether the
+/// connection may stay open afterwards (the handler can still force a
+/// close, e.g. after streaming or shutdown).
+fn route(
+    shared: &Shared,
+    req: &Request,
+    stream: &mut TcpStream,
+    req_id: u64,
+    keep: bool,
+) -> RouteDone {
+    let path = req.path.split('?').next().unwrap_or(&req.path);
+
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => reply(stream, req_id, 200, "text/plain", &[], b"ok\n", keep),
+        ("GET", "/metrics") => {
+            let depth = shared.queue.lock().unwrap_or_else(|p| p.into_inner()).len();
+            let body = shared.metrics.render(
+                shared.cache.as_ref().map(|c| c.stats()),
+                depth,
+                shared.gate.capacity(),
+                shared.workers,
+            );
+            reply(
+                stream,
+                req_id,
+                200,
+                "text/plain",
+                &[],
+                body.as_bytes(),
+                keep,
+            )
+        }
+        ("POST", "/v1/sweep") => handle_sweep(shared, req, stream, req_id, keep),
+        ("GET", p) if p.starts_with("/v1/figures/") => {
+            handle_figure(shared, p, stream, req_id, keep)
+        }
+        ("GET", p) if p.starts_with("/v1/jobs/") => handle_jobs(shared, p, stream, req_id, keep),
+        ("POST", "/admin/shutdown") => {
+            let loopback = stream
+                .peer_addr()
+                .map(|a| a.ip().is_loopback())
+                .unwrap_or(false);
+            if !loopback {
+                return reply(
+                    stream,
+                    req_id,
+                    403,
+                    "text/plain",
+                    &[],
+                    b"shutdown is loopback-only\n",
+                    false,
+                );
+            }
+            let done = reply(stream, req_id, 200, "text/plain", &[], b"draining\n", false);
+            shared.request_shutdown();
+            done
+        }
+        ("GET" | "POST", "/healthz" | "/metrics" | "/v1/sweep" | "/admin/shutdown") => reply(
+            stream,
+            req_id,
+            405,
+            "text/plain",
+            &[],
+            b"method not allowed\n",
+            keep,
+        ),
+        _ => reply(stream, req_id, 404, "text/plain", &[], b"not found\n", keep),
+    }
+}
+
+fn handle_sweep(
+    shared: &Shared,
+    req: &Request,
+    stream: &mut TcpStream,
+    req_id: u64,
+    keep: bool,
+) -> RouteDone {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => {
+            return reply(
+                stream,
+                req_id,
+                400,
+                "text/plain",
+                &[],
+                b"body is not UTF-8\n",
+                keep,
+            )
+        }
+    };
+    let sweep = match SweepRequest::parse(body) {
+        Ok(s) => s,
+        Err(msg) => {
+            return reply(
+                stream,
+                req_id,
+                400,
+                "text/plain",
+                &[],
+                format!("bad sweep request: {msg}\n").as_bytes(),
+                keep,
+            )
+        }
+    };
+    let job = shared
+        .jobs_reg
+        .create(req_id, "sweep", sweep.xs.len() as u64);
+    let text = match sweep.run(shared.jobs, shared.cache.as_deref(), &job) {
+        Ok(text) => {
+            job.finish("ok");
+            text
+        }
+        Err(e) => {
+            job.finish(&format!("error: {e}"));
+            return reply(
+                stream,
+                req_id,
+                500,
+                "text/plain",
+                &[],
+                format!("sweep failed: {e}\n").as_bytes(),
+                keep,
+            );
+        }
+    };
+    reply(
+        stream,
+        req_id,
+        200,
+        "text/plain",
+        &[("X-Comb-Job", req_id.to_string())],
+        text.as_bytes(),
+        keep,
+    )
+}
+
+fn handle_figure(
+    shared: &Shared,
+    path: &str,
+    stream: &mut TcpStream,
+    req_id: u64,
+    keep: bool,
+) -> RouteDone {
+    let name = path.trim_start_matches("/v1/figures/");
+    let Some(stem) = name.strip_suffix(".csv") else {
+        return reply(
+            stream,
+            req_id,
+            404,
+            "text/plain",
+            &[],
+            b"figures are served as <name>.csv\n",
+            keep,
+        );
+    };
+    let Ok(id) = FigureId::from_str(stem) else {
+        return reply(
+            stream,
+            req_id,
+            404,
+            "text/plain",
+            &[],
+            format!("unknown figure '{stem}'\n").as_bytes(),
+            keep,
+        );
+    };
+    let job = shared.jobs_reg.create(req_id, "figure", 1);
+    job.push_event(format!("figure {id}"));
+    match comb_report::run_figures_cached(&[id], shared.fidelity, None, shared.cache.clone()) {
+        Ok(reports) => match reports.into_iter().next() {
+            Some(report) => {
+                job.advance(format!("figure {id} rendered"));
+                job.finish("ok");
+                // `Dataset::write_csv` writes exactly `to_csv()`'s bytes,
+                // so this body is byte-identical to `comb figure` output.
+                let csv = report.dataset.to_csv();
+                reply(
+                    stream,
+                    req_id,
+                    200,
+                    "text/csv",
+                    &[("X-Comb-Job", req_id.to_string())],
+                    csv.as_bytes(),
+                    keep,
+                )
+            }
+            None => {
+                job.finish("error: empty report");
+                reply(
+                    stream,
+                    req_id,
+                    500,
+                    "text/plain",
+                    &[],
+                    b"empty report\n",
+                    keep,
+                )
+            }
+        },
+        Err(e) => {
+            job.finish(&format!("error: {e}"));
+            reply(
+                stream,
+                req_id,
+                500,
+                "text/plain",
+                &[],
+                format!("figure failed: {e}\n").as_bytes(),
+                keep,
+            )
+        }
+    }
+}
+
+fn handle_jobs(
+    shared: &Shared,
+    path: &str,
+    stream: &mut TcpStream,
+    req_id: u64,
+    keep: bool,
+) -> RouteDone {
+    let rest = path.trim_start_matches("/v1/jobs/");
+    let (id_part, events) = match rest.strip_suffix("/events") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_part.parse::<u64>() else {
+        return reply(
+            stream,
+            req_id,
+            404,
+            "text/plain",
+            &[],
+            b"bad job id\n",
+            keep,
+        );
+    };
+    let Some(job) = shared.jobs_reg.get(id) else {
+        return reply(
+            stream,
+            req_id,
+            404,
+            "text/plain",
+            &[],
+            b"no such job\n",
+            keep,
+        );
+    };
+    if !events {
+        let st = job.snapshot();
+        let body = format!(
+            "{{\"id\":{},\"kind\":{},\"total\":{},\"completed\":{},\"done\":{},\"status\":{}}}\n",
+            job.id,
+            crate::json::escape(&st.kind),
+            st.total,
+            st.completed,
+            st.done,
+            crate::json::escape(&st.status),
+        );
+        return reply(
+            stream,
+            req_id,
+            200,
+            "application/json",
+            &[],
+            body.as_bytes(),
+            keep,
+        );
+    }
+
+    // Stream events as chunked text until the job completes. The
+    // connection always closes afterwards.
+    let extra = [("X-Comb-Request", req_id.to_string())];
+    let mut w = match ChunkedWriter::start(stream, "text/plain", &extra) {
+        Ok(w) => w,
+        Err(_) => {
+            return RouteDone {
+                status: 200,
+                keep_open: false,
+            }
+        }
+    };
+    let mut from = 0;
+    loop {
+        let (fresh, done) = job.wait_events(from);
+        from += fresh.len();
+        for line in &fresh {
+            if w.chunk(format!("{line}\n").as_bytes()).is_err() {
+                return RouteDone {
+                    status: 200,
+                    keep_open: false,
+                };
+            }
+        }
+        if done {
+            break;
+        }
+    }
+    let _ = w.finish();
+    RouteDone {
+        status: 200,
+        keep_open: false,
+    }
+}
+
+/// Convenience used by the CLI exit-code path: classify a serve error.
+pub fn is_usage_error(e: &CombError) -> bool {
+    e.kind == ErrorKind::Usage
+}

@@ -66,6 +66,9 @@ fn fields(e: &TraceEvent) -> (u64, String) {
             replicates,
             converged,
         } => (0, format!("replicates={replicates} converged={converged}")),
+        TraceEvent::ServeAdmitted { req } => (0, format!("req={req}")),
+        TraceEvent::ServeDone { req, status } => (0, format!("req={req} status={status}")),
+        TraceEvent::ServeRejected => (0, String::new()),
         TraceEvent::Custom(s) => (0, s.to_string()),
     }
 }

@@ -98,6 +98,9 @@ pub enum Comp {
     /// The adaptive replicate scheduler (process-wide, outside any
     /// simulation; timestamps are wall-clock offsets from campaign start).
     Adaptive,
+    /// The `comb serve` HTTP front end (process-wide, outside any
+    /// simulation; timestamps are wall-clock offsets from server start).
+    Serve,
 }
 
 impl Comp {
@@ -109,6 +112,7 @@ impl Comp {
             Comp::Fabric => FABRIC_PID,
             Comp::Cache => CACHE_PID,
             Comp::Adaptive => ADAPTIVE_PID,
+            Comp::Serve => SERVE_PID,
         }
     }
 
@@ -122,6 +126,7 @@ impl Comp {
             Comp::Fabric => 0,
             Comp::Cache => 0,
             Comp::Adaptive => 0,
+            Comp::Serve => 0,
         }
     }
 
@@ -135,6 +140,7 @@ impl Comp {
             Comp::Fabric => "fabric",
             Comp::Cache => "cache",
             Comp::Adaptive => "adaptive",
+            Comp::Serve => "serve",
         }
     }
 }
@@ -148,12 +154,16 @@ pub const CACHE_PID: u32 = 998;
 /// Synthetic pid used for the adaptive replicate scheduler lane in exports.
 pub const ADAPTIVE_PID: u32 = 997;
 
+/// Synthetic pid used for the `comb serve` request lane in exports.
+pub const SERVE_PID: u32 = 996;
+
 impl fmt::Display for Comp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Comp::Fabric => f.write_str("fabric"),
             Comp::Cache => f.write_str("cache"),
             Comp::Adaptive => f.write_str("adaptive"),
+            Comp::Serve => f.write_str("serve"),
             c => write!(f, "{}{}", c.lane_name(), c.pid()),
         }
     }
@@ -327,6 +337,26 @@ pub enum TraceEvent {
         converged: bool,
     },
 
+    // -- serving front end -------------------------------------------------
+    /// `comb serve` admitted one HTTP request. `req` is the request-scoped
+    /// correlation id (monotone per server, echoed back in the
+    /// `X-Comb-Request` response header and reused as the job id for
+    /// campaign requests).
+    ServeAdmitted {
+        /// Request-scoped correlation id.
+        req: u64,
+    },
+    /// `comb serve` finished one HTTP request.
+    ServeDone {
+        /// Request-scoped correlation id.
+        req: u64,
+        /// HTTP status code of the response.
+        status: u16,
+    },
+    /// `comb serve` rejected a connection at admission (queue full):
+    /// the client saw `429` with a `Retry-After` header.
+    ServeRejected,
+
     // -- escape hatch ---------------------------------------------------
     /// Free-form marker for ad-hoc debugging; static so the off-path stays
     /// allocation-free.
@@ -378,6 +408,9 @@ impl TraceEvent {
             },
             TraceEvent::ReplicateDone { .. } => "replicate_done",
             TraceEvent::CellSettled { .. } => "cell_settled",
+            TraceEvent::ServeAdmitted { .. } => "serve_admitted",
+            TraceEvent::ServeDone { .. } => "serve_done",
+            TraceEvent::ServeRejected => "serve_rejected",
             TraceEvent::Custom(_) => "custom",
         }
     }

@@ -252,7 +252,10 @@ pub fn build_spans(records: &[TraceRecord]) -> SpanSet {
             }),
             TraceEvent::CacheLookup { .. }
             | TraceEvent::ReplicateDone { .. }
-            | TraceEvent::CellSettled { .. } => set.instants.push(InstantEvent {
+            | TraceEvent::CellSettled { .. }
+            | TraceEvent::ServeAdmitted { .. }
+            | TraceEvent::ServeDone { .. }
+            | TraceEvent::ServeRejected => set.instants.push(InstantEvent {
                 name: r.event.kind(),
                 comp: r.comp,
                 time: r.time,

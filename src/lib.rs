@@ -19,6 +19,8 @@
 //!   Post-Work-Wait methods.
 //! * [`report`] — figure definitions, CSV output, ASCII plots and the
 //!   PWW batch timeline.
+//! * [`serve`] — the `comb serve` HTTP front end: sweep and figure
+//!   requests scheduled onto the shared pool and content-addressed cache.
 //!
 //! ## Quickstart
 //!
@@ -37,5 +39,6 @@ pub use comb_core as core;
 pub use comb_hw as hw;
 pub use comb_mpi as mpi;
 pub use comb_report as report;
+pub use comb_serve as serve;
 pub use comb_sim as sim;
 pub use comb_trace as trace;
